@@ -1,0 +1,149 @@
+"""Bench: ablation studies on the design choices DESIGN.md calls out.
+
+These go beyond the paper's own evaluation and quantify the sensitivity of
+its conclusions:
+
+* **ECC strength** — a conventional cache with interleaved SEC-DED narrows
+  the gap to REAP, but REAP with plain SEC still wins on reliability per
+  check-bit.
+* **Associativity** — concealed reads scale with ``k-1``, so REAP's advantage
+  grows with associativity.
+* **Disturbance probability** — the MTTF gap widens as the per-read disturb
+  probability grows (accumulation scales ~N^2 p^2 vs. REAP's ~N p^2).
+* **Restore baseline** — disruptive read-and-restore also removes
+  accumulation but pays a large energy premium that REAP avoids.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from conftest import bench_settings
+from repro.config import ECCConfig, ECCKind, paper_l2_config
+from repro.core import ProtectionScheme
+from repro.sim import compare_schemes, format_table
+
+WORKLOAD = "perlbench"
+ACCESSES = 15_000
+
+
+def test_bench_ablation_ecc_strength(benchmark):
+    """Stronger ECC on the conventional cache vs. REAP with plain SEC."""
+
+    def run():
+        results = {}
+        for label, ecc in (
+            ("SEC", ECCConfig(kind=ECCKind.HAMMING_SEC)),
+            ("SECDED", ECCConfig(kind=ECCKind.HAMMING_SECDED)),
+            ("iSECDEDx4", ECCConfig(kind=ECCKind.INTERLEAVED_SECDED, interleaving_degree=4)),
+        ):
+            settings = bench_settings(
+                num_accesses=ACCESSES, l2_config=replace(paper_l2_config(), ecc=ecc)
+            )
+            results[label] = compare_schemes(WORKLOAD, settings=settings)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [
+            label,
+            comparison.baseline.expected_failures,
+            comparison.alternative("reap").expected_failures,
+            comparison.mttf_improvement("reap"),
+        ]
+        for label, comparison in results.items()
+    ]
+    print("\n[Ablation] ECC strength (conventional vs REAP expected failures)")
+    print(
+        format_table(
+            ["ECC", "Conventional E[failures]", "REAP E[failures]", "REAP gain (x)"], rows
+        )
+    )
+
+    sec = results["SEC"]
+    isecded = results["iSECDEDx4"]
+    # Interleaved SEC-DED hardens the conventional cache appreciably...
+    assert isecded.baseline.expected_failures < sec.baseline.expected_failures
+    # ...but REAP with plain SEC still beats the plain-SEC conventional cache
+    # by a much larger factor than stronger ECC alone provides.
+    assert sec.alternative("reap").expected_failures < isecded.baseline.expected_failures
+
+
+@pytest.mark.parametrize("associativity", [4, 8, 16])
+def test_bench_ablation_associativity(benchmark, associativity):
+    """Concealed reads scale with k-1, so the REAP gain grows with k."""
+    config = replace(paper_l2_config(), associativity=associativity)
+    settings = bench_settings(num_accesses=ACCESSES, l2_config=config)
+    comparison = benchmark.pedantic(
+        lambda: compare_schemes(WORKLOAD, settings=settings), rounds=1, iterations=1
+    )
+    improvement = comparison.mttf_improvement("reap")
+    print(f"\n[Ablation] associativity={associativity}: REAP gain {improvement:.1f}x")
+    assert improvement > 1.0
+
+
+def test_bench_ablation_associativity_trend(benchmark):
+    def run():
+        gains = {}
+        for ways in (2, 8):
+            config = replace(paper_l2_config(), associativity=ways)
+            settings = bench_settings(num_accesses=ACCESSES, l2_config=config)
+            gains[ways] = compare_schemes(WORKLOAD, settings=settings).mttf_improvement("reap")
+        return gains
+
+    gains = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n[Ablation] REAP gain vs associativity:", gains)
+    assert gains[8] > gains[2]
+
+
+def test_bench_ablation_disturbance_probability(benchmark):
+    """The REAP gain is insensitive to p in the rare-error regime, while the
+    absolute failure rates scale with p^2 — so the argument for REAP holds
+    across MTJ operating points."""
+
+    def run():
+        data = {}
+        for p_cell in (1e-9, 1e-8, 1e-7):
+            settings = bench_settings(num_accesses=ACCESSES, p_cell=p_cell)
+            comparison = compare_schemes(WORKLOAD, settings=settings)
+            data[p_cell] = (
+                comparison.baseline.expected_failures,
+                comparison.mttf_improvement("reap"),
+            )
+        return data
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[p, failures, gain] for p, (failures, gain) in data.items()]
+    print("\n[Ablation] Disturbance-probability sweep")
+    print(format_table(["P_RD per cell", "Conventional E[failures]", "REAP gain (x)"], rows))
+
+    failures = [data[p][0] for p in (1e-9, 1e-8, 1e-7)]
+    assert failures == sorted(failures)
+    assert failures[2] / failures[0] > 1e2
+    gains = [data[p][1] for p in (1e-9, 1e-8, 1e-7)]
+    assert max(gains) / min(gains) < 10.0
+
+
+def test_bench_ablation_restore_baseline(benchmark):
+    """Disruptive read-and-restore vs REAP: similar reliability, very
+    different energy."""
+    settings = bench_settings(num_accesses=ACCESSES)
+    comparison = benchmark.pedantic(
+        lambda: compare_schemes(
+            WORKLOAD,
+            alternatives=(ProtectionScheme.REAP, ProtectionScheme.RESTORE),
+            settings=settings,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    reap = comparison.alternative("reap")
+    restore = comparison.alternative("restore")
+    print(
+        "\n[Ablation] restore vs REAP: "
+        f"energy {restore.dynamic_energy_pj / comparison.baseline.dynamic_energy_pj:.2f}x vs "
+        f"{reap.dynamic_energy_pj / comparison.baseline.dynamic_energy_pj:.2f}x of baseline"
+    )
+    assert restore.expected_failures < comparison.baseline.expected_failures
+    assert reap.dynamic_energy_pj < restore.dynamic_energy_pj
+    assert comparison.energy_overhead_percent("restore") > 5 * comparison.energy_overhead_percent("reap")

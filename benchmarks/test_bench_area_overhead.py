@@ -1,0 +1,36 @@
+"""Bench: Section V-B overhead claims — area and access time.
+
+* Area: one ECC decoder is ~0.1% of the L2; replicating it per way (8 ways)
+  keeps the total area overhead below 1%.
+* Access time: swapping the decoder and the MUX lets ECC decoding overlap the
+  tag comparison, so REAP's read-hit latency is never longer than the
+  conventional cache's, while the serial (tag-first) alternative pays a clear
+  penalty.
+"""
+
+from repro.analysis import (
+    build_area_table,
+    build_latency_table,
+    render_area_report,
+    render_latency_report,
+)
+
+
+def test_bench_area_overhead(benchmark):
+    report = benchmark(build_area_table)
+    print("\n[Sec. V-B] Area overhead of REAP-cache")
+    print(render_area_report(report))
+
+    assert report.num_decoders_conventional == 1
+    assert report.num_decoders_reap == 8
+    assert 0.0002 < report.decoder_area_fraction < 0.005
+    assert 0.0 < report.overhead_percent < 1.0
+
+
+def test_bench_access_time(benchmark):
+    report = benchmark(build_latency_table)
+    print("\n[Sec. V-B] Read-hit latency by read-path organisation")
+    print(render_latency_report(report))
+
+    assert report.reap_is_no_slower
+    assert report.serial_penalty_ns > 0

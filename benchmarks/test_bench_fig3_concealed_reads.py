@@ -1,0 +1,55 @@
+"""Bench: Fig. 3(a)-(d) — concealed-read distribution and failure contribution.
+
+For each of the paper's four characterisation workloads (perlbench, calculix,
+h264ref, dealII) the conventional cache is simulated, every demand delivery
+records the concealed reads its line had accumulated, and the two Fig. 3
+curves are printed: the normalised frequency of each concealed-read count and
+that count's contribution to the total cache failure rate.
+
+Shape checks (the paper's observations):
+
+* frequency falls with the concealed-read count, while
+* the failure-rate contribution is dominated by the rare, high-count tail;
+* h264ref shows the deepest tail of the four.
+"""
+
+import pytest
+
+from conftest import bench_settings
+from repro.analysis import build_figure3, render_figure3
+from repro.workloads import FIGURE3_WORKLOADS
+
+
+@pytest.mark.parametrize("workload", FIGURE3_WORKLOADS)
+def test_bench_fig3_panel(benchmark, workload):
+    series = benchmark.pedantic(
+        build_figure3,
+        args=(workload,),
+        kwargs={"settings": bench_settings()},
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\n[Fig. 3] {workload}")
+    print(render_figure3(series))
+
+    bins = sorted(series.bins, key=lambda b: b.concealed_reads)
+    assert len(bins) >= 3
+    # Frequency decreases toward the tail ...
+    assert bins[-1].normalized_frequency < bins[0].normalized_frequency
+    # ... while the tail dominates the failure rate.
+    assert series.tail_dominance > 0.3
+    dominant = max(bins, key=lambda b: b.failure_rate)
+    assert dominant.concealed_reads > bins[0].concealed_reads
+    assert series.max_concealed_reads > 100
+
+
+def test_bench_fig3_h264ref_has_the_deepest_tail(benchmark):
+    settings = bench_settings()
+    series = benchmark.pedantic(
+        lambda: {name: build_figure3(name, settings=settings) for name in FIGURE3_WORKLOADS},
+        rounds=1,
+        iterations=1,
+    )
+    maxima = {name: s.max_concealed_reads for name, s in series.items()}
+    print("\n[Fig. 3] Maximum concealed reads per workload:", maxima)
+    assert maxima["h264ref"] == max(maxima.values())

@@ -1,0 +1,47 @@
+"""Bench: Fig. 5 — MTTF of REAP-cache normalised to the conventional cache.
+
+Regenerates the per-workload MTTF-improvement series over the full SPEC-named
+suite.  Absolute factors grow with trace length (the paper simulates one
+billion instructions; the bench default is 50 000 L2 accesses per workload),
+so the assertions target the paper's *structure*:
+
+* REAP improves MTTF for every workload;
+* `mcf` is the worst case and stays within an order of magnitude of the
+  paper's 7.9x;
+* the heavy-reuse workloads (`namd`, `dealII`, `h264ref`) improve by far the
+  most, and the spread across the suite covers orders of magnitude;
+* the suite average is a large factor (paper: 171x).
+"""
+
+from conftest import bench_settings
+from repro.analysis import comparisons_to_figure5, render_figure5
+from repro.sim import compare_schemes
+
+
+def test_bench_fig5_full_suite(benchmark, suite_comparisons):
+    data = benchmark.pedantic(
+        comparisons_to_figure5, args=(suite_comparisons,), rounds=1, iterations=1
+    )
+    print("\n[Fig. 5] MTTF of REAP-cache normalised to the conventional cache")
+    print(render_figure5(data))
+
+    for row in data.rows:
+        assert row.mttf_improvement > 1.0, f"{row.workload} did not improve"
+
+    assert data.row("mcf").mttf_improvement == data.min_improvement
+    assert 2.0 < data.row("mcf").mttf_improvement < 80.0
+
+    heavy = {"namd", "dealII", "h264ref"}
+    ranked = sorted(data.rows, key=lambda r: r.mttf_improvement, reverse=True)
+    top_names = {row.workload for row in ranked[: len(heavy) + 2]}
+    assert heavy & top_names, "heavy-reuse workloads should rank at the top"
+
+    assert data.max_improvement / data.min_improvement > 30.0
+    assert data.average_improvement > 30.0
+
+
+def test_bench_fig5_single_workload_simulation(benchmark):
+    """Times one full conventional-vs-REAP comparison (simulation throughput)."""
+    settings = bench_settings(num_accesses=10_000)
+    comparison = benchmark(lambda: compare_schemes("perlbench", settings=settings))
+    assert comparison.mttf_improvement("reap") > 1.0

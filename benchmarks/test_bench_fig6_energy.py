@@ -1,0 +1,52 @@
+"""Bench: Fig. 6 — dynamic energy of REAP-cache normalised to the conventional cache.
+
+Regenerates the per-workload relative dynamic energy over the full suite.
+Paper reference points: 2.7% average overhead, 6.5% worst case (cactusADM,
+read-dominated), 1.0% best case (xalancbmk, write/miss heavy).  The bench
+asserts the same structure: small single-digit overheads, read-dominated
+workloads at the top, write/miss-heavy workloads at the bottom.
+"""
+
+from conftest import bench_settings
+from repro.analysis import comparisons_to_figure6, render_figure6
+from repro.core import ProtectionScheme
+from repro.sim import compare_schemes
+
+
+def test_bench_fig6_full_suite(benchmark, suite_comparisons):
+    data = benchmark.pedantic(
+        comparisons_to_figure6, args=(suite_comparisons,), rounds=1, iterations=1
+    )
+    print("\n[Fig. 6] Dynamic energy of REAP-cache normalised to the conventional cache")
+    print(render_figure6(data))
+
+    for row in data.rows:
+        assert 0.0 < row.overhead_percent < 8.0, f"{row.workload} overhead out of range"
+
+    assert 1.0 < data.average_overhead_percent < 5.0
+
+    cactus = data.row("cactusADM").overhead_percent
+    xalanc = data.row("xalancbmk").overhead_percent
+    assert cactus > data.average_overhead_percent
+    assert xalanc < data.average_overhead_percent
+    assert cactus > xalanc
+
+    # Overhead correlates with how read-dominated the workload is.
+    rows = sorted(data.rows, key=lambda r: r.read_fraction)
+    assert rows[-1].overhead_percent > rows[0].overhead_percent
+
+
+def test_bench_fig6_write_energy_is_unaffected(benchmark):
+    """The paper: REAP changes nothing on the write path."""
+    settings = bench_settings(num_accesses=10_000)
+    comparison = benchmark.pedantic(
+        lambda: compare_schemes(
+            "xalancbmk", alternatives=(ProtectionScheme.REAP,), settings=settings
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    baseline = comparison.baseline
+    reap = comparison.alternative("reap")
+    assert reap.num_accesses == baseline.num_accesses
+    assert reap.hit_rate == baseline.hit_rate

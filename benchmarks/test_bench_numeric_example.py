@@ -1,0 +1,23 @@
+"""Bench: Section III-B / IV worked example (Eqs. 4 and 5, REAP's 50x).
+
+Paper values: a line with 100 '1' cells and P_RD = 1e-8 has an uncorrectable
+probability of 5.0e-13 on a clean read (Eq. 4), 1.3e-9 after 50 unchecked
+reads (Eq. 5), and 2.6e-11 under REAP — about 50x better than the
+accumulated case.
+"""
+
+import pytest
+
+from repro.analysis import numeric_example, render_numeric_example
+
+
+def test_bench_numeric_example(benchmark):
+    example = benchmark(numeric_example)
+    print("\n[Sec. III-B / IV] Worked accumulation example")
+    print(render_numeric_example(example))
+
+    assert example.single_read_failure == pytest.approx(5.0e-13, rel=0.02)
+    assert example.accumulated_failure == pytest.approx(1.3e-9, rel=0.05)
+    assert example.reap_failure == pytest.approx(2.6e-11, rel=0.06)
+    assert example.reap_gain == pytest.approx(50.0, rel=0.05)
+    assert 1e3 < example.accumulation_penalty < 1e4

@@ -1,0 +1,23 @@
+"""Bench: Table I — the evaluated cache-hierarchy configuration.
+
+Regenerates the paper's Table I from :func:`repro.config.paper_hierarchy` and
+checks the geometry line by line.
+"""
+
+from repro.analysis import build_table1, render_table1
+
+
+def test_bench_table1(benchmark):
+    rows = benchmark(build_table1)
+    print("\n[Table I] On-chip cache configuration")
+    print(render_table1(rows))
+
+    by_level = {row.level: row for row in rows}
+    assert by_level["L1I"].size_kib == 32
+    assert by_level["L1D"].size_kib == 32
+    assert by_level["L2"].size_kib == 1024
+    assert by_level["L1I"].associativity == 4
+    assert by_level["L2"].associativity == 8
+    assert by_level["L2"].technology == "stt-mram"
+    assert all(row.block_size_bytes == 64 for row in rows)
+    assert all(row.write_policy == "write-back" for row in rows)

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's energy and area overhead evaluation (Fig. 6, Sec. V-B).
+
+Runs the SPEC-named workload suite through the conventional and REAP caches
+and prints:
+
+* the relative dynamic energy of REAP per workload (the Fig. 6 series),
+* the suite summary (paper: 2.7% average, 6.5% worst case in cactusADM,
+  1.0% best case in xalancbmk), and
+* the area and access-time overhead reports from Section V-B.
+
+Usage::
+
+    python examples/energy_overhead_study.py [num_accesses] [workload ...]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import ExperimentSettings
+from repro.analysis import (
+    build_area_table,
+    build_figure6,
+    build_latency_table,
+    render_area_report,
+    render_figure6,
+    render_latency_report,
+)
+from repro.workloads import all_profiles
+
+
+def main() -> None:
+    num_accesses = int(sys.argv[1]) if len(sys.argv) > 1 else 60_000
+    workloads = sys.argv[2:] or [profile.name for profile in all_profiles()]
+
+    print(f"=== Fig. 6 reproduction: {len(workloads)} workloads, "
+          f"{num_accesses} L2 accesses each ===")
+    settings = ExperimentSettings(num_accesses=num_accesses, seed=1)
+    data = build_figure6(workloads=workloads, settings=settings)
+    print(render_figure6(data))
+    print()
+
+    worst = max(data.rows, key=lambda r: r.overhead_percent)
+    best = min(data.rows, key=lambda r: r.overhead_percent)
+    print("Paper reference: 2.7% average, 6.5% worst (cactusADM), 1.0% best (xalancbmk)")
+    print(f"This run       : {data.average_overhead_percent:.2f}% average, "
+          f"{worst.overhead_percent:.2f}% worst ({worst.workload}), "
+          f"{best.overhead_percent:.2f}% best ({best.workload})")
+    print()
+
+    print("=== Section V-B: area overhead ===")
+    print(render_area_report(build_area_table()))
+    print()
+    print("=== Section V-B: access time ===")
+    print(render_latency_report(build_latency_table()))
+
+
+if __name__ == "__main__":
+    main()

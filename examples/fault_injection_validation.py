@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Validate the analytic model with bit-true Monte-Carlo fault injection.
+
+The paper's formulation (Eqs. 2, 3, 6) treats read disturbance as independent
+Bernoulli flips and the SEC code as an ideal single-error corrector.  This
+example cross-checks those closed forms against a bit-true simulation: blocks
+stored in an actual STT-MRAM array model are read, disturbed, Hamming-decoded
+and scrubbed, and the empirical failure rates are compared with the formulas.
+
+The injection runs at an elevated disturbance probability (default 1e-3) so
+the statistics converge in seconds; the analytic expressions are evaluated at
+the same probability, so the comparison is apples to apples.
+
+Usage::
+
+    python examples/fault_injection_validation.py [disturb_probability] [trials]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.ecc import HammingSECCode
+from repro.reliability import (
+    FaultInjectionCampaign,
+    accumulated_failure_probability,
+    reap_failure_probability,
+)
+from repro.sim import format_table
+
+
+def main() -> None:
+    disturb = float(sys.argv[1]) if len(sys.argv) > 1 else 1e-3
+    trials = int(sys.argv[2]) if len(sys.argv) > 2 else 2_000
+    data_bits = 256
+    ones_fraction = 0.5
+    expected_ones = int(data_bits * ones_fraction)
+
+    print(
+        f"=== Monte-Carlo validation: {data_bits}-bit blocks, "
+        f"P_RD={disturb:g}, {trials} trials per point ===\n"
+    )
+
+    campaign = FaultInjectionCampaign(
+        ecc=HammingSECCode(data_bits), disturb_probability=disturb, seed=7
+    )
+
+    rows = []
+    for num_reads in (1, 5, 20, 60):
+        conventional, reap = campaign.compare(
+            num_reads=num_reads, trials=trials, ones_fraction=ones_fraction
+        )
+        analytic_conventional = accumulated_failure_probability(
+            disturb, expected_ones, num_reads
+        )
+        analytic_reap = reap_failure_probability(disturb, expected_ones, num_reads)
+        rows.append(
+            [
+                num_reads,
+                analytic_conventional,
+                conventional.failure_rate,
+                analytic_reap,
+                reap.failure_rate,
+            ]
+        )
+
+    print(
+        format_table(
+            [
+                "reads between checks",
+                "Eq.3 (analytic)",
+                "conventional (measured)",
+                "Eq.6 (analytic)",
+                "REAP (measured)",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nThe measured rates track the analytic curves; the conventional cache's "
+        "failure rate grows roughly quadratically with the unchecked-read count "
+        "while REAP's grows only linearly."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Setuptools shim.
+
+The environment used for the reproduction has no network access and ships a
+setuptools without the ``wheel`` package, so PEP 660 editable installs
+(``pip install -e .``) cannot build an editable wheel.  This shim lets the
+legacy ``setup.py develop`` code path handle ``pip install -e .
+--no-use-pep517 --no-build-isolation`` instead; all project metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

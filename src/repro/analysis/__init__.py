@@ -1,0 +1,73 @@
+"""Figure/table builders and plain-text report rendering.
+
+Public surface:
+
+* Fig. 3 / Fig. 5 / Fig. 6 builders (:func:`build_figure3`,
+  :func:`build_figure5`, :func:`build_figure6` and friends).
+* Table I, area, latency and worked-example builders
+  (:func:`build_table1`, :func:`build_area_table`, :func:`build_latency_table`,
+  :func:`numeric_example`).
+* text renderers (:func:`render_figure5`, ...).
+"""
+
+from .figures import (
+    Figure3Series,
+    Figure5Data,
+    Figure5Row,
+    Figure6Data,
+    Figure6Row,
+    build_figure3,
+    build_figure3_all,
+    build_figure5,
+    build_figure6,
+    comparisons_to_figure5,
+    comparisons_to_figure6,
+)
+from .report import (
+    render_area_report,
+    render_figure3,
+    render_figure5,
+    render_figure6,
+    render_latency_report,
+    render_numeric_example,
+    render_table1,
+)
+from .tables import (
+    AreaOverheadReport,
+    LatencyReport,
+    NumericExample,
+    Table1Row,
+    build_area_table,
+    build_latency_table,
+    build_table1,
+    numeric_example,
+)
+
+__all__ = [
+    "Figure3Series",
+    "Figure5Data",
+    "Figure5Row",
+    "Figure6Data",
+    "Figure6Row",
+    "build_figure3",
+    "build_figure3_all",
+    "build_figure5",
+    "build_figure6",
+    "comparisons_to_figure5",
+    "comparisons_to_figure6",
+    "Table1Row",
+    "AreaOverheadReport",
+    "LatencyReport",
+    "NumericExample",
+    "build_table1",
+    "build_area_table",
+    "build_latency_table",
+    "numeric_example",
+    "render_table1",
+    "render_figure3",
+    "render_figure5",
+    "render_figure6",
+    "render_area_report",
+    "render_latency_report",
+    "render_numeric_example",
+]

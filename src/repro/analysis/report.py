@@ -1,0 +1,116 @@
+"""Plain-text report rendering for figures and tables.
+
+The reproduction has no plotting dependency; these helpers turn the figure
+and table data structures into the fixed-width text the benches, examples and
+EXPERIMENTS.md use.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..sim.results import format_table
+from .figures import Figure3Series, Figure5Data, Figure6Data
+from .tables import AreaOverheadReport, LatencyReport, NumericExample, Table1Row
+
+
+def render_table1(rows: Sequence[Table1Row]) -> str:
+    """Render Table I."""
+    return format_table(
+        ["Level", "Size (KiB)", "Ways", "Block (B)", "Write policy", "Technology"],
+        [
+            [r.level, r.size_kib, r.associativity, r.block_size_bytes, r.write_policy, r.technology]
+            for r in rows
+        ],
+    )
+
+
+def render_figure3(series: Figure3Series, max_rows: int = 25) -> str:
+    """Render one Fig. 3 panel as a text table."""
+    bins = list(series.bins)[:max_rows]
+    table = format_table(
+        ["Concealed reads", "Accesses", "Norm. frequency", "Failure rate"],
+        [
+            [round(b.concealed_reads, 1), b.accesses, b.normalized_frequency, b.failure_rate]
+            for b in bins
+        ],
+    )
+    summary = (
+        f"workload={series.workload}  max_concealed={series.max_concealed_reads}  "
+        f"total_failure_rate={series.total_failure_rate:.3e}  "
+        f"tail_dominance={series.tail_dominance:.2%}"
+    )
+    return f"{summary}\n{table}"
+
+
+def render_figure5(data: Figure5Data) -> str:
+    """Render Fig. 5 as a text table."""
+    table = format_table(
+        ["Workload", "MTTF improvement (x)", "Max concealed reads"],
+        [[r.workload, r.mttf_improvement, r.max_concealed_reads] for r in data.rows],
+    )
+    summary = (
+        f"average={data.average_improvement:.1f}x  "
+        f"min={data.min_improvement:.1f}x  max={data.max_improvement:.1f}x"
+    )
+    return f"{table}\n{summary}"
+
+
+def render_figure6(data: Figure6Data) -> str:
+    """Render Fig. 6 as a text table."""
+    table = format_table(
+        ["Workload", "Relative dynamic energy", "Overhead (%)", "Read fraction"],
+        [
+            [r.workload, r.relative_dynamic_energy, r.overhead_percent, r.read_fraction]
+            for r in data.rows
+        ],
+    )
+    summary = (
+        f"average_overhead={data.average_overhead_percent:.2f}%  "
+        f"min={data.min_overhead_percent:.2f}%  max={data.max_overhead_percent:.2f}%"
+    )
+    return f"{table}\n{summary}"
+
+
+def render_area_report(report: AreaOverheadReport) -> str:
+    """Render the Section V-B area argument."""
+    return format_table(
+        ["Metric", "Value"],
+        [
+            ["Conventional total area (mm^2)", report.conventional_total_mm2],
+            ["REAP total area (mm^2)", report.reap_total_mm2],
+            ["Single decoder share of cache", report.decoder_area_fraction],
+            ["Decoders (conventional)", report.num_decoders_conventional],
+            ["Decoders (REAP)", report.num_decoders_reap],
+            ["Area overhead (%)", report.overhead_percent],
+        ],
+    )
+
+
+def render_latency_report(report: LatencyReport) -> str:
+    """Render the Section V-B access-time argument."""
+    return format_table(
+        ["Read path", "Read-hit latency (ns)"],
+        [
+            ["conventional (parallel)", report.conventional_ns],
+            ["REAP", report.reap_ns],
+            ["serial (tag first)", report.serial_ns],
+        ],
+    )
+
+
+def render_numeric_example(example: NumericExample) -> str:
+    """Render the Section III-B / IV worked example."""
+    return format_table(
+        ["Quantity", "Value"],
+        [
+            ["P_RD per cell", example.p_cell],
+            ["ones in line", example.num_ones],
+            ["reads between checks", example.num_reads],
+            ["single-read failure (Eq. 4)", example.single_read_failure],
+            ["accumulated failure (Eq. 5)", example.accumulated_failure],
+            ["REAP failure (Sec. IV)", example.reap_failure],
+            ["accumulation penalty (x)", example.accumulation_penalty],
+            ["REAP gain vs accumulated (x)", example.reap_gain],
+        ],
+    )

@@ -1,0 +1,69 @@
+"""Set-associative cache substrate: addressing, blocks, replacement, read paths.
+
+Public surface:
+
+* :class:`AddressMapper` / :class:`DecomposedAddress` — address decomposition.
+* :class:`CacheBlock`, :class:`CacheSet` — per-line and per-set state.
+* :class:`SetAssociativeCache`, :class:`AccessResult`, :class:`EvictedBlock` —
+  the functional cache model.
+* replacement policies (:func:`build_replacement_policy` and classes).
+* read-path organisations (:func:`build_read_path` and classes) — the
+  mechanism behind concealed reads and their elimination.
+* :class:`CacheHierarchy` — the Table I two-level front end.
+* :class:`CacheStatistics`, :class:`ReliabilityStatistics`.
+"""
+
+from .address import AddressMapper, DecomposedAddress
+from .block import CacheBlock, ReadExposure
+from .cache import AccessResult, EvictedBlock, SetAssociativeCache
+from .cache_set import CacheSet
+from .hierarchy import CacheHierarchy, HierarchyStatistics, NextLevel
+from .readpath import (
+    ParallelReadPath,
+    REAPReadPath,
+    ReadPathEvents,
+    ReadPathModel,
+    ReadPathTiming,
+    SerialReadPath,
+    build_read_path,
+)
+from .replacement import (
+    FIFOPolicy,
+    LERPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    TreePLRUPolicy,
+    build_replacement_policy,
+)
+from .statistics import CacheStatistics, ReliabilityStatistics
+
+__all__ = [
+    "AddressMapper",
+    "DecomposedAddress",
+    "CacheBlock",
+    "ReadExposure",
+    "CacheSet",
+    "SetAssociativeCache",
+    "AccessResult",
+    "EvictedBlock",
+    "CacheHierarchy",
+    "HierarchyStatistics",
+    "NextLevel",
+    "ReadPathModel",
+    "ReadPathEvents",
+    "ReadPathTiming",
+    "ParallelReadPath",
+    "SerialReadPath",
+    "REAPReadPath",
+    "build_read_path",
+    "ReplacementPolicy",
+    "LRUPolicy",
+    "FIFOPolicy",
+    "RandomPolicy",
+    "TreePLRUPolicy",
+    "LERPolicy",
+    "build_replacement_policy",
+    "CacheStatistics",
+    "ReliabilityStatistics",
+]

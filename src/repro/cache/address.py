@@ -1,0 +1,106 @@
+"""Physical-address decomposition into tag / set-index / block-offset fields.
+
+This mirrors step 1 of the paper's Fig. 2 / Fig. 4 read sequence: the index
+part of the incoming address selects the target set, the tag part is compared
+against the stored tags of all ways, and the offset selects bytes within the
+block (the offset plays no role in the reliability model but is preserved for
+completeness and for trace round-tripping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import CacheLevelConfig
+from ..errors import AddressError
+
+
+@dataclass(frozen=True)
+class DecomposedAddress:
+    """An address split into its cache-indexing fields.
+
+    Attributes:
+        tag: Tag field (upper address bits).
+        index: Set index.
+        offset: Byte offset within the block.
+        block_address: The address with the offset bits cleared.
+    """
+
+    tag: int
+    index: int
+    offset: int
+    block_address: int
+
+
+class AddressMapper:
+    """Maps physical addresses to (tag, index, offset) for one cache level."""
+
+    def __init__(self, config: CacheLevelConfig) -> None:
+        """Create a mapper for the given cache geometry."""
+        self._config = config
+        self._offset_bits = config.offset_bits
+        self._index_bits = config.index_bits
+        self._offset_mask = (1 << self._offset_bits) - 1
+        self._index_mask = (1 << self._index_bits) - 1
+        self._max_address = (1 << config.address_bits) - 1
+
+    @property
+    def config(self) -> CacheLevelConfig:
+        """The cache geometry this mapper serves."""
+        return self._config
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets addressable by the index field."""
+        return self._config.num_sets
+
+    def decompose(self, address: int) -> DecomposedAddress:
+        """Split an address into tag / index / offset.
+
+        Args:
+            address: Physical byte address.
+
+        Raises:
+            AddressError: if the address is negative or wider than the
+                configured address width.
+        """
+        if address < 0:
+            raise AddressError(f"address must be non-negative, got {address}")
+        if address > self._max_address:
+            raise AddressError(
+                f"address {address:#x} exceeds the {self._config.address_bits}-bit "
+                "address space"
+            )
+        offset = address & self._offset_mask
+        index = (address >> self._offset_bits) & self._index_mask
+        tag = address >> (self._offset_bits + self._index_bits)
+        block_address = address & ~self._offset_mask
+        return DecomposedAddress(
+            tag=tag, index=index, offset=offset, block_address=block_address
+        )
+
+    def compose(self, tag: int, index: int, offset: int = 0) -> int:
+        """Rebuild a physical address from its fields.
+
+        Raises:
+            AddressError: if any field is out of range for the geometry.
+        """
+        if tag < 0 or tag >= (1 << self._config.tag_bits):
+            raise AddressError(f"tag {tag} out of range")
+        if index < 0 or index >= self.num_sets:
+            raise AddressError(f"index {index} out of range")
+        if offset < 0 or offset > self._offset_mask:
+            raise AddressError(f"offset {offset} out of range")
+        return (
+            (tag << (self._offset_bits + self._index_bits))
+            | (index << self._offset_bits)
+            | offset
+        )
+
+    def block_address(self, address: int) -> int:
+        """Return the address of the block containing ``address``."""
+        return self.decompose(address).block_address
+
+    def set_index(self, address: int) -> int:
+        """Return the set index selected by ``address``."""
+        return self.decompose(address).index

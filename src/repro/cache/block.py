@@ -1,0 +1,140 @@
+"""Per-cache-block state, including the disturbance-accumulation bookkeeping.
+
+Besides the usual valid/dirty/tag fields, each block carries the state the
+reliability model needs:
+
+* ``ones_count`` — how many of the block's data cells store logic '1'; only
+  these are susceptible to (unidirectional) read disturbance.
+* ``unchecked_reads`` — the number of reads (concealed or demand) the block
+  has experienced since its content was last ECC-checked or rewritten.  In a
+  conventional parallel-access cache this grows with every access to the set
+  and is the paper's "number of concealed reads"; in REAP it stays at zero
+  because every read is checked and scrubbed.
+* ``reads_since_demand`` — the number of reads since the block was last
+  *delivered* to a requester (or installed/overwritten).  This is the ``N``
+  of paper Eqs. (3) and (6): for the conventional cache it coincides with the
+  unchecked exposure, for REAP it counts how many individually-checked reads
+  the delivery window spans.
+* lifetime counters used by statistics and the LER replacement policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import CacheError
+
+
+@dataclass(frozen=True)
+class ReadExposure:
+    """Exposure counters returned when a block's read is ECC-checked.
+
+    Attributes:
+        unchecked_window: Reads accumulated since the last ECC check,
+            including the current one (the ``N`` of Eq. 3 for a conventional
+            cache).
+        demand_window: Reads since the last demand delivery, including the
+            current one (the ``N`` of Eq. 6 for REAP).
+    """
+
+    unchecked_window: int
+    demand_window: int
+
+
+@dataclass
+class CacheBlock:
+    """State of one cache block (line)."""
+
+    tag: int = 0
+    valid: bool = False
+    dirty: bool = False
+    ones_count: int = 0
+    unchecked_reads: int = 0
+    reads_since_demand: int = 0
+    total_reads: int = 0
+    total_concealed_reads: int = 0
+    total_checks: int = 0
+    fills: int = 0
+    last_access_tick: int = field(default=0, compare=False)
+
+    def fill(self, tag: int, ones_count: int, tick: int = 0) -> None:
+        """Install new data in the block (a miss fill or a full-line write).
+
+        Filling rewrites every cell, so any accumulated disturbance is gone
+        and both exposure windows restart.
+        """
+        if ones_count < 0:
+            raise CacheError("ones_count must be non-negative")
+        self.tag = tag
+        self.valid = True
+        self.dirty = False
+        self.ones_count = ones_count
+        self.unchecked_reads = 0
+        self.reads_since_demand = 0
+        self.fills += 1
+        self.last_access_tick = tick
+
+    def invalidate(self) -> None:
+        """Mark the block invalid (eviction)."""
+        self.valid = False
+        self.dirty = False
+        self.unchecked_reads = 0
+        self.reads_since_demand = 0
+
+    def record_concealed_read(self) -> None:
+        """The block was speculatively read without an ECC check."""
+        if not self.valid:
+            raise CacheError("cannot read an invalid block")
+        self.unchecked_reads += 1
+        self.reads_since_demand += 1
+        self.total_reads += 1
+        self.total_concealed_reads += 1
+
+    def record_checked_read(self, demand: bool, tick: int = 0) -> ReadExposure:
+        """The block was read and its ECC was checked.
+
+        Args:
+            demand: ``True`` when this read delivers the block to a requester
+                (a demand hit); ``False`` for a REAP-style check of a
+                speculatively read way that is not being delivered.
+            tick: Monotonic access counter used for recency bookkeeping.
+
+        Returns:
+            The exposure windows closed by this check (see
+            :class:`ReadExposure`).
+        """
+        if not self.valid:
+            raise CacheError("cannot read an invalid block")
+        self.total_reads += 1
+        self.reads_since_demand += 1
+        unchecked_window = self.unchecked_reads + 1
+        demand_window = self.reads_since_demand
+        self.unchecked_reads = 0
+        self.total_checks += 1
+        if demand:
+            self.reads_since_demand = 0
+        self.last_access_tick = tick
+        return ReadExposure(
+            unchecked_window=unchecked_window, demand_window=demand_window
+        )
+
+    def record_write(self, ones_count: int, tick: int = 0) -> None:
+        """The block's data was overwritten by a store hit.
+
+        A write refreshes every cell of the line (the paper's model: writes
+        are not subject to read disturbance and rewrite the content), so both
+        exposure windows reset.
+        """
+        if not self.valid:
+            raise CacheError("cannot write an invalid block")
+        if ones_count < 0:
+            raise CacheError("ones_count must be non-negative")
+        self.dirty = True
+        self.ones_count = ones_count
+        self.unchecked_reads = 0
+        self.reads_since_demand = 0
+        self.last_access_tick = tick
+
+    def matches(self, tag: int) -> bool:
+        """``True`` when the block is valid and holds the given tag."""
+        return self.valid and self.tag == tag

@@ -1,0 +1,146 @@
+"""Two-level cache hierarchy front-end (paper Table I).
+
+The L1 instruction and data caches are conventional SRAM caches: they are not
+subject to read disturbance and exist purely to *filter* the access stream so
+the shared L2 sees a realistic mix of fills and write-backs, exactly as in
+the paper's gem5 setup.  The L2 itself is pluggable: anything implementing
+the small :class:`NextLevel` protocol (in practice one of the protected
+caches from :mod:`repro.core`) receives the L1 miss and write-back traffic.
+
+Access flow per CPU reference:
+
+* instruction fetch  -> L1I lookup; on miss, an L2 **read** of the block and
+  an L1I fill; an L1I eviction is silently dropped (instructions are clean).
+* data load          -> L1D lookup; on miss, an L2 **read** and an L1D fill.
+* data store         -> L1D lookup (write-allocate); on miss, an L2 **read**
+  (fetch-on-write) and an L1D fill, then the store hits.  Dirty L1D victims
+  are written back to the L2 as **writes** (write-back policy, Table I).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from ..config import HierarchyConfig
+from ..errors import SimulationError
+from .cache import SetAssociativeCache
+
+
+class NextLevel(Protocol):
+    """Interface the L2 (or memory-side) model must implement."""
+
+    def read(self, address: int) -> None:
+        """Handle a demand read of the block containing ``address``."""
+        ...  # pragma: no cover - protocol definition
+
+    def write(self, address: int) -> None:
+        """Handle a write (write-back) of the block containing ``address``."""
+        ...  # pragma: no cover - protocol definition
+
+
+@dataclass
+class HierarchyStatistics:
+    """Reference counts observed at the top of the hierarchy."""
+
+    instruction_fetches: int = 0
+    data_reads: int = 0
+    data_writes: int = 0
+    l2_reads: int = 0
+    l2_writebacks: int = 0
+
+    @property
+    def total_references(self) -> int:
+        """Total CPU-side references."""
+        return self.instruction_fetches + self.data_reads + self.data_writes
+
+
+class CacheHierarchy:
+    """L1I + L1D filter in front of a pluggable L2 model."""
+
+    def __init__(
+        self,
+        config: HierarchyConfig,
+        l2: NextLevel,
+        seed: int = 1,
+    ) -> None:
+        """Create the hierarchy.
+
+        Args:
+            config: Geometry of the three levels (the L2 entry is only used
+                for consistency checks; the supplied ``l2`` object is assumed
+                to be built from it).
+            l2: The shared second-level cache model.
+            seed: Seed forwarded to the L1 replacement policies.
+        """
+        self._config = config
+        self._l1i = SetAssociativeCache(config.l1i, seed=seed)
+        self._l1d = SetAssociativeCache(config.l1d, seed=seed + 1)
+        self._l2 = l2
+        self._stats = HierarchyStatistics()
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def l1i(self) -> SetAssociativeCache:
+        """The L1 instruction cache."""
+        return self._l1i
+
+    @property
+    def l1d(self) -> SetAssociativeCache:
+        """The L1 data cache."""
+        return self._l1d
+
+    @property
+    def l2(self) -> NextLevel:
+        """The second-level cache model."""
+        return self._l2
+
+    @property
+    def stats(self) -> HierarchyStatistics:
+        """Reference counts observed so far."""
+        return self._stats
+
+    # -- reference handling ------------------------------------------------------
+
+    def fetch_instruction(self, address: int) -> None:
+        """Handle one instruction fetch."""
+        self._stats.instruction_fetches += 1
+        result = self._l1i.access(address, is_write=False)
+        if not result.hit:
+            self._issue_l2_read(address)
+            # L1I victims are never dirty; nothing to write back.
+
+    def load(self, address: int) -> None:
+        """Handle one data load."""
+        self._stats.data_reads += 1
+        result = self._l1d.access(address, is_write=False)
+        if not result.hit:
+            self._issue_l2_read(address)
+            self._write_back_if_dirty(result)
+
+    def store(self, address: int) -> None:
+        """Handle one data store (write-allocate, write-back)."""
+        self._stats.data_writes += 1
+        result = self._l1d.access(address, is_write=True)
+        if not result.hit:
+            # Fetch-on-write: the block is read from the L2 before the store.
+            self._issue_l2_read(address)
+            self._write_back_if_dirty(result)
+
+    # -- helpers --------------------------------------------------------------
+
+    def _issue_l2_read(self, address: int) -> None:
+        self._stats.l2_reads += 1
+        self._l2.read(address)
+
+    def _write_back_if_dirty(self, result) -> None:
+        evicted = result.evicted
+        if evicted is None or not evicted.dirty:
+            return
+        victim_address = self._l1d.mapper.compose(evicted.tag, evicted.set_index)
+        self._stats.l2_writebacks += 1
+        try:
+            self._l2.write(victim_address)
+        except Exception as exc:  # pragma: no cover - defensive re-wrap
+            raise SimulationError(f"L2 write-back failed: {exc}") from exc

@@ -1,0 +1,266 @@
+"""Read-path organisation models (paper Figs. 2 and 4).
+
+A read-path model answers, for one demand read of a k-way set:
+
+* which ways' data arrays are driven (speculatively or not),
+* which of those reads go through an ECC decoder,
+* which ways are left with an *unchecked* (concealed) read, and
+* what the access critical path looks like, given component latencies.
+
+Three organisations are modelled:
+
+* :class:`ParallelReadPath` — the conventional fast-access cache of Fig. 2:
+  all ways are read in parallel with tag comparison, one MUX-selected way is
+  decoded, the remaining ``k-1`` reads are concealed.
+* :class:`SerialReadPath` — tag comparison completes first and only the
+  hitting way is read and decoded; no concealed reads, but the data access
+  no longer overlaps the tag comparison.
+* :class:`REAPReadPath` — the paper's proposal (Fig. 4): all ways are read in
+  parallel *and* each is decoded by its own ECC decoder before the MUX; no
+  read is ever concealed.
+
+The timing model backs the paper's Section V-B argument that REAP does not
+lengthen the access: with the decoder before the MUX, ECC decoding overlaps
+the tag comparison instead of following it.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from ..config import ReadPathMode
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ReadPathEvents:
+    """Per-demand-read event counts produced by a read-path model.
+
+    Attributes:
+        ways_read: Number of data ways whose arrays were driven.
+        ecc_decodes: Number of ECC decoder activations.
+        concealed_ways: Ways (other than the delivered one) that were read
+            without an ECC check.
+        checked_ways: Ways that were read *and* ECC-checked.
+    """
+
+    ways_read: int
+    ecc_decodes: int
+    concealed_ways: tuple[int, ...]
+    checked_ways: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class ReadPathTiming:
+    """Component latencies (in nanoseconds) of the cache read path.
+
+    Attributes:
+        tag_read_ns: Tag-array read latency.
+        tag_compare_ns: Tag comparator latency.
+        data_read_ns: Data-array read latency.
+        ecc_decode_ns: ECC decoder latency.
+        mux_ns: Way-selection MUX latency.
+    """
+
+    tag_read_ns: float = 0.8
+    tag_compare_ns: float = 0.3
+    data_read_ns: float = 1.2
+    ecc_decode_ns: float = 0.4
+    mux_ns: float = 0.1
+
+    def __post_init__(self) -> None:
+        for name in (
+            "tag_read_ns",
+            "tag_compare_ns",
+            "data_read_ns",
+            "ecc_decode_ns",
+            "mux_ns",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+
+
+class ReadPathModel(abc.ABC):
+    """Interface of a read-path organisation."""
+
+    def __init__(self, associativity: int) -> None:
+        if associativity <= 0:
+            raise ConfigurationError("associativity must be positive")
+        self._associativity = associativity
+
+    @property
+    def associativity(self) -> int:
+        """Number of ways driven by the organisation."""
+        return self._associativity
+
+    @property
+    @abc.abstractmethod
+    def mode(self) -> ReadPathMode:
+        """The configuration enum value this model implements."""
+
+    @property
+    @abc.abstractmethod
+    def ecc_decoder_instances(self) -> int:
+        """How many physical ECC decoder units the organisation requires."""
+
+    @abc.abstractmethod
+    def read_events(self, hit_way: int, valid_ways: list[int]) -> ReadPathEvents:
+        """Events for one demand read that hits ``hit_way``.
+
+        Args:
+            hit_way: The way that will be delivered.
+            valid_ways: Ways of the set currently holding valid blocks.
+        """
+
+    @abc.abstractmethod
+    def miss_events(self, valid_ways: list[int]) -> ReadPathEvents:
+        """Events for one demand read that misses in the set."""
+
+    @abc.abstractmethod
+    def access_latency_ns(self, timing: ReadPathTiming) -> float:
+        """Critical-path latency of a read hit under this organisation."""
+
+    def _validate_ways(self, hit_way: int | None, valid_ways: list[int]) -> None:
+        for way in valid_ways:
+            if not 0 <= way < self._associativity:
+                raise ConfigurationError(f"way {way} out of range")
+        if hit_way is not None and hit_way not in valid_ways:
+            raise ConfigurationError("hit way must be one of the valid ways")
+
+
+class ParallelReadPath(ReadPathModel):
+    """Conventional fast-access organisation (paper Fig. 2)."""
+
+    @property
+    def mode(self) -> ReadPathMode:
+        """Parallel access."""
+        return ReadPathMode.PARALLEL
+
+    @property
+    def ecc_decoder_instances(self) -> int:
+        """A single decoder after the MUX."""
+        return 1
+
+    def read_events(self, hit_way: int, valid_ways: list[int]) -> ReadPathEvents:
+        """All valid ways are read; only the hit way is decoded."""
+        self._validate_ways(hit_way, valid_ways)
+        concealed = tuple(w for w in valid_ways if w != hit_way)
+        return ReadPathEvents(
+            ways_read=len(valid_ways),
+            ecc_decodes=1,
+            concealed_ways=concealed,
+            checked_ways=(hit_way,),
+        )
+
+    def miss_events(self, valid_ways: list[int]) -> ReadPathEvents:
+        """All valid ways are read speculatively and then all discarded."""
+        self._validate_ways(None, valid_ways)
+        return ReadPathEvents(
+            ways_read=len(valid_ways),
+            ecc_decodes=0,
+            concealed_ways=tuple(valid_ways),
+            checked_ways=(),
+        )
+
+    def access_latency_ns(self, timing: ReadPathTiming) -> float:
+        """max(tag path, data path) -> MUX -> ECC decode."""
+        tag_path = timing.tag_read_ns + timing.tag_compare_ns
+        data_path = timing.data_read_ns
+        return max(tag_path, data_path) + timing.mux_ns + timing.ecc_decode_ns
+
+
+class SerialReadPath(ReadPathModel):
+    """Tag-first organisation: only the hitting way is read."""
+
+    @property
+    def mode(self) -> ReadPathMode:
+        """Serial access."""
+        return ReadPathMode.SERIAL
+
+    @property
+    def ecc_decoder_instances(self) -> int:
+        """A single decoder."""
+        return 1
+
+    def read_events(self, hit_way: int, valid_ways: list[int]) -> ReadPathEvents:
+        """Only the hit way is read and decoded; nothing is concealed."""
+        self._validate_ways(hit_way, valid_ways)
+        return ReadPathEvents(
+            ways_read=1,
+            ecc_decodes=1,
+            concealed_ways=(),
+            checked_ways=(hit_way,),
+        )
+
+    def miss_events(self, valid_ways: list[int]) -> ReadPathEvents:
+        """A miss reads no data way at all."""
+        self._validate_ways(None, valid_ways)
+        return ReadPathEvents(
+            ways_read=0, ecc_decodes=0, concealed_ways=(), checked_ways=()
+        )
+
+    def access_latency_ns(self, timing: ReadPathTiming) -> float:
+        """Tag path, then the data read, then ECC decode (no overlap)."""
+        return (
+            timing.tag_read_ns
+            + timing.tag_compare_ns
+            + timing.data_read_ns
+            + timing.ecc_decode_ns
+        )
+
+
+class REAPReadPath(ReadPathModel):
+    """The proposed REAP organisation (paper Fig. 4)."""
+
+    @property
+    def mode(self) -> ReadPathMode:
+        """REAP access."""
+        return ReadPathMode.REAP
+
+    @property
+    def ecc_decoder_instances(self) -> int:
+        """One decoder per way, placed before the MUX."""
+        return self._associativity
+
+    def read_events(self, hit_way: int, valid_ways: list[int]) -> ReadPathEvents:
+        """All valid ways are read and every one of them is decoded."""
+        self._validate_ways(hit_way, valid_ways)
+        return ReadPathEvents(
+            ways_read=len(valid_ways),
+            ecc_decodes=len(valid_ways),
+            concealed_ways=(),
+            checked_ways=tuple(valid_ways),
+        )
+
+    def miss_events(self, valid_ways: list[int]) -> ReadPathEvents:
+        """On a miss every speculative read is still decoded and scrubbed."""
+        self._validate_ways(None, valid_ways)
+        return ReadPathEvents(
+            ways_read=len(valid_ways),
+            ecc_decodes=len(valid_ways),
+            concealed_ways=(),
+            checked_ways=tuple(valid_ways),
+        )
+
+    def access_latency_ns(self, timing: ReadPathTiming) -> float:
+        """max(tag path, data read + ECC decode) -> MUX.
+
+        Swapping the decoder and the MUX lets decoding overlap the tag
+        comparison; REAP is therefore never slower than the conventional
+        parallel organisation and can be faster when the tag path dominates.
+        """
+        tag_path = timing.tag_read_ns + timing.tag_compare_ns
+        data_path = timing.data_read_ns + timing.ecc_decode_ns
+        return max(tag_path, data_path) + timing.mux_ns
+
+
+def build_read_path(mode: ReadPathMode, associativity: int) -> ReadPathModel:
+    """Instantiate the read-path model for a configuration enum value."""
+    if mode is ReadPathMode.PARALLEL:
+        return ParallelReadPath(associativity)
+    if mode is ReadPathMode.SERIAL:
+        return SerialReadPath(associativity)
+    if mode is ReadPathMode.REAP:
+        return REAPReadPath(associativity)
+    raise ConfigurationError(f"unknown read-path mode: {mode}")

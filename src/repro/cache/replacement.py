@@ -1,0 +1,266 @@
+"""Replacement policies for the set-associative cache model.
+
+The paper's evaluation uses a conventional cache (gem5's default LRU); the
+extra policies here serve the ablation benches:
+
+* :class:`LRUPolicy` — least recently used (default).
+* :class:`FIFOPolicy` — first in, first out.
+* :class:`RandomPolicy` — uniform random victim.
+* :class:`TreePLRUPolicy` — tree pseudo-LRU, the usual hardware-cheap
+  approximation of LRU.
+* :class:`LERPolicy` — "least error rate" replacement from the paper's
+  reference [13]: prefer evicting the block with the largest accumulated
+  unchecked-read exposure, so the most error-prone data leaves the cache.
+
+All policies are driven through the same three hooks (`on_fill`, `on_access`,
+`victim`) and keep their own per-set metadata, indexed by (set index, way).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..config import ReplacementPolicyName
+from ..errors import ReplacementError
+from .block import CacheBlock
+
+
+class ReplacementPolicy(abc.ABC):
+    """Interface shared by all replacement policies."""
+
+    def __init__(self, num_sets: int, associativity: int) -> None:
+        if num_sets <= 0 or associativity <= 0:
+            raise ReplacementError("num_sets and associativity must be positive")
+        self._num_sets = num_sets
+        self._associativity = associativity
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets tracked."""
+        return self._num_sets
+
+    @property
+    def associativity(self) -> int:
+        """Ways per set."""
+        return self._associativity
+
+    def _check(self, set_index: int, way: int | None = None) -> None:
+        if not 0 <= set_index < self._num_sets:
+            raise ReplacementError(f"set index {set_index} out of range")
+        if way is not None and not 0 <= way < self._associativity:
+            raise ReplacementError(f"way {way} out of range")
+
+    @abc.abstractmethod
+    def on_access(self, set_index: int, way: int) -> None:
+        """A block was accessed (hit)."""
+
+    @abc.abstractmethod
+    def on_fill(self, set_index: int, way: int) -> None:
+        """A block was filled (miss handling installed a new line)."""
+
+    @abc.abstractmethod
+    def victim(self, set_index: int, blocks: list[CacheBlock]) -> int:
+        """Choose the way to evict; invalid ways must be preferred."""
+
+    def _first_invalid(self, blocks: list[CacheBlock]) -> int | None:
+        for way, block in enumerate(blocks):
+            if not block.valid:
+                return way
+        return None
+
+
+class LRUPolicy(ReplacementPolicy):
+    """True least-recently-used replacement."""
+
+    def __init__(self, num_sets: int, associativity: int) -> None:
+        super().__init__(num_sets, associativity)
+        self._tick = 0
+        self._last_use = np.zeros((num_sets, associativity), dtype=np.int64)
+
+    def on_access(self, set_index: int, way: int) -> None:
+        """Record a use timestamp."""
+        self._check(set_index, way)
+        self._tick += 1
+        self._last_use[set_index, way] = self._tick
+
+    def on_fill(self, set_index: int, way: int) -> None:
+        """A fill counts as a use."""
+        self.on_access(set_index, way)
+
+    def victim(self, set_index: int, blocks: list[CacheBlock]) -> int:
+        """Evict an invalid way if any, otherwise the least recently used."""
+        self._check(set_index)
+        invalid = self._first_invalid(blocks)
+        if invalid is not None:
+            return invalid
+        return int(np.argmin(self._last_use[set_index]))
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """First-in-first-out replacement: evict the oldest fill."""
+
+    def __init__(self, num_sets: int, associativity: int) -> None:
+        super().__init__(num_sets, associativity)
+        self._tick = 0
+        self._fill_time = np.zeros((num_sets, associativity), dtype=np.int64)
+
+    def on_access(self, set_index: int, way: int) -> None:
+        """Accesses do not affect FIFO order."""
+        self._check(set_index, way)
+
+    def on_fill(self, set_index: int, way: int) -> None:
+        """Record the fill timestamp."""
+        self._check(set_index, way)
+        self._tick += 1
+        self._fill_time[set_index, way] = self._tick
+
+    def victim(self, set_index: int, blocks: list[CacheBlock]) -> int:
+        """Evict an invalid way if any, otherwise the oldest fill."""
+        self._check(set_index)
+        invalid = self._first_invalid(blocks)
+        if invalid is not None:
+            return invalid
+        return int(np.argmin(self._fill_time[set_index]))
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniform random victim selection."""
+
+    def __init__(self, num_sets: int, associativity: int, seed: int = 1) -> None:
+        super().__init__(num_sets, associativity)
+        self._rng = np.random.default_rng(seed)
+
+    def on_access(self, set_index: int, way: int) -> None:
+        """Random replacement keeps no access state."""
+        self._check(set_index, way)
+
+    def on_fill(self, set_index: int, way: int) -> None:
+        """Random replacement keeps no fill state."""
+        self._check(set_index, way)
+
+    def victim(self, set_index: int, blocks: list[CacheBlock]) -> int:
+        """Evict an invalid way if any, otherwise a uniformly random way."""
+        self._check(set_index)
+        invalid = self._first_invalid(blocks)
+        if invalid is not None:
+            return invalid
+        return int(self._rng.integers(0, self._associativity))
+
+
+class TreePLRUPolicy(ReplacementPolicy):
+    """Binary-tree pseudo-LRU (the common hardware approximation).
+
+    Requires a power-of-two associativity; each set keeps ``ways - 1`` tree
+    bits.  On an access the bits along the path to the accessed way are set
+    to point *away* from it; the victim is found by following the bits.
+    """
+
+    def __init__(self, num_sets: int, associativity: int) -> None:
+        super().__init__(num_sets, associativity)
+        if associativity & (associativity - 1):
+            raise ReplacementError("tree PLRU requires a power-of-two associativity")
+        self._tree = np.zeros((num_sets, max(associativity - 1, 1)), dtype=np.int8)
+
+    def _update_path(self, set_index: int, way: int) -> None:
+        node = 0
+        low, high = 0, self._associativity
+        while high - low > 1:
+            mid = (low + high) // 2
+            if way < mid:
+                self._tree[set_index, node] = 1  # point to the upper half
+                node = 2 * node + 1
+                high = mid
+            else:
+                self._tree[set_index, node] = 0  # point to the lower half
+                node = 2 * node + 2
+                low = mid
+
+    def on_access(self, set_index: int, way: int) -> None:
+        """Flip the tree bits along the accessed way's path."""
+        self._check(set_index, way)
+        if self._associativity > 1:
+            self._update_path(set_index, way)
+
+    def on_fill(self, set_index: int, way: int) -> None:
+        """A fill counts as a use."""
+        self.on_access(set_index, way)
+
+    def victim(self, set_index: int, blocks: list[CacheBlock]) -> int:
+        """Follow the tree bits to the pseudo-LRU way."""
+        self._check(set_index)
+        invalid = self._first_invalid(blocks)
+        if invalid is not None:
+            return invalid
+        if self._associativity == 1:
+            return 0
+        node = 0
+        low, high = 0, self._associativity
+        while high - low > 1:
+            mid = (low + high) // 2
+            if self._tree[set_index, node]:
+                # The bit points away from the lower half: victim is above.
+                node = 2 * node + 2
+                low = mid
+            else:
+                node = 2 * node + 1
+                high = mid
+        return low
+
+
+class LERPolicy(ReplacementPolicy):
+    """Least-error-rate replacement (paper reference [13]).
+
+    Evicts the valid block with the largest accumulated unchecked-read
+    exposure — the block most likely to hold an uncorrectable error — with
+    recency (tracked like LRU) as the tie-breaker.
+    """
+
+    def __init__(self, num_sets: int, associativity: int) -> None:
+        super().__init__(num_sets, associativity)
+        self._tick = 0
+        self._last_use = np.zeros((num_sets, associativity), dtype=np.int64)
+
+    def on_access(self, set_index: int, way: int) -> None:
+        """Record a use timestamp for tie-breaking."""
+        self._check(set_index, way)
+        self._tick += 1
+        self._last_use[set_index, way] = self._tick
+
+    def on_fill(self, set_index: int, way: int) -> None:
+        """A fill counts as a use."""
+        self.on_access(set_index, way)
+
+    def victim(self, set_index: int, blocks: list[CacheBlock]) -> int:
+        """Evict an invalid way, else the most disturbance-exposed block."""
+        self._check(set_index)
+        invalid = self._first_invalid(blocks)
+        if invalid is not None:
+            return invalid
+        best_way = 0
+        best_key: tuple[int, int] | None = None
+        for way, block in enumerate(blocks):
+            # Higher exposure first; older (smaller timestamp) breaks ties.
+            key = (block.unchecked_reads, -int(self._last_use[set_index, way]))
+            if best_key is None or key > best_key:
+                best_key = key
+                best_way = way
+        return best_way
+
+
+def build_replacement_policy(
+    name: ReplacementPolicyName, num_sets: int, associativity: int, seed: int = 1
+) -> ReplacementPolicy:
+    """Instantiate a replacement policy by configuration name."""
+    if name is ReplacementPolicyName.LRU:
+        return LRUPolicy(num_sets, associativity)
+    if name is ReplacementPolicyName.FIFO:
+        return FIFOPolicy(num_sets, associativity)
+    if name is ReplacementPolicyName.RANDOM:
+        return RandomPolicy(num_sets, associativity, seed=seed)
+    if name is ReplacementPolicyName.PLRU:
+        return TreePLRUPolicy(num_sets, associativity)
+    if name is ReplacementPolicyName.LER:
+        return LERPolicy(num_sets, associativity)
+    raise ReplacementError(f"unknown replacement policy: {name}")

@@ -1,0 +1,208 @@
+"""Command-line interface for the REAP-cache reproduction.
+
+One executable, several sub-commands, each regenerating a piece of the
+paper's evaluation and printing it as a fixed-width text table (optionally
+also exporting CSV/JSON):
+
+* ``repro-reap table1``   — Table I, the evaluated cache configuration.
+* ``repro-reap example``  — the Section III-B / IV worked example.
+* ``repro-reap fig3``     — concealed-read characterisation (Fig. 3).
+* ``repro-reap fig5``     — MTTF improvement per workload (Fig. 5).
+* ``repro-reap fig6``     — dynamic-energy overhead per workload (Fig. 6).
+* ``repro-reap overheads``— area and access-time reports (Section V-B).
+* ``repro-reap workloads``— list the available SPEC-named profiles.
+
+The interface is intentionally thin: it parses arguments, builds
+:class:`repro.sim.ExperimentSettings`, calls the analysis builders and prints
+the rendered output, so everything it does is equally reachable from Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .analysis import (
+    build_area_table,
+    build_figure3,
+    build_figure5,
+    build_figure6,
+    build_latency_table,
+    build_table1,
+    numeric_example,
+    render_area_report,
+    render_figure3,
+    render_figure5,
+    render_figure6,
+    render_latency_report,
+    render_numeric_example,
+    render_table1,
+)
+from .analysis.export import figure3_to_csv, figure5_to_csv, figure6_to_csv
+from .sim import ExperimentSettings, format_table
+from .workloads import FIGURE3_WORKLOADS, all_profiles, get_profile
+
+
+def _settings_from_args(args: argparse.Namespace) -> ExperimentSettings:
+    return ExperimentSettings(
+        num_accesses=args.accesses,
+        p_cell=args.p_cell,
+        ones_count=args.ones,
+        seed=args.seed,
+    )
+
+
+def _add_simulation_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--accesses",
+        type=int,
+        default=50_000,
+        help="L2 accesses to simulate per workload (default: 50000)",
+    )
+    parser.add_argument(
+        "--p-cell",
+        type=float,
+        default=1e-8,
+        dest="p_cell",
+        help="per-read, per-cell disturbance probability (default: 1e-8)",
+    )
+    parser.add_argument(
+        "--ones",
+        type=int,
+        default=100,
+        help="'1' cells per 512-bit block (default: 100, the paper's example)",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="random seed (default: 1)")
+    parser.add_argument(
+        "--csv", type=str, default=None, help="also write the series to this CSV file"
+    )
+
+
+def _cmd_table1(_args: argparse.Namespace) -> int:
+    print(render_table1(build_table1()))
+    return 0
+
+
+def _cmd_example(args: argparse.Namespace) -> int:
+    example = numeric_example(p_cell=args.p_cell, num_ones=args.ones, num_reads=args.reads)
+    print(render_numeric_example(example))
+    return 0
+
+
+def _cmd_fig3(args: argparse.Namespace) -> int:
+    settings = _settings_from_args(args)
+    workloads = args.workloads or list(FIGURE3_WORKLOADS)
+    for workload in workloads:
+        series = build_figure3(workload, settings=settings)
+        print(render_figure3(series))
+        print()
+        if args.csv:
+            path = figure3_to_csv(series, f"{args.csv.rstrip('.csv')}_{workload}.csv")
+            print(f"[wrote {path}]")
+    return 0
+
+
+def _cmd_fig5(args: argparse.Namespace) -> int:
+    settings = _settings_from_args(args)
+    workloads = args.workloads or None
+    data = build_figure5(workloads=workloads, settings=settings)
+    print(render_figure5(data))
+    if args.csv:
+        print(f"[wrote {figure5_to_csv(data, args.csv)}]")
+    return 0
+
+
+def _cmd_fig6(args: argparse.Namespace) -> int:
+    settings = _settings_from_args(args)
+    workloads = args.workloads or None
+    data = build_figure6(workloads=workloads, settings=settings)
+    print(render_figure6(data))
+    if args.csv:
+        print(f"[wrote {figure6_to_csv(data, args.csv)}]")
+    return 0
+
+
+def _cmd_overheads(_args: argparse.Namespace) -> int:
+    print(render_area_report(build_area_table()))
+    print()
+    print(render_latency_report(build_latency_table()))
+    return 0
+
+
+def _cmd_workloads(_args: argparse.Namespace) -> int:
+    rows = [
+        [
+            profile.name,
+            profile.write_fraction,
+            profile.stable_traffic_share,
+            profile.cold_gap_median,
+            profile.description[:60],
+        ]
+        for profile in all_profiles()
+    ]
+    print(
+        format_table(
+            ["workload", "write fraction", "stable share", "cold gap median", "description"],
+            rows,
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-reap",
+        description="Regenerate the REAP-cache paper's tables and figures.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("table1", help="print Table I").set_defaults(handler=_cmd_table1)
+
+    example = subparsers.add_parser("example", help="Section III-B / IV worked example")
+    example.add_argument("--p-cell", type=float, default=1e-8, dest="p_cell")
+    example.add_argument("--ones", type=int, default=100)
+    example.add_argument("--reads", type=int, default=50)
+    example.set_defaults(handler=_cmd_example)
+
+    fig3 = subparsers.add_parser("fig3", help="concealed-read characterisation (Fig. 3)")
+    _add_simulation_arguments(fig3)
+    fig3.add_argument("workloads", nargs="*", help="workloads (default: the paper's four)")
+    fig3.set_defaults(handler=_cmd_fig3)
+
+    fig5 = subparsers.add_parser("fig5", help="MTTF improvement per workload (Fig. 5)")
+    _add_simulation_arguments(fig5)
+    fig5.add_argument("workloads", nargs="*", help="workloads (default: the full suite)")
+    fig5.set_defaults(handler=_cmd_fig5)
+
+    fig6 = subparsers.add_parser("fig6", help="dynamic-energy overhead per workload (Fig. 6)")
+    _add_simulation_arguments(fig6)
+    fig6.add_argument("workloads", nargs="*", help="workloads (default: the full suite)")
+    fig6.set_defaults(handler=_cmd_fig6)
+
+    subparsers.add_parser(
+        "overheads", help="area and access-time overhead reports (Section V-B)"
+    ).set_defaults(handler=_cmd_overheads)
+
+    subparsers.add_parser(
+        "workloads", help="list the available SPEC-named workload profiles"
+    ).set_defaults(handler=_cmd_workloads)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    # Validate workload names early so typos fail with a clear message.
+    workloads = getattr(args, "workloads", None)
+    if workloads:
+        for name in workloads:
+            get_profile(name)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution convenience
+    sys.exit(main())

@@ -1,0 +1,491 @@
+"""Configuration dataclasses for devices, caches, and simulations.
+
+The defaults reproduce the paper's setup:
+
+* Table I cache hierarchy: 32 KB 4-way L1 I/D caches in SRAM and a shared
+  1 MB 8-way L2 cache in STT-MRAM, all with 64-byte blocks and write-back
+  policy.
+* An MTJ operating point whose per-read disturbance probability lands in the
+  1e-8 ... 1e-7 range the paper uses for its numeric examples (Section III-B).
+
+Every configuration object validates itself in ``__post_init__`` and can be
+round-tripped through plain dictionaries (``to_dict`` / ``from_dict``) so
+experiments can be described in JSON files.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, fields
+from enum import Enum
+from pathlib import Path
+from typing import Any, Mapping
+
+from .errors import ConfigurationError
+from .units import is_power_of_two, log2_exact, kib, mib, ns
+
+
+class MemoryTechnology(str, Enum):
+    """Storage technology of a cache level."""
+
+    SRAM = "sram"
+    STT_MRAM = "stt-mram"
+
+
+class WritePolicy(str, Enum):
+    """Cache write policy."""
+
+    WRITE_BACK = "write-back"
+    WRITE_THROUGH = "write-through"
+
+
+class ReplacementPolicyName(str, Enum):
+    """Replacement policies available in :mod:`repro.cache.replacement`."""
+
+    LRU = "lru"
+    FIFO = "fifo"
+    RANDOM = "random"
+    PLRU = "plru"
+    LER = "ler"
+
+
+class ReadPathMode(str, Enum):
+    """Read-path organisation of a cache level.
+
+    * ``PARALLEL`` — the conventional "fast access" mode: all ways of the set
+      are read in parallel with tag comparison; only the selected way goes
+      through the single ECC decoder (paper Fig. 2).
+    * ``SERIAL``   — tag comparison first, then only the hitting way is read
+      (no concealed reads, but longer access time).
+    * ``REAP``     — parallel access, but the ECC decoder is replicated per
+      way and placed before the MUX so every speculative read is checked and
+      scrubbed (paper Fig. 4).
+    """
+
+    PARALLEL = "parallel"
+    SERIAL = "serial"
+    REAP = "reap"
+
+
+class ECCKind(str, Enum):
+    """Error-correcting code families supported by :mod:`repro.ecc`."""
+
+    NONE = "none"
+    PARITY = "parity"
+    HAMMING_SEC = "hamming-sec"
+    HAMMING_SECDED = "hamming-secded"
+    INTERLEAVED_SECDED = "interleaved-secded"
+
+
+@dataclass(frozen=True)
+class MTJConfig:
+    """Magnetic-tunnel-junction operating point.
+
+    Attributes:
+        thermal_stability: Thermal stability factor Δ (typically 40-80).
+        read_current_ua: Read current I_read in microamperes.
+        critical_current_ua: Critical switching current I_C0 at 0 K in
+            microamperes; the read current must stay below it.
+        read_pulse_width_ns: Read pulse width t_read in nanoseconds.
+        attempt_period_ns: Attempt period τ in nanoseconds (paper assumes 1).
+        write_pulse_width_ns: Write pulse width in nanoseconds.  The default
+            (35 ns at 1.2x the critical current) keeps the per-bit write
+            failure probability in the 1e-15 range, representative of a
+            cache-grade STT-MRAM write with margin.
+        write_current_ua: Write current in microamperes.
+        temperature_k: Operating temperature in kelvin.
+    """
+
+    thermal_stability: float = 60.0
+    read_current_ua: float = 40.0
+    critical_current_ua: float = 100.0
+    read_pulse_width_ns: float = 2.0
+    attempt_period_ns: float = 1.0
+    write_pulse_width_ns: float = 35.0
+    write_current_ua: float = 120.0
+    temperature_k: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.thermal_stability <= 0:
+            raise ConfigurationError("thermal_stability must be positive")
+        if self.read_current_ua <= 0:
+            raise ConfigurationError("read_current_ua must be positive")
+        if self.critical_current_ua <= 0:
+            raise ConfigurationError("critical_current_ua must be positive")
+        if self.read_current_ua >= self.critical_current_ua:
+            raise ConfigurationError(
+                "read_current_ua must be below critical_current_ua; "
+                f"got {self.read_current_ua} >= {self.critical_current_ua}"
+            )
+        if self.read_pulse_width_ns <= 0:
+            raise ConfigurationError("read_pulse_width_ns must be positive")
+        if self.attempt_period_ns <= 0:
+            raise ConfigurationError("attempt_period_ns must be positive")
+        if self.write_pulse_width_ns <= 0:
+            raise ConfigurationError("write_pulse_width_ns must be positive")
+        if self.write_current_ua <= 0:
+            raise ConfigurationError("write_current_ua must be positive")
+        if self.temperature_k <= 0:
+            raise ConfigurationError("temperature_k must be positive")
+
+    @property
+    def read_pulse_width_s(self) -> float:
+        """Read pulse width in seconds."""
+        return ns(self.read_pulse_width_ns)
+
+    @property
+    def attempt_period_s(self) -> float:
+        """Attempt period in seconds."""
+        return ns(self.attempt_period_ns)
+
+    @property
+    def read_current_ratio(self) -> float:
+        """I_read / I_C0, the fraction of the critical current used to read."""
+        return self.read_current_ua / self.critical_current_ua
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise to a plain dictionary."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MTJConfig":
+        """Build from a plain dictionary, ignoring unknown keys."""
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+@dataclass(frozen=True)
+class ECCConfig:
+    """ECC protection applied to each cache block.
+
+    Attributes:
+        kind: Which code family to use.
+        interleaving_degree: For interleaved codes, how many independent
+            codewords the block is split into (ignored otherwise).
+    """
+
+    kind: ECCKind = ECCKind.HAMMING_SEC
+    interleaving_degree: int = 1
+
+    def __post_init__(self) -> None:
+        if isinstance(self.kind, str) and not isinstance(self.kind, ECCKind):
+            object.__setattr__(self, "kind", ECCKind(self.kind))
+        if self.interleaving_degree < 1:
+            raise ConfigurationError("interleaving_degree must be >= 1")
+        if (
+            self.kind is not ECCKind.INTERLEAVED_SECDED
+            and self.interleaving_degree != 1
+        ):
+            raise ConfigurationError(
+                "interleaving_degree is only meaningful for interleaved codes"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise to a plain dictionary."""
+        return {"kind": self.kind.value, "interleaving_degree": self.interleaving_degree}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ECCConfig":
+        """Build from a plain dictionary."""
+        return cls(
+            kind=ECCKind(data.get("kind", ECCKind.HAMMING_SEC)),
+            interleaving_degree=int(data.get("interleaving_degree", 1)),
+        )
+
+
+@dataclass(frozen=True)
+class CacheLevelConfig:
+    """Geometry and organisation of one cache level.
+
+    Attributes:
+        name: Human-readable level name, e.g. ``"L2"``.
+        size_bytes: Total data capacity in bytes.
+        associativity: Number of ways per set.
+        block_size_bytes: Cache-block (line) size in bytes.
+        technology: SRAM or STT-MRAM.
+        write_policy: Write-back or write-through.
+        replacement: Replacement policy.
+        read_path: Read-path organisation (parallel / serial / REAP).
+        ecc: ECC protection of data blocks.
+        address_bits: Width of the physical address in bits.
+    """
+
+    name: str
+    size_bytes: int
+    associativity: int
+    block_size_bytes: int = 64
+    technology: MemoryTechnology = MemoryTechnology.SRAM
+    write_policy: WritePolicy = WritePolicy.WRITE_BACK
+    replacement: ReplacementPolicyName = ReplacementPolicyName.LRU
+    read_path: ReadPathMode = ReadPathMode.PARALLEL
+    ecc: ECCConfig = field(default_factory=ECCConfig)
+    address_bits: int = 48
+
+    def __post_init__(self) -> None:
+        for attr in ("technology", "write_policy", "replacement", "read_path"):
+            value = getattr(self, attr)
+            if isinstance(value, str) and not isinstance(value, Enum):
+                enum_type = {
+                    "technology": MemoryTechnology,
+                    "write_policy": WritePolicy,
+                    "replacement": ReplacementPolicyName,
+                    "read_path": ReadPathMode,
+                }[attr]
+                object.__setattr__(self, attr, enum_type(value))
+        if not self.name:
+            raise ConfigurationError("cache level name must be non-empty")
+        if self.size_bytes <= 0:
+            raise ConfigurationError("size_bytes must be positive")
+        if self.associativity <= 0:
+            raise ConfigurationError("associativity must be positive")
+        if self.block_size_bytes <= 0:
+            raise ConfigurationError("block_size_bytes must be positive")
+        if not is_power_of_two(self.block_size_bytes):
+            raise ConfigurationError("block_size_bytes must be a power of two")
+        if self.size_bytes % (self.block_size_bytes * self.associativity) != 0:
+            raise ConfigurationError(
+                "size_bytes must be a multiple of block_size_bytes * associativity"
+            )
+        if not is_power_of_two(self.num_sets):
+            raise ConfigurationError(
+                f"number of sets ({self.num_sets}) must be a power of two"
+            )
+        if self.address_bits <= self.offset_bits + self.index_bits:
+            raise ConfigurationError(
+                "address_bits too small for the chosen geometry"
+            )
+
+    # -- derived geometry ---------------------------------------------------
+
+    @property
+    def num_blocks(self) -> int:
+        """Total number of cache blocks."""
+        return self.size_bytes // self.block_size_bytes
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets."""
+        return self.num_blocks // self.associativity
+
+    @property
+    def offset_bits(self) -> int:
+        """Number of block-offset bits in an address."""
+        return log2_exact(self.block_size_bytes)
+
+    @property
+    def index_bits(self) -> int:
+        """Number of set-index bits in an address."""
+        return log2_exact(self.num_sets)
+
+    @property
+    def tag_bits(self) -> int:
+        """Number of tag bits in an address."""
+        return self.address_bits - self.offset_bits - self.index_bits
+
+    @property
+    def block_size_bits(self) -> int:
+        """Cache-block size in bits."""
+        return self.block_size_bytes * 8
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise to a plain dictionary."""
+        return {
+            "name": self.name,
+            "size_bytes": self.size_bytes,
+            "associativity": self.associativity,
+            "block_size_bytes": self.block_size_bytes,
+            "technology": self.technology.value,
+            "write_policy": self.write_policy.value,
+            "replacement": self.replacement.value,
+            "read_path": self.read_path.value,
+            "ecc": self.ecc.to_dict(),
+            "address_bits": self.address_bits,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CacheLevelConfig":
+        """Build from a plain dictionary."""
+        payload = dict(data)
+        ecc_data = payload.pop("ecc", None)
+        ecc = ECCConfig.from_dict(ecc_data) if ecc_data is not None else ECCConfig()
+        known = {f.name for f in fields(cls)} - {"ecc"}
+        return cls(ecc=ecc, **{k: v for k, v in payload.items() if k in known})
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Two-level cache hierarchy as in the paper's Table I."""
+
+    l1i: CacheLevelConfig
+    l1d: CacheLevelConfig
+    l2: CacheLevelConfig
+
+    def __post_init__(self) -> None:
+        if self.l1i.block_size_bytes != self.l2.block_size_bytes:
+            raise ConfigurationError("L1I and L2 block sizes must match")
+        if self.l1d.block_size_bytes != self.l2.block_size_bytes:
+            raise ConfigurationError("L1D and L2 block sizes must match")
+        if self.l2.size_bytes < self.l1d.size_bytes:
+            raise ConfigurationError("L2 must be at least as large as L1D")
+
+    def levels(self) -> tuple[CacheLevelConfig, CacheLevelConfig, CacheLevelConfig]:
+        """Return the (L1I, L1D, L2) level configurations."""
+        return (self.l1i, self.l1d, self.l2)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise to a plain dictionary."""
+        return {
+            "l1i": self.l1i.to_dict(),
+            "l1d": self.l1d.to_dict(),
+            "l2": self.l2.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "HierarchyConfig":
+        """Build from a plain dictionary."""
+        return cls(
+            l1i=CacheLevelConfig.from_dict(data["l1i"]),
+            l1d=CacheLevelConfig.from_dict(data["l1d"]),
+            l2=CacheLevelConfig.from_dict(data["l2"]),
+        )
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Global simulation parameters.
+
+    Attributes:
+        mtj: MTJ operating point for the STT-MRAM level(s).
+        hierarchy: Two-level cache hierarchy.
+        clock_frequency_ghz: Core clock used to convert cycles to time.
+        l2_read_latency_cycles: L2 hit latency in cycles.
+        l2_write_latency_cycles: L2 write latency in cycles.
+        memory_latency_cycles: Main-memory latency in cycles.
+        seed: Default random seed for generators and Monte-Carlo runs.
+    """
+
+    mtj: MTJConfig = field(default_factory=MTJConfig)
+    hierarchy: "HierarchyConfig" = None  # type: ignore[assignment]
+    clock_frequency_ghz: float = 2.0
+    l2_read_latency_cycles: int = 20
+    l2_write_latency_cycles: int = 30
+    memory_latency_cycles: int = 200
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.hierarchy is None:
+            object.__setattr__(self, "hierarchy", paper_hierarchy())
+        if self.clock_frequency_ghz <= 0:
+            raise ConfigurationError("clock_frequency_ghz must be positive")
+        for attr in (
+            "l2_read_latency_cycles",
+            "l2_write_latency_cycles",
+            "memory_latency_cycles",
+        ):
+            if getattr(self, attr) <= 0:
+                raise ConfigurationError(f"{attr} must be positive")
+
+    @property
+    def cycle_time_s(self) -> float:
+        """Duration of one clock cycle in seconds."""
+        return 1e-9 / self.clock_frequency_ghz
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise to a plain dictionary."""
+        return {
+            "mtj": self.mtj.to_dict(),
+            "hierarchy": self.hierarchy.to_dict(),
+            "clock_frequency_ghz": self.clock_frequency_ghz,
+            "l2_read_latency_cycles": self.l2_read_latency_cycles,
+            "l2_write_latency_cycles": self.l2_write_latency_cycles,
+            "memory_latency_cycles": self.memory_latency_cycles,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SimulationConfig":
+        """Build from a plain dictionary."""
+        payload = dict(data)
+        mtj = MTJConfig.from_dict(payload.pop("mtj", {}))
+        hierarchy_data = payload.pop("hierarchy", None)
+        hierarchy = (
+            HierarchyConfig.from_dict(hierarchy_data)
+            if hierarchy_data is not None
+            else paper_hierarchy()
+        )
+        known = {f.name for f in fields(cls)} - {"mtj", "hierarchy"}
+        return cls(
+            mtj=mtj,
+            hierarchy=hierarchy,
+            **{k: v for k, v in payload.items() if k in known},
+        )
+
+    def to_json(self, path: str | Path) -> None:
+        """Write this configuration to a JSON file."""
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+
+    @classmethod
+    def from_json(cls, path: str | Path) -> "SimulationConfig":
+        """Load a configuration from a JSON file."""
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+# ---------------------------------------------------------------------------
+# Paper defaults (Table I)
+# ---------------------------------------------------------------------------
+
+
+def paper_l1i_config() -> CacheLevelConfig:
+    """L1 instruction cache from Table I: 32 KB, 4-way, 64 B blocks, SRAM."""
+    return CacheLevelConfig(
+        name="L1I",
+        size_bytes=kib(32),
+        associativity=4,
+        block_size_bytes=64,
+        technology=MemoryTechnology.SRAM,
+        write_policy=WritePolicy.WRITE_BACK,
+        ecc=ECCConfig(kind=ECCKind.NONE),
+    )
+
+
+def paper_l1d_config() -> CacheLevelConfig:
+    """L1 data cache from Table I: 32 KB, 4-way, 64 B blocks, SRAM."""
+    return CacheLevelConfig(
+        name="L1D",
+        size_bytes=kib(32),
+        associativity=4,
+        block_size_bytes=64,
+        technology=MemoryTechnology.SRAM,
+        write_policy=WritePolicy.WRITE_BACK,
+        ecc=ECCConfig(kind=ECCKind.NONE),
+    )
+
+
+def paper_l2_config(read_path: ReadPathMode = ReadPathMode.PARALLEL) -> CacheLevelConfig:
+    """Shared L2 from Table I: 1 MB, 8-way, 64 B blocks, STT-MRAM, SEC ECC."""
+    return CacheLevelConfig(
+        name="L2",
+        size_bytes=mib(1),
+        associativity=8,
+        block_size_bytes=64,
+        technology=MemoryTechnology.STT_MRAM,
+        write_policy=WritePolicy.WRITE_BACK,
+        read_path=read_path,
+        ecc=ECCConfig(kind=ECCKind.HAMMING_SEC),
+    )
+
+
+def paper_hierarchy(read_path: ReadPathMode = ReadPathMode.PARALLEL) -> HierarchyConfig:
+    """Full Table I hierarchy with the chosen L2 read-path organisation."""
+    return HierarchyConfig(
+        l1i=paper_l1i_config(),
+        l1d=paper_l1d_config(),
+        l2=paper_l2_config(read_path=read_path),
+    )
+
+
+def paper_simulation_config(
+    read_path: ReadPathMode = ReadPathMode.PARALLEL, seed: int = 1
+) -> SimulationConfig:
+    """Complete paper-default simulation configuration."""
+    return SimulationConfig(hierarchy=paper_hierarchy(read_path=read_path), seed=seed)

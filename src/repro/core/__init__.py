@@ -1,0 +1,40 @@
+"""The paper's contribution: REAP-cache and the schemes it is compared against.
+
+Public surface:
+
+* :class:`ProtectedCache` — base class tying the substrate together.
+* :class:`ConventionalCache` — the parallel-access baseline (Fig. 2).
+* :class:`REAPCache` — the proposed scheme (Fig. 4).
+* :class:`SerialAccessCache` — tag-first alternative (no concealed reads,
+  slower access).
+* :class:`RestoreCache` — disruptive-read-and-restore baseline ([14], [15]).
+* :class:`ScrubbingCache` — patrol-scrubbing baseline (extension).
+* :class:`ProtectionScheme` / :func:`build_protected_cache` — registry.
+* :class:`ReliabilityEngine`, :class:`DeliveryOutcome`,
+  :class:`DataValueProfile` — supporting pieces.
+"""
+
+from .conventional import ConventionalCache
+from .data_profile import DataValueProfile
+from .engine import DeliveryOutcome, ReliabilityEngine
+from .protected import ProtectedCache
+from .reap import REAPCache
+from .restore import RestoreCache
+from .schemes import SCHEME_CLASSES, ProtectionScheme, build_protected_cache
+from .scrubbing import ScrubbingCache
+from .serial import SerialAccessCache
+
+__all__ = [
+    "ProtectedCache",
+    "ConventionalCache",
+    "REAPCache",
+    "SerialAccessCache",
+    "RestoreCache",
+    "ScrubbingCache",
+    "ProtectionScheme",
+    "SCHEME_CLASSES",
+    "build_protected_cache",
+    "ReliabilityEngine",
+    "DeliveryOutcome",
+    "DataValueProfile",
+]

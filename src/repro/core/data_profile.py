@@ -1,0 +1,91 @@
+"""Data-value profile: how many '1' cells a freshly written block holds.
+
+Read disturbance is unidirectional — only cells storing '1' can flip — so the
+reliability of a block depends on its *ones count*.  The simulator does not
+track actual 64-byte data values; instead, every fill or overwrite samples a
+ones count from a :class:`DataValueProfile`.
+
+The default profile centres on ~20% ones (about 100 of 512 bits), matching
+the paper's Section III-B worked example; real data skews toward zeros
+because of small integers, pointers with common prefixes, and padding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+class DataValueProfile:
+    """Samples per-block ones counts from a clipped-normal + binomial model."""
+
+    def __init__(
+        self,
+        block_bits: int = 512,
+        ones_fraction_mean: float = 0.2,
+        ones_fraction_std: float = 0.05,
+        seed: int = 1,
+    ) -> None:
+        """Create a profile.
+
+        Args:
+            block_bits: Data bits per block (512 for 64-byte blocks).
+            ones_fraction_mean: Mean fraction of '1' cells per block.
+            ones_fraction_std: Standard deviation of the per-block fraction;
+                zero makes every block identical.
+            seed: Seed of the internal random generator.
+        """
+        if block_bits <= 0:
+            raise ConfigurationError("block_bits must be positive")
+        if not 0.0 <= ones_fraction_mean <= 1.0:
+            raise ConfigurationError("ones_fraction_mean must be in [0, 1]")
+        if ones_fraction_std < 0.0:
+            raise ConfigurationError("ones_fraction_std must be non-negative")
+        self._block_bits = block_bits
+        self._mean = ones_fraction_mean
+        self._std = ones_fraction_std
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def block_bits(self) -> int:
+        """Data bits per block."""
+        return self._block_bits
+
+    @property
+    def mean_ones(self) -> float:
+        """Expected ones count of a sampled block."""
+        return self._mean * self._block_bits
+
+    def sample(self) -> int:
+        """Sample the ones count of one block."""
+        if self._std == 0.0:
+            fraction = self._mean
+        else:
+            fraction = float(
+                np.clip(self._rng.normal(self._mean, self._std), 0.0, 1.0)
+            )
+        return int(self._rng.binomial(self._block_bits, fraction))
+
+    def sample_many(self, count: int) -> np.ndarray:
+        """Sample ``count`` ones counts at once."""
+        if count < 0:
+            raise ConfigurationError("count must be non-negative")
+        return np.array([self.sample() for _ in range(count)], dtype=np.int64)
+
+    @classmethod
+    def constant(cls, ones_count: int, block_bits: int = 512) -> "DataValueProfile":
+        """A degenerate profile where every block holds exactly ``ones_count`` ones.
+
+        Useful for pinning experiments to the paper's 100-of-512 example.
+        """
+        if not 0 <= ones_count <= block_bits:
+            raise ConfigurationError("ones_count must be within the block width")
+        profile = cls(
+            block_bits=block_bits,
+            ones_fraction_mean=ones_count / block_bits,
+            ones_fraction_std=0.0,
+        )
+        # Replace the stochastic sampler with an exact constant.
+        profile.sample = lambda: ones_count  # type: ignore[method-assign]
+        return profile

@@ -1,0 +1,228 @@
+"""Reliability engine: turns block exposures into failure probabilities.
+
+The engine is the glue between the cache substrate and the reliability math:
+the protection schemes report which blocks were read concealed, checked, or
+delivered, and the engine
+
+* applies the right closed-form expression (Eq. 2 for a single checked read,
+  Eq. 3 for an accumulated delivery, Eq. 6 for a REAP delivery window),
+* accumulates the expected-failure total that the MTTF metric needs, and
+* feeds the :class:`~repro.reliability.AccumulationTracker` that the Fig. 3
+  characterisation uses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..cache.block import CacheBlock
+from ..cache.statistics import ReliabilityStatistics
+from ..errors import ConfigurationError
+from ..reliability import (
+    AccumulationTracker,
+    accumulated_failure_probability,
+    block_failure_probability,
+    reap_failure_probability,
+)
+
+
+@dataclass(frozen=True)
+class DeliveryOutcome:
+    """Reliability outcome of one demand delivery.
+
+    Attributes:
+        failure_probability: Probability the delivered data was uncorrectable.
+        concealed_reads: Concealed reads the line had accumulated (Fig. 3 x-axis).
+        demand_window: Total reads since the previous delivery (Eq. 6's ``N``).
+        ones_count: Ones count of the delivered block.
+    """
+
+    failure_probability: float
+    concealed_reads: int
+    demand_window: int
+    ones_count: int
+
+
+class ReliabilityEngine:
+    """Tracks disturbance exposure and expected failures for one cache."""
+
+    def __init__(
+        self,
+        p_cell: float,
+        correctable_errors: int = 1,
+        track_accumulation: bool = True,
+        interleaving_lanes: int = 1,
+    ) -> None:
+        """Create an engine.
+
+        Args:
+            p_cell: Per-read, per-cell disturbance probability (corrected
+                Eq. 1, usually taken from
+                :class:`repro.mram.ReadDisturbanceModel`).
+            correctable_errors: ECC correction capability ``t`` per codeword.
+            track_accumulation: Whether to record per-delivery samples for
+                the Fig. 3 histogram (adds memory proportional to the number
+                of demand reads).
+            interleaving_lanes: Number of independent codewords a block is
+                interleaved into.  With ``L`` lanes the disturbances of a
+                block spread evenly across the lanes, so the block fails when
+                *any* lane exceeds its own correction capability; the engine
+                uses the union bound
+                ``L * P[Binomial(trials / L, p) > t]``.
+        """
+        if not 0.0 <= p_cell <= 1.0:
+            raise ConfigurationError("p_cell must be in [0, 1]")
+        if correctable_errors < 0:
+            raise ConfigurationError("correctable_errors must be non-negative")
+        if interleaving_lanes < 1:
+            raise ConfigurationError("interleaving_lanes must be >= 1")
+        self._p_cell = p_cell
+        self._correctable = correctable_errors
+        self._lanes = interleaving_lanes
+        self._stats = ReliabilityStatistics()
+        self._tracker = AccumulationTracker() if track_accumulation else None
+        # Failure probabilities depend only on (ones, window); memoise them so
+        # long traces do not pay a scipy tail computation per delivery.
+        self._accumulated_cache: dict[tuple[int, int], float] = {}
+        self._reap_cache: dict[tuple[int, int], float] = {}
+        self._single_cache: dict[int, float] = {}
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def p_cell(self) -> float:
+        """Per-read, per-cell disturbance probability."""
+        return self._p_cell
+
+    @property
+    def correctable_errors(self) -> int:
+        """ECC correction capability."""
+        return self._correctable
+
+    @property
+    def stats(self) -> ReliabilityStatistics:
+        """Aggregated reliability counters."""
+        return self._stats
+
+    @property
+    def tracker(self) -> AccumulationTracker | None:
+        """Per-delivery accumulation samples (``None`` when tracking is off)."""
+        return self._tracker
+
+    @property
+    def expected_failures(self) -> float:
+        """Total expected uncorrectable deliveries so far."""
+        return self._stats.expected_failures
+
+    # -- event handlers ----------------------------------------------------------
+
+    def on_concealed_read(self, block: CacheBlock) -> None:
+        """A way was speculatively read without an ECC check."""
+        block.record_concealed_read()
+        self._stats.record_concealed()
+
+    def on_scrub_read(self, block: CacheBlock, tick: int = 0) -> None:
+        """A way was read and ECC-checked without being delivered (REAP).
+
+        The check scrubs any accumulated disturbance but does not, by itself,
+        constitute a delivery, so no failure probability is charged here; the
+        exposure is folded into the next delivery through Eq. (6).
+        """
+        block.record_checked_read(demand=False, tick=tick)
+        self._stats.scrub_events += 1
+
+    def on_conventional_delivery(self, block: CacheBlock, tick: int = 0) -> DeliveryOutcome:
+        """A demand read delivered a block whose exposure accumulated (Eq. 3)."""
+        exposure = block.record_checked_read(demand=True, tick=tick)
+        ones = block.ones_count
+        probability = self._accumulated_probability(ones, exposure.unchecked_window)
+        return self._finish_delivery(exposure.unchecked_window, exposure, ones, probability)
+
+    def on_serial_delivery(self, block: CacheBlock, tick: int = 0) -> DeliveryOutcome:
+        """A demand read in a serial (tag-first) cache: no accumulation (Eq. 2)."""
+        exposure = block.record_checked_read(demand=True, tick=tick)
+        ones = block.ones_count
+        probability = self._single_probability(ones)
+        return self._finish_delivery(exposure.unchecked_window, exposure, ones, probability)
+
+    def on_reap_delivery(self, block: CacheBlock, tick: int = 0) -> DeliveryOutcome:
+        """A demand read in REAP: every read in the window was checked (Eq. 6)."""
+        exposure = block.record_checked_read(demand=True, tick=tick)
+        ones = block.ones_count
+        probability = self._reap_probability(ones, exposure.demand_window)
+        return self._finish_delivery(exposure.demand_window, exposure, ones, probability)
+
+    # -- memoised probability lookups ------------------------------------------------
+
+    def _lane_adjusted(self, ones: int, window: int, accumulate: bool) -> float:
+        """Block failure probability with interleaving-lane awareness.
+
+        For a single codeword (``lanes == 1``) this is exactly Eq. (2)/(3);
+        for an ``L``-way interleaved code, each lane sees ``1/L`` of the
+        block's '1' cells and the block fails when any lane does (union
+        bound).
+        """
+        if ones == 0:
+            return 0.0
+        lane_ones = max(1, round(ones / self._lanes)) if self._lanes > 1 else ones
+        if accumulate:
+            per_lane = accumulated_failure_probability(
+                self._p_cell, lane_ones, window, self._correctable
+            )
+        else:
+            per_lane = block_failure_probability(
+                self._p_cell, lane_ones, self._correctable
+            )
+        return min(1.0, self._lanes * per_lane)
+
+    def _single_probability(self, ones: int) -> float:
+        if ones == 0:
+            return 0.0
+        cached = self._single_cache.get(ones)
+        if cached is None:
+            cached = self._lane_adjusted(ones, 1, accumulate=False)
+            self._single_cache[ones] = cached
+        return cached
+
+    def _accumulated_probability(self, ones: int, window: int) -> float:
+        if ones == 0:
+            return 0.0
+        key = (ones, window)
+        cached = self._accumulated_cache.get(key)
+        if cached is None:
+            cached = self._lane_adjusted(ones, window, accumulate=True)
+            self._accumulated_cache[key] = cached
+        return cached
+
+    def _reap_probability(self, ones: int, window: int) -> float:
+        if ones == 0:
+            return 0.0
+        key = (ones, window)
+        cached = self._reap_cache.get(key)
+        if cached is None:
+            if self._lanes == 1:
+                cached = reap_failure_probability(
+                    self._p_cell, ones, window, self._correctable
+                )
+            else:
+                single = self._single_probability(ones)
+                cached = -math.expm1(window * math.log1p(-min(single, 1.0 - 1e-18)))
+            self._reap_cache[key] = cached
+        return cached
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _finish_delivery(
+        self, window: int, exposure, ones: int, probability: float
+    ) -> DeliveryOutcome:
+        self._stats.record_check(window, probability)
+        concealed = exposure.unchecked_window - 1
+        if self._tracker is not None:
+            self._tracker.record(concealed, ones)
+        return DeliveryOutcome(
+            failure_probability=probability,
+            concealed_reads=concealed,
+            demand_window=exposure.demand_window,
+            ones_count=ones,
+        )

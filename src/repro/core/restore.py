@@ -1,0 +1,115 @@
+"""Disruptive-read-and-restore baseline (paper references [14], [15]).
+
+The architecture-level mitigation the paper positions itself against: after
+every read, the sensed value is written back into the line, so disturbance
+cannot accumulate.  The price the paper highlights is twofold:
+
+* every read now also performs a (full-line) write, which lengthens the
+  access and burns STT-MRAM write energy on each of the ``k`` speculatively
+  read ways; and
+* every restore is an extra write *opportunity to fail* — the scheme trades
+  read-disturbance accumulation for write-failure exposure.
+
+The model here keeps the parallel read path (restores are applied to all
+speculatively read ways), charges restore writes to the energy accountant,
+accumulates the restore write-failure probability as additional expected
+failures, and — like REAP — prevents read-disturbance accumulation.
+"""
+
+from __future__ import annotations
+
+from ..cache.cache_set import CacheSet
+from ..cache.readpath import ReadPathEvents
+from ..config import CacheLevelConfig, MTJConfig, ReadPathMode
+from ..mram import WriteErrorModel
+from .data_profile import DataValueProfile
+from .engine import DeliveryOutcome
+from .protected import ProtectedCache
+
+
+class RestoreCache(ProtectedCache):
+    """Parallel-access cache that restores every way after every read."""
+
+    def __init__(
+        self,
+        config: CacheLevelConfig,
+        mtj: MTJConfig | None = None,
+        p_cell: float | None = None,
+        data_profile: DataValueProfile | None = None,
+        seed: int = 1,
+        track_accumulation: bool = True,
+        count_writeback_checks: bool = False,
+    ) -> None:
+        """Create the restore baseline; see :class:`ProtectedCache` for arguments."""
+        super().__init__(
+            config=config,
+            mtj=mtj,
+            p_cell=p_cell,
+            data_profile=data_profile,
+            seed=seed,
+            track_accumulation=track_accumulation,
+            count_writeback_checks=count_writeback_checks,
+        )
+        self._write_error_model = WriteErrorModel(self._mtj)
+        self._restore_expected_failures = 0.0
+        self._restore_count = 0
+
+    @classmethod
+    def read_path_mode(cls) -> ReadPathMode:
+        """Parallel access (the restores are an add-on to the data path)."""
+        return ReadPathMode.PARALLEL
+
+    @classmethod
+    def scheme_name(cls) -> str:
+        """Scheme name used in reports and figures."""
+        return "restore"
+
+    # -- scheme-specific behaviour ------------------------------------------------
+
+    @property
+    def restore_count(self) -> int:
+        """Total line restores performed."""
+        return self._restore_count
+
+    @property
+    def restore_expected_failures(self) -> float:
+        """Expected failures contributed by restore write errors."""
+        return self._restore_expected_failures
+
+    @property
+    def expected_failures(self) -> float:
+        """Read-path failures plus restore write-failure exposure."""
+        return self._engine.expected_failures + self._restore_expected_failures
+
+    def _deliver(self, block) -> DeliveryOutcome:
+        """Deliveries see no accumulation because every read was restored."""
+        return self._engine.on_conventional_delivery(block, tick=self._tick)
+
+    def _apply_read_reliability(
+        self, cache_set: CacheSet, hit_way: int | None, events: ReadPathEvents
+    ) -> DeliveryOutcome | None:
+        """Restore every way that the parallel access touched.
+
+        The restore rewrites the sensed (correct) value, so instead of
+        recording concealed reads we record checked-but-not-delivered reads
+        (which reset the accumulation counters), charge the restore write
+        energy, and accumulate the write-failure probability of rewriting the
+        line's '1' cells.
+        """
+        outcome: DeliveryOutcome | None = None
+        touched_ways = tuple(events.concealed_ways) + tuple(events.checked_ways)
+        for way in touched_ways:
+            block = cache_set.block(way)
+            if hit_way is not None and way == hit_way:
+                outcome = self._deliver(block)
+            else:
+                self._engine.on_scrub_read(block, tick=self._tick)
+            self._account_restore(block)
+        return outcome
+
+    def _account_restore(self, block) -> None:
+        self._restore_count += 1
+        self._energy.record_scrub()
+        self._restore_expected_failures += (
+            self._write_error_model.block_write_failure_probability(block.ones_count)
+        )

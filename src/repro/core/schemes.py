@@ -1,0 +1,77 @@
+"""Protection-scheme registry and factory."""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Type
+
+from ..config import CacheLevelConfig, MTJConfig
+from ..errors import ConfigurationError
+from .conventional import ConventionalCache
+from .data_profile import DataValueProfile
+from .protected import ProtectedCache
+from .reap import REAPCache
+from .restore import RestoreCache
+from .scrubbing import ScrubbingCache
+from .serial import SerialAccessCache
+
+
+class ProtectionScheme(str, Enum):
+    """The L2 protection schemes available to experiments."""
+
+    CONVENTIONAL = "conventional"
+    REAP = "reap"
+    SERIAL = "serial"
+    RESTORE = "restore"
+    SCRUBBING = "scrubbing"
+
+
+SCHEME_CLASSES: dict[ProtectionScheme, Type[ProtectedCache]] = {
+    ProtectionScheme.CONVENTIONAL: ConventionalCache,
+    ProtectionScheme.REAP: REAPCache,
+    ProtectionScheme.SERIAL: SerialAccessCache,
+    ProtectionScheme.RESTORE: RestoreCache,
+    ProtectionScheme.SCRUBBING: ScrubbingCache,
+}
+
+
+def build_protected_cache(
+    scheme: ProtectionScheme | str,
+    config: CacheLevelConfig,
+    mtj: MTJConfig | None = None,
+    p_cell: float | None = None,
+    data_profile: DataValueProfile | None = None,
+    seed: int = 1,
+    track_accumulation: bool = True,
+    count_writeback_checks: bool = False,
+) -> ProtectedCache:
+    """Instantiate a protected L2 cache for the requested scheme.
+
+    Args:
+        scheme: Which protection scheme to build.
+        config: L2 geometry and ECC configuration.
+        mtj: MTJ operating point (defaults to the library default).
+        p_cell: Explicit per-read disturbance probability override.
+        data_profile: Ones-count sampler; a default profile is created when
+            omitted.
+        seed: Seed for the substrate and samplers.
+        track_accumulation: Record per-delivery samples for Fig. 3.
+        count_writeback_checks: Also charge dirty-eviction read-outs.
+
+    Returns:
+        A ready-to-drive :class:`ProtectedCache`.
+    """
+    scheme = ProtectionScheme(scheme)
+    try:
+        cls = SCHEME_CLASSES[scheme]
+    except KeyError as exc:  # pragma: no cover - enum keeps this unreachable
+        raise ConfigurationError(f"unknown protection scheme: {scheme}") from exc
+    return cls(
+        config=config,
+        mtj=mtj,
+        p_cell=p_cell,
+        data_profile=data_profile,
+        seed=seed,
+        track_accumulation=track_accumulation,
+        count_writeback_checks=count_writeback_checks,
+    )

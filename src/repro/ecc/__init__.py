@@ -1,0 +1,36 @@
+"""Error-correcting codes protecting STT-MRAM cache blocks.
+
+Public surface:
+
+* :class:`ECCScheme` / :class:`DecodeResult` / :class:`DecodeStatus` — the
+  codec interface.
+* :class:`ParityCode`, :class:`HammingSECCode`, :class:`HammingSECDEDCode`,
+  :class:`InterleavedSECDEDCode`, :class:`NoECC` — concrete codes.
+* :func:`build_ecc_scheme` — configuration-driven factory.
+* :class:`ECCCostModel` / :class:`CodecCost` / :class:`GateLibrary` —
+  area/energy/latency estimates of encoder and decoder hardware.
+"""
+
+from .base import DecodeResult, DecodeStatus, ECCScheme, as_bit_array
+from .codec_stats import CodecCost, ECCCostModel, GateLibrary
+from .factory import NoECC, build_ecc_scheme
+from .hamming import HammingSECCode, HammingSECDEDCode, parity_bits_for_sec
+from .interleaved import InterleavedSECDEDCode
+from .parity import ParityCode
+
+__all__ = [
+    "ECCScheme",
+    "DecodeResult",
+    "DecodeStatus",
+    "as_bit_array",
+    "ParityCode",
+    "HammingSECCode",
+    "HammingSECDEDCode",
+    "InterleavedSECDEDCode",
+    "NoECC",
+    "parity_bits_for_sec",
+    "build_ecc_scheme",
+    "ECCCostModel",
+    "CodecCost",
+    "GateLibrary",
+]

@@ -1,0 +1,148 @@
+"""Common interface for the ECC codecs used to protect cache blocks.
+
+Every code in :mod:`repro.ecc` implements :class:`ECCScheme`: it encodes a
+data word (a NumPy bit array) into a codeword, and decodes a possibly
+corrupted codeword into a :class:`DecodeResult` describing what happened —
+clean, corrected, detected-but-uncorrectable, or silently miscorrected.
+
+The cache reliability engine uses two facets of a scheme:
+
+* the *bit-true* encode/decode path, exercised by Monte-Carlo fault
+  injection; and
+* the *analytic* facet (:attr:`ECCScheme.correctable_errors`,
+  :attr:`ECCScheme.detectable_errors`), used by the closed-form failure-rate
+  computations of :mod:`repro.reliability`.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ECCDecodingError
+
+
+class DecodeStatus(enum.Enum):
+    """Outcome of decoding one codeword."""
+
+    CLEAN = "clean"
+    CORRECTED = "corrected"
+    DETECTED_UNCORRECTABLE = "detected-uncorrectable"
+    MISCORRECTED = "miscorrected"
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    """Result of decoding a codeword.
+
+    Attributes:
+        data: The decoded data bits (best effort when uncorrectable).
+        status: What the decoder believes happened.
+        corrected_positions: Codeword bit positions the decoder flipped.
+    """
+
+    data: np.ndarray
+    status: DecodeStatus
+    corrected_positions: tuple[int, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """``True`` when the decoder claims the data is correct."""
+        return self.status in (DecodeStatus.CLEAN, DecodeStatus.CORRECTED)
+
+
+def as_bit_array(bits: np.ndarray | list[int], expected_length: int | None = None) -> np.ndarray:
+    """Normalise an input to a ``uint8`` 0/1 array, validating its content.
+
+    Args:
+        bits: Bit sequence as a NumPy array or list.
+        expected_length: When given, the required length.
+
+    Returns:
+        A ``uint8`` array of 0s and 1s.
+
+    Raises:
+        ECCDecodingError: if the input is not a flat 0/1 sequence of the
+            expected length.
+    """
+    array = np.asarray(bits, dtype=np.uint8)
+    if array.ndim != 1:
+        raise ECCDecodingError("bit arrays must be one-dimensional")
+    if array.size and not np.all((array == 0) | (array == 1)):
+        raise ECCDecodingError("bit arrays must contain only 0s and 1s")
+    if expected_length is not None and array.size != expected_length:
+        raise ECCDecodingError(
+            f"expected {expected_length} bits, got {array.size}"
+        )
+    return array
+
+
+class ECCScheme(abc.ABC):
+    """Abstract base class for block ECC codes."""
+
+    def __init__(self, data_bits: int) -> None:
+        if data_bits <= 0:
+            raise ECCDecodingError("data_bits must be positive")
+        self._data_bits = data_bits
+
+    # -- static properties ----------------------------------------------------
+
+    @property
+    def data_bits(self) -> int:
+        """Number of data bits per codeword."""
+        return self._data_bits
+
+    @property
+    @abc.abstractmethod
+    def parity_bits(self) -> int:
+        """Number of check bits added by the code."""
+
+    @property
+    def codeword_bits(self) -> int:
+        """Total codeword length in bits."""
+        return self.data_bits + self.parity_bits
+
+    @property
+    def storage_overhead(self) -> float:
+        """Check-bit overhead as a fraction of the data bits."""
+        return self.parity_bits / self.data_bits
+
+    @property
+    @abc.abstractmethod
+    def correctable_errors(self) -> int:
+        """Maximum number of bit errors the code corrects per codeword."""
+
+    @property
+    @abc.abstractmethod
+    def detectable_errors(self) -> int:
+        """Maximum number of bit errors the code is guaranteed to detect."""
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Short human-readable code name, e.g. ``"SEC(512+10)"``."""
+
+    # -- bit-true path ---------------------------------------------------------
+
+    @abc.abstractmethod
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        """Encode ``data_bits`` data bits into a full codeword."""
+
+    @abc.abstractmethod
+    def decode(self, codeword: np.ndarray) -> DecodeResult:
+        """Decode a codeword, correcting errors within the code's capability."""
+
+    # -- convenience -----------------------------------------------------------
+
+    def roundtrip(self, data: np.ndarray) -> DecodeResult:
+        """Encode then immediately decode (sanity-check helper)."""
+        return self.decode(self.encode(as_bit_array(data, self.data_bits)))
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (
+            f"{type(self).__name__}(data_bits={self.data_bits}, "
+            f"parity_bits={self.parity_bits})"
+        )

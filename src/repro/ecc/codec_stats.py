@@ -1,0 +1,161 @@
+"""Hardware cost model of ECC encoder/decoder units.
+
+The paper's overhead argument (Section V-B) rests on two numbers:
+
+* the ECC decoder contributes **< 1%** of the cache's total energy per
+  access and roughly **0.1%** of its area, so
+* replicating it eight times (one per way of the 8-way L2) keeps the area
+  overhead under 1% and the dynamic-energy overhead around 2.7% on average.
+
+This module provides a gate-level-ish analytic estimate of a Hamming
+encoder/decoder: XOR-tree sizes follow directly from the parity-check
+structure (each check bit covers about half the codeword), and per-gate
+energy/area constants are scaled from a generic 32 nm standard-cell library.
+Absolute numbers are not the point — the *ratios* against the NVSim-like
+array model in :mod:`repro.energy` are what reproduce the paper's overhead
+figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from .base import ECCScheme
+
+
+@dataclass(frozen=True)
+class GateLibrary:
+    """Per-gate constants of the standard-cell library used for estimates.
+
+    Attributes:
+        xor2_area_um2: Area of a 2-input XOR gate in square micrometres.
+        xor2_energy_fj: Switching energy of a 2-input XOR gate in femtojoules.
+        xor2_delay_ps: Propagation delay of a 2-input XOR gate in picoseconds.
+        and2_area_um2: Area of a 2-input AND gate.
+        and2_energy_fj: Switching energy of a 2-input AND gate.
+        activity_factor: Fraction of gates that toggle on a typical access.
+    """
+
+    xor2_area_um2: float = 1.2
+    xor2_energy_fj: float = 1.5
+    xor2_delay_ps: float = 18.0
+    and2_area_um2: float = 0.9
+    and2_energy_fj: float = 1.0
+    activity_factor: float = 0.5
+
+    def __post_init__(self) -> None:
+        for name in (
+            "xor2_area_um2",
+            "xor2_energy_fj",
+            "xor2_delay_ps",
+            "and2_area_um2",
+            "and2_energy_fj",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+        if not 0 < self.activity_factor <= 1:
+            raise ConfigurationError("activity_factor must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class CodecCost:
+    """Estimated hardware cost of one encoder or decoder instance.
+
+    Attributes:
+        area_um2: Silicon area in square micrometres.
+        energy_per_op_pj: Dynamic energy per encode/decode in picojoules.
+        latency_ns: Critical-path latency in nanoseconds.
+        xor_gates: Number of 2-input XOR gates in the estimate.
+        and_gates: Number of 2-input AND gates in the estimate.
+    """
+
+    area_um2: float
+    energy_per_op_pj: float
+    latency_ns: float
+    xor_gates: int
+    and_gates: int
+
+    def scaled(self, copies: int) -> "CodecCost":
+        """Cost of ``copies`` parallel instances (area/gates scale, latency doesn't)."""
+        if copies < 1:
+            raise ConfigurationError("copies must be >= 1")
+        return CodecCost(
+            area_um2=self.area_um2 * copies,
+            energy_per_op_pj=self.energy_per_op_pj * copies,
+            latency_ns=self.latency_ns,
+            xor_gates=self.xor_gates * copies,
+            and_gates=self.and_gates * copies,
+        )
+
+
+class ECCCostModel:
+    """Analytic area/energy/latency estimates for an ECC scheme's codec."""
+
+    def __init__(self, scheme: ECCScheme, library: GateLibrary | None = None) -> None:
+        """Bind the cost model to a code and a gate library."""
+        self._scheme = scheme
+        self._library = library or GateLibrary()
+
+    @property
+    def scheme(self) -> ECCScheme:
+        """The ECC scheme being costed."""
+        return self._scheme
+
+    @property
+    def library(self) -> GateLibrary:
+        """The gate library used for the estimates."""
+        return self._library
+
+    def _xor_tree_gates(self, inputs: int) -> int:
+        """Number of 2-input XOR gates in a balanced reduction tree."""
+        return max(inputs - 1, 0)
+
+    def _xor_tree_depth(self, inputs: int) -> int:
+        """Depth (levels) of a balanced 2-input XOR reduction tree."""
+        depth = 0
+        remaining = inputs
+        while remaining > 1:
+            remaining = (remaining + 1) // 2
+            depth += 1
+        return depth
+
+    def encoder_cost(self) -> CodecCost:
+        """Cost of the encoder: one XOR tree per check bit over ~half the data."""
+        covered = max(self._scheme.data_bits // 2, 1)
+        xor_gates = self._scheme.parity_bits * self._xor_tree_gates(covered)
+        depth = self._xor_tree_depth(covered)
+        return self._cost_from_gates(xor_gates, and_gates=0, depth=depth)
+
+    def decoder_cost(self) -> CodecCost:
+        """Cost of the decoder: syndrome XOR trees plus correction logic.
+
+        The syndrome generator mirrors the encoder but spans the full
+        codeword; the corrector is modelled as one AND gate per data bit
+        (syndrome match) plus one XOR per data bit (the conditional flip).
+        """
+        covered = max(self._scheme.codeword_bits // 2, 1)
+        syndrome_gates = self._scheme.parity_bits * self._xor_tree_gates(covered)
+        corrector_xor = self._scheme.data_bits
+        corrector_and = self._scheme.data_bits * max(
+            self._scheme.parity_bits // 2, 1
+        )
+        depth = self._xor_tree_depth(covered) + 2
+        return self._cost_from_gates(
+            syndrome_gates + corrector_xor, and_gates=corrector_and, depth=depth
+        )
+
+    def _cost_from_gates(self, xor_gates: int, and_gates: int, depth: int) -> CodecCost:
+        lib = self._library
+        area = xor_gates * lib.xor2_area_um2 + and_gates * lib.and2_area_um2
+        energy_fj = lib.activity_factor * (
+            xor_gates * lib.xor2_energy_fj + and_gates * lib.and2_energy_fj
+        )
+        latency_ns = depth * lib.xor2_delay_ps * 1e-3
+        return CodecCost(
+            area_um2=area,
+            energy_per_op_pj=energy_fj * 1e-3,
+            latency_ns=latency_ns,
+            xor_gates=xor_gates,
+            and_gates=and_gates,
+        )

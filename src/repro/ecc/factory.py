@@ -1,0 +1,79 @@
+"""Factory that maps an :class:`repro.config.ECCConfig` onto a concrete codec."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import ECCConfig, ECCKind
+from ..errors import ECCCapacityError
+from .base import DecodeResult, DecodeStatus, ECCScheme, as_bit_array
+from .hamming import HammingSECCode, HammingSECDEDCode
+from .interleaved import InterleavedSECDEDCode
+from .parity import ParityCode
+
+
+class NoECC(ECCScheme):
+    """Degenerate scheme: no check bits, no detection, no correction.
+
+    Used for the SRAM L1 caches in the paper's configuration (Table I does
+    not attribute ECC behaviour to them) and as the weakest point of ECC
+    sweeps.
+    """
+
+    @property
+    def parity_bits(self) -> int:
+        """No check bits."""
+        return 0
+
+    @property
+    def correctable_errors(self) -> int:
+        """No correction."""
+        return 0
+
+    @property
+    def detectable_errors(self) -> int:
+        """No detection."""
+        return 0
+
+    @property
+    def name(self) -> str:
+        """Code name."""
+        return f"None({self.data_bits})"
+
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        """The codeword is just the data."""
+        return as_bit_array(data, self.data_bits).copy()
+
+    def decode(self, codeword: np.ndarray) -> DecodeResult:
+        """Always reports clean: errors pass silently (by design)."""
+        codeword = as_bit_array(codeword, self.codeword_bits)
+        return DecodeResult(data=codeword.copy(), status=DecodeStatus.CLEAN)
+
+
+def build_ecc_scheme(config: ECCConfig, data_bits: int) -> ECCScheme:
+    """Instantiate the ECC codec described by an :class:`ECCConfig`.
+
+    Args:
+        config: The ECC configuration (kind + interleaving degree).
+        data_bits: Width of the protected data word in bits.
+
+    Returns:
+        A concrete :class:`ECCScheme`.
+
+    Raises:
+        ECCCapacityError: if the configuration cannot be realised for the
+            requested data width.
+    """
+    if data_bits <= 0:
+        raise ECCCapacityError("data_bits must be positive")
+    if config.kind is ECCKind.NONE:
+        return NoECC(data_bits)
+    if config.kind is ECCKind.PARITY:
+        return ParityCode(data_bits)
+    if config.kind is ECCKind.HAMMING_SEC:
+        return HammingSECCode(data_bits)
+    if config.kind is ECCKind.HAMMING_SECDED:
+        return HammingSECDEDCode(data_bits)
+    if config.kind is ECCKind.INTERLEAVED_SECDED:
+        return InterleavedSECDEDCode(data_bits, degree=config.interleaving_degree)
+    raise ECCCapacityError(f"unsupported ECC kind: {config.kind}")

@@ -1,0 +1,53 @@
+"""Single-parity-bit code: detects any odd number of bit errors, corrects none.
+
+Included as the weakest point of the ECC design space so that sweeps over
+protection strength (none / parity / SEC / SEC-DED / interleaved) have a
+detection-only member.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import DecodeResult, DecodeStatus, ECCScheme, as_bit_array
+
+
+class ParityCode(ECCScheme):
+    """Even-parity code over the whole data word."""
+
+    @property
+    def parity_bits(self) -> int:
+        """A single parity bit."""
+        return 1
+
+    @property
+    def correctable_errors(self) -> int:
+        """Parity corrects nothing."""
+        return 0
+
+    @property
+    def detectable_errors(self) -> int:
+        """Guaranteed detection of a single-bit error (any odd count in fact)."""
+        return 1
+
+    @property
+    def name(self) -> str:
+        """Code name."""
+        return f"Parity({self.data_bits}+1)"
+
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        """Append an even-parity bit to the data."""
+        data = as_bit_array(data, self.data_bits)
+        parity = np.uint8(data.sum() % 2)
+        return np.concatenate([data, np.array([parity], dtype=np.uint8)])
+
+    def decode(self, codeword: np.ndarray) -> DecodeResult:
+        """Check parity; report detected-uncorrectable when it mismatches."""
+        codeword = as_bit_array(codeword, self.codeword_bits)
+        data = codeword[: self.data_bits]
+        expected = np.uint8(data.sum() % 2)
+        if expected == codeword[-1]:
+            return DecodeResult(data=data.copy(), status=DecodeStatus.CLEAN)
+        return DecodeResult(
+            data=data.copy(), status=DecodeStatus.DETECTED_UNCORRECTABLE
+        )

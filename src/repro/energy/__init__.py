@@ -1,0 +1,36 @@
+"""Energy, area and latency models (the reproduction's NVSim substitute).
+
+Public surface:
+
+* component profiles (:class:`ArrayEnergyProfile`, :class:`ECCUnitProfile`,
+  :class:`PeripheralEnergyProfile`);
+* :class:`NVSimLikeModel` — per-event and per-access energy, area breakdown,
+  leakage and read-hit latency of one cache level;
+* :class:`EnergyAccountant` / :class:`EnergyTotals` — per-simulation
+  accumulation used by the Fig. 6 builder.
+"""
+
+from .accounting import EnergyAccountant, EnergyTotals
+from .components import (
+    SRAM_PROFILE,
+    STT_MRAM_PROFILE,
+    ArrayEnergyProfile,
+    ECCUnitProfile,
+    PeripheralEnergyProfile,
+    array_profile_for,
+)
+from .nvsim import AccessEnergyBreakdown, CacheAreaBreakdown, NVSimLikeModel
+
+__all__ = [
+    "ArrayEnergyProfile",
+    "ECCUnitProfile",
+    "PeripheralEnergyProfile",
+    "SRAM_PROFILE",
+    "STT_MRAM_PROFILE",
+    "array_profile_for",
+    "NVSimLikeModel",
+    "AccessEnergyBreakdown",
+    "CacheAreaBreakdown",
+    "EnergyAccountant",
+    "EnergyTotals",
+]

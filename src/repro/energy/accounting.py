@@ -1,0 +1,104 @@
+"""Per-simulation energy accounting.
+
+:class:`EnergyAccountant` accumulates dynamic energy event by event as the
+protected cache models run a trace, and can add leakage for a given runtime.
+The figure builders use its totals to produce the Fig. 6 comparison (dynamic
+energy of REAP normalised to the conventional cache).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+from .nvsim import NVSimLikeModel
+
+
+@dataclass
+class EnergyTotals:
+    """Accumulated energy, in picojoules, broken down by component."""
+
+    tag_pj: float = 0.0
+    data_read_pj: float = 0.0
+    data_write_pj: float = 0.0
+    ecc_decode_pj: float = 0.0
+    ecc_encode_pj: float = 0.0
+    mux_pj: float = 0.0
+    leakage_pj: float = 0.0
+
+    @property
+    def dynamic_pj(self) -> float:
+        """Total dynamic energy."""
+        return (
+            self.tag_pj
+            + self.data_read_pj
+            + self.data_write_pj
+            + self.ecc_decode_pj
+            + self.ecc_encode_pj
+            + self.mux_pj
+        )
+
+    @property
+    def total_pj(self) -> float:
+        """Dynamic plus leakage energy."""
+        return self.dynamic_pj + self.leakage_pj
+
+    @property
+    def ecc_fraction_of_dynamic(self) -> float:
+        """ECC (encode + decode) share of the dynamic energy."""
+        if self.dynamic_pj == 0:
+            return 0.0
+        return (self.ecc_decode_pj + self.ecc_encode_pj) / self.dynamic_pj
+
+    def as_dict(self) -> dict[str, float]:
+        """Totals plus derived values as a flat dictionary."""
+        data = dict(vars(self))
+        data.update(
+            dynamic_pj=self.dynamic_pj,
+            total_pj=self.total_pj,
+            ecc_fraction_of_dynamic=self.ecc_fraction_of_dynamic,
+        )
+        return data
+
+
+@dataclass
+class EnergyAccountant:
+    """Accumulates the energy of cache events against an NVSim-like model."""
+
+    model: NVSimLikeModel
+    totals: EnergyTotals = field(default_factory=EnergyTotals)
+
+    def record_read_access(self, ways_read: int, ecc_decodes: int) -> None:
+        """Account one demand read with the given event counts."""
+        if ways_read < 0 or ecc_decodes < 0:
+            raise ConfigurationError("event counts must be non-negative")
+        self.totals.tag_pj += self.model.tag_lookup_energy_pj()
+        self.totals.data_read_pj += ways_read * self.model.way_read_energy_pj()
+        self.totals.ecc_decode_pj += ecc_decodes * self.model.ecc_decode_energy_pj()
+        self.totals.mux_pj += self.model.mux_energy_pj()
+
+    def record_write_access(self) -> None:
+        """Account one demand write (store or write-back into this level)."""
+        breakdown = self.model.write_access_energy()
+        self.totals.tag_pj += breakdown.tag_pj
+        self.totals.data_write_pj += breakdown.data_array_pj
+        self.totals.ecc_encode_pj += breakdown.ecc_pj
+
+    def record_fill(self) -> None:
+        """Account the installation of a block fetched from the next level."""
+        self.record_write_access()
+
+    def record_scrub(self) -> None:
+        """Account an ECC-correction write-back (REAP scrubbing a way)."""
+        self.totals.data_write_pj += self.model.way_write_energy_pj()
+        self.totals.ecc_encode_pj += self.model.ecc_encode_energy_pj()
+
+    def add_leakage(self, runtime_s: float) -> None:
+        """Add leakage energy for a runtime interval."""
+        if runtime_s < 0:
+            raise ConfigurationError("runtime_s must be non-negative")
+        self.totals.leakage_pj += self.model.leakage_power_mw() * 1e-3 * runtime_s * 1e12
+
+    def dynamic_energy_pj(self) -> float:
+        """Total dynamic energy accumulated so far."""
+        return self.totals.dynamic_pj

@@ -1,0 +1,159 @@
+"""Per-component energy / area / latency constants of the cache datapath.
+
+The constants play the role of the paper's NVSim extraction: per-access
+energies of the tag array, one data way (SRAM or STT-MRAM), the way-selection
+MUX and the ECC encoder/decoder, plus leakage power and area densities.  The
+defaults are representative 32 nm-class numbers chosen so that the *ratios*
+the paper relies on hold:
+
+* reading one STT-MRAM data way costs two orders of magnitude more than one
+  ECC decode (the paper: the decoder is "less than 1%" of the access energy);
+* an STT-MRAM write is several times more expensive than a read;
+* SRAM leaks, STT-MRAM essentially does not.
+
+Absolute joules are not meaningful for the reproduction; every figure uses
+energies normalised to the conventional cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..config import MemoryTechnology
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ArrayEnergyProfile:
+    """Per-operation energy and static characteristics of one data array way.
+
+    Attributes:
+        read_energy_pj: Energy of reading one 64-byte way.
+        write_energy_pj: Energy of writing one 64-byte way.
+        leakage_mw_per_mb: Leakage power per megabyte of capacity.
+        area_mm2_per_mb: Area per megabyte of capacity.
+        read_latency_ns: Array read latency.
+        write_latency_ns: Array write latency.
+    """
+
+    read_energy_pj: float
+    write_energy_pj: float
+    leakage_mw_per_mb: float
+    area_mm2_per_mb: float
+    read_latency_ns: float
+    write_latency_ns: float
+
+    def __post_init__(self) -> None:
+        for name in (
+            "read_energy_pj",
+            "write_energy_pj",
+            "area_mm2_per_mb",
+            "read_latency_ns",
+            "write_latency_ns",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+        if self.leakage_mw_per_mb < 0:
+            raise ConfigurationError("leakage_mw_per_mb must be non-negative")
+
+    def scaled(self, factor: float) -> "ArrayEnergyProfile":
+        """Return a copy with dynamic energies scaled by ``factor``."""
+        if factor <= 0:
+            raise ConfigurationError("factor must be positive")
+        return replace(
+            self,
+            read_energy_pj=self.read_energy_pj * factor,
+            write_energy_pj=self.write_energy_pj * factor,
+        )
+
+
+SRAM_PROFILE = ArrayEnergyProfile(
+    read_energy_pj=35.0,
+    write_energy_pj=38.0,
+    leakage_mw_per_mb=320.0,
+    area_mm2_per_mb=2.4,
+    read_latency_ns=1.0,
+    write_latency_ns=1.0,
+)
+"""Representative SRAM way: cheap dynamic accesses, heavy leakage, large cells."""
+
+
+STT_MRAM_PROFILE = ArrayEnergyProfile(
+    read_energy_pj=22.0,
+    write_energy_pj=380.0,
+    leakage_mw_per_mb=8.0,
+    area_mm2_per_mb=0.9,
+    read_latency_ns=1.2,
+    write_latency_ns=5.0,
+)
+"""Representative STT-MRAM way: denser and near-zero leakage, expensive writes."""
+
+
+@dataclass(frozen=True)
+class PeripheralEnergyProfile:
+    """Energy/area of the set-level peripheral logic.
+
+    Attributes:
+        tag_read_energy_pj: Energy of reading and comparing all tags of a set.
+        tag_write_energy_pj: Energy of updating one tag entry.
+        mux_energy_pj: Energy of the way-selection MUX.
+        tag_area_fraction: Tag array area as a fraction of the data area.
+        mux_area_mm2: Area of the output MUX.
+    """
+
+    tag_read_energy_pj: float = 9.0
+    tag_write_energy_pj: float = 3.0
+    mux_energy_pj: float = 0.8
+    tag_area_fraction: float = 0.06
+    mux_area_mm2: float = 0.002
+
+    def __post_init__(self) -> None:
+        for name in (
+            "tag_read_energy_pj",
+            "tag_write_energy_pj",
+            "mux_energy_pj",
+            "mux_area_mm2",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+        if not 0 <= self.tag_area_fraction < 1:
+            raise ConfigurationError("tag_area_fraction must be in [0, 1)")
+
+
+@dataclass(frozen=True)
+class ECCUnitProfile:
+    """Energy/area/latency of one ECC encoder or decoder instance.
+
+    Defaults correspond to a SEC(512+10) codec and keep the decoder at well
+    under 1% of a data-way read, as the paper reports.  The
+    :class:`repro.ecc.ECCCostModel` can be used to derive these numbers from
+    a gate-level estimate instead.
+    """
+
+    decode_energy_pj: float = 1.5
+    encode_energy_pj: float = 1.0
+    decoder_area_mm2: float = 0.0009
+    encoder_area_mm2: float = 0.0006
+    decode_latency_ns: float = 0.4
+    encode_latency_ns: float = 0.3
+
+    def __post_init__(self) -> None:
+        for name in (
+            "decode_energy_pj",
+            "encode_energy_pj",
+            "decoder_area_mm2",
+            "encoder_area_mm2",
+            "decode_latency_ns",
+            "encode_latency_ns",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+
+
+def array_profile_for(technology: MemoryTechnology) -> ArrayEnergyProfile:
+    """Default array profile for a memory technology."""
+    if technology is MemoryTechnology.SRAM:
+        return SRAM_PROFILE
+    if technology is MemoryTechnology.STT_MRAM:
+        return STT_MRAM_PROFILE
+    raise ConfigurationError(f"unknown memory technology: {technology}")

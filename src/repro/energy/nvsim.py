@@ -1,0 +1,240 @@
+"""NVSim-like analytic cache model: per-access energy, area, and latency.
+
+The paper extracts its energy/area/latency parameters from NVSim [21] and
+uses them to cost the conventional and REAP organisations.  This module
+provides the equivalent analytic model: given a cache level's geometry,
+technology, ECC scheme and read-path organisation, it reports
+
+* the energy of each primitive event (tag lookup, reading/writing one data
+  way, one ECC encode/decode, the MUX),
+* the total area, broken into data array, tag array, peripheral and ECC
+  decoder contributions, and
+* the read-hit latency under each read-path organisation.
+
+Only ratios REAP/conventional are quoted in the reproduction figures, so the
+absolute calibration of the component constants matters only insofar as it
+keeps the decoder-to-array proportions in the range the paper reports
+(decoder < 1% of access energy, ~0.1% of area).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import CacheLevelConfig, ReadPathMode
+from ..ecc import ECCScheme
+from ..errors import ConfigurationError
+from ..cache.readpath import ReadPathTiming, build_read_path
+from ..units import to_mib
+from .components import (
+    ArrayEnergyProfile,
+    ECCUnitProfile,
+    PeripheralEnergyProfile,
+    array_profile_for,
+)
+
+
+@dataclass(frozen=True)
+class CacheAreaBreakdown:
+    """Area of one cache level, by component, in square millimetres."""
+
+    data_array_mm2: float
+    tag_array_mm2: float
+    peripheral_mm2: float
+    ecc_decoders_mm2: float
+    ecc_encoder_mm2: float
+
+    @property
+    def total_mm2(self) -> float:
+        """Total cache area."""
+        return (
+            self.data_array_mm2
+            + self.tag_array_mm2
+            + self.peripheral_mm2
+            + self.ecc_decoders_mm2
+            + self.ecc_encoder_mm2
+        )
+
+    @property
+    def ecc_decoder_fraction(self) -> float:
+        """ECC decoders' share of the total area."""
+        return self.ecc_decoders_mm2 / self.total_mm2
+
+
+@dataclass(frozen=True)
+class AccessEnergyBreakdown:
+    """Energy of one demand access, by component, in picojoules."""
+
+    tag_pj: float
+    data_array_pj: float
+    ecc_pj: float
+    mux_pj: float
+
+    @property
+    def total_pj(self) -> float:
+        """Total access energy."""
+        return self.tag_pj + self.data_array_pj + self.ecc_pj + self.mux_pj
+
+    @property
+    def ecc_fraction(self) -> float:
+        """ECC share of the access energy."""
+        if self.total_pj == 0:
+            return 0.0
+        return self.ecc_pj / self.total_pj
+
+
+class NVSimLikeModel:
+    """Analytic energy/area/latency model of one cache level."""
+
+    def __init__(
+        self,
+        config: CacheLevelConfig,
+        ecc_scheme: ECCScheme,
+        array_profile: ArrayEnergyProfile | None = None,
+        peripheral_profile: PeripheralEnergyProfile | None = None,
+        ecc_profile: ECCUnitProfile | None = None,
+        timing: ReadPathTiming | None = None,
+    ) -> None:
+        """Create the model.
+
+        Args:
+            config: Cache geometry, technology and read-path organisation.
+            ecc_scheme: The ECC code protecting each block (used for the
+                check-bit storage overhead).
+            array_profile: Per-way array energy profile; defaults to the
+                technology's representative profile.
+            peripheral_profile: Tag/MUX profile; defaults are used if omitted.
+            ecc_profile: ECC codec profile; defaults are used if omitted.
+            timing: Component latencies for the access-time model.
+        """
+        self._config = config
+        self._ecc_scheme = ecc_scheme
+        self._array = array_profile or array_profile_for(config.technology)
+        self._peripheral = peripheral_profile or PeripheralEnergyProfile()
+        self._ecc = ecc_profile or ECCUnitProfile()
+        self._timing = timing or ReadPathTiming(
+            data_read_ns=self._array.read_latency_ns,
+            ecc_decode_ns=self._ecc.decode_latency_ns,
+        )
+
+    # -- basic properties -------------------------------------------------------
+
+    @property
+    def config(self) -> CacheLevelConfig:
+        """The cache level being modelled."""
+        return self._config
+
+    @property
+    def ecc_profile(self) -> ECCUnitProfile:
+        """ECC codec energy/area profile."""
+        return self._ecc
+
+    @property
+    def array_profile(self) -> ArrayEnergyProfile:
+        """Data-array energy profile."""
+        return self._array
+
+    def num_ecc_decoders(self, read_path: ReadPathMode | None = None) -> int:
+        """Number of ECC decoder instances required by the organisation."""
+        mode = read_path or self._config.read_path
+        return build_read_path(mode, self._config.associativity).ecc_decoder_instances
+
+    # -- area --------------------------------------------------------------------
+
+    def area(self, read_path: ReadPathMode | None = None) -> CacheAreaBreakdown:
+        """Area breakdown for the cache under a read-path organisation.
+
+        The data array is sized for data *plus* ECC check bits (the check
+        bits are stored alongside the data, as in the paper's Fig. 2/4), the
+        tag array as a fixed fraction of the data area, and ECC decoders are
+        replicated per the organisation (1 conventional, k REAP).
+        """
+        capacity_mb = to_mib(self._config.size_bytes)
+        check_bit_factor = 1.0 + self._ecc_scheme.storage_overhead
+        data_area = self._array.area_mm2_per_mb * capacity_mb * check_bit_factor
+        tag_area = data_area * self._peripheral.tag_area_fraction
+        peripheral = self._peripheral.mux_area_mm2
+        decoders = self.num_ecc_decoders(read_path) * self._ecc.decoder_area_mm2
+        encoder = self._ecc.encoder_area_mm2
+        return CacheAreaBreakdown(
+            data_array_mm2=data_area,
+            tag_array_mm2=tag_area,
+            peripheral_mm2=peripheral,
+            ecc_decoders_mm2=decoders,
+            ecc_encoder_mm2=encoder,
+        )
+
+    def area_overhead_vs(self, baseline_read_path: ReadPathMode) -> float:
+        """Relative area increase of this configuration vs. another read path."""
+        mine = self.area().total_mm2
+        baseline = self.area(read_path=baseline_read_path).total_mm2
+        return mine / baseline - 1.0
+
+    # -- per-event energies -------------------------------------------------------
+
+    def tag_lookup_energy_pj(self) -> float:
+        """Energy of reading and comparing all tags of one set."""
+        return self._peripheral.tag_read_energy_pj
+
+    def way_read_energy_pj(self) -> float:
+        """Energy of reading one data way (data + check bits)."""
+        return self._array.read_energy_pj * (1.0 + self._ecc_scheme.storage_overhead)
+
+    def way_write_energy_pj(self) -> float:
+        """Energy of writing one data way (data + check bits)."""
+        return self._array.write_energy_pj * (1.0 + self._ecc_scheme.storage_overhead)
+
+    def ecc_decode_energy_pj(self) -> float:
+        """Energy of one ECC decode."""
+        return self._ecc.decode_energy_pj
+
+    def ecc_encode_energy_pj(self) -> float:
+        """Energy of one ECC encode."""
+        return self._ecc.encode_energy_pj
+
+    def mux_energy_pj(self) -> float:
+        """Energy of the way-selection MUX."""
+        return self._peripheral.mux_energy_pj
+
+    # -- per-access energies -------------------------------------------------------
+
+    def read_access_energy(
+        self, ways_read: int, ecc_decodes: int
+    ) -> AccessEnergyBreakdown:
+        """Energy of one demand read with the given event counts."""
+        if ways_read < 0 or ecc_decodes < 0:
+            raise ConfigurationError("event counts must be non-negative")
+        return AccessEnergyBreakdown(
+            tag_pj=self.tag_lookup_energy_pj(),
+            data_array_pj=ways_read * self.way_read_energy_pj(),
+            ecc_pj=ecc_decodes * self.ecc_decode_energy_pj(),
+            mux_pj=self.mux_energy_pj(),
+        )
+
+    def write_access_energy(self) -> AccessEnergyBreakdown:
+        """Energy of one demand write (tag update + one way write + encode)."""
+        return AccessEnergyBreakdown(
+            tag_pj=self._peripheral.tag_write_energy_pj,
+            data_array_pj=self.way_write_energy_pj(),
+            ecc_pj=self.ecc_encode_energy_pj(),
+            mux_pj=0.0,
+        )
+
+    def fill_energy(self) -> AccessEnergyBreakdown:
+        """Energy of installing a block fetched from the next level."""
+        return self.write_access_energy()
+
+    # -- leakage and latency --------------------------------------------------------
+
+    def leakage_power_mw(self) -> float:
+        """Static leakage power of the level."""
+        capacity_mb = to_mib(self._config.size_bytes)
+        check_bit_factor = 1.0 + self._ecc_scheme.storage_overhead
+        return self._array.leakage_mw_per_mb * capacity_mb * check_bit_factor
+
+    def read_hit_latency_ns(self, read_path: ReadPathMode | None = None) -> float:
+        """Read-hit latency under a read-path organisation."""
+        mode = read_path or self._config.read_path
+        return build_read_path(mode, self._config.associativity).access_latency_ns(
+            self._timing
+        )

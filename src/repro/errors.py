@@ -1,0 +1,63 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish configuration problems from runtime
+simulation problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object is internally inconsistent or out of range.
+
+    Raised during validation of :mod:`repro.config` dataclasses, e.g. a cache
+    whose size is not a multiple of ``block_size * associativity`` or an MTJ
+    whose read current exceeds its critical current.
+    """
+
+
+class ECCError(ReproError):
+    """Base class for ECC codec errors."""
+
+
+class ECCCapacityError(ECCError):
+    """The requested data width cannot be supported by the chosen code."""
+
+
+class ECCDecodingError(ECCError):
+    """The decoder was asked to do something impossible.
+
+    Note that an *uncorrectable* word is not an error condition: the decoder
+    reports it through :class:`repro.ecc.base.DecodeResult`.  This exception
+    covers API misuse such as a codeword of the wrong length.
+    """
+
+
+class CacheError(ReproError):
+    """Base class for cache-model errors."""
+
+
+class AddressError(CacheError):
+    """An address is negative, misaligned, or outside the modelled range."""
+
+
+class ReplacementError(CacheError):
+    """A replacement policy was driven with inconsistent way state."""
+
+
+class SimulationError(ReproError):
+    """The trace-driven simulation engine hit an inconsistent state."""
+
+
+class TraceError(ReproError):
+    """A workload trace is malformed (bad record, bad file, bad generator)."""
+
+
+class AnalysisError(ReproError):
+    """An analysis or figure builder received insufficient or bad data."""

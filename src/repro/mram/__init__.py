@@ -1,0 +1,42 @@
+"""STT-MRAM device models: MTJ, read disturbance, write errors, retention.
+
+Public surface:
+
+* :class:`MTJDevice` — static electrical model of the storage element.
+* :class:`ReadDisturbanceModel` / :func:`read_disturbance_probability` —
+  the corrected form of paper Eq. (1).
+* :class:`WriteErrorModel` — stochastic write failures (for the restore
+  baseline).
+* :class:`RetentionModel` — Néel–Arrhenius retention failures.
+* :class:`ProcessVariationSampler` — per-cell parameter spread.
+* :class:`STTCell` / :class:`STTBlockArray` — bit-true cells for the
+  Monte-Carlo fault-injection path.
+"""
+
+from .array import STTBlockArray
+from .cell import STTCell
+from .mtj import MTJDevice, default_mtj_device
+from .process_variation import ProcessVariationConfig, ProcessVariationSampler
+from .read_disturbance import (
+    ReadDisturbanceModel,
+    read_current_for_target_probability,
+    read_disturbance_probability,
+)
+from .retention import RetentionModel, retention_failure_probability
+from .write_error import WriteErrorModel, write_failure_probability
+
+__all__ = [
+    "MTJDevice",
+    "default_mtj_device",
+    "ReadDisturbanceModel",
+    "read_disturbance_probability",
+    "read_current_for_target_probability",
+    "WriteErrorModel",
+    "write_failure_probability",
+    "RetentionModel",
+    "retention_failure_probability",
+    "ProcessVariationConfig",
+    "ProcessVariationSampler",
+    "STTCell",
+    "STTBlockArray",
+]

@@ -1,0 +1,181 @@
+"""Bit-true STT-MRAM data array (one cache block wide) for fault injection.
+
+:class:`STTBlockArray` stores a block of bits as a NumPy array and applies
+read disturbance to all '1' cells on every read, write failures on writes,
+and scrubbing on ECC correction.  It is the storage substrate used by the
+Monte-Carlo reliability experiments (:mod:`repro.reliability.montecarlo`)
+and by the bit-true cache mode of :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import MTJConfig
+from ..errors import ConfigurationError
+from .read_disturbance import ReadDisturbanceModel
+from .write_error import WriteErrorModel
+
+
+class STTBlockArray:
+    """A block-sized array of STT-MRAM cells with stochastic behaviour."""
+
+    def __init__(
+        self,
+        num_bits: int,
+        mtj: MTJConfig | None = None,
+        disturb_probability: float | None = None,
+        write_failure_probability: float | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        """Create an all-zero block.
+
+        Args:
+            num_bits: Block width in bits (e.g. 512 for a 64-byte block).
+            mtj: MTJ operating point used to derive probabilities when the
+                explicit probabilities are not given.
+            disturb_probability: Per-read, per-cell disturbance probability;
+                overrides the value derived from ``mtj``.
+            write_failure_probability: Per-write, per-cell failure
+                probability; overrides the value derived from ``mtj``.
+            rng: Random generator; a default seeded generator is created when
+                omitted.
+        """
+        if num_bits <= 0:
+            raise ConfigurationError("num_bits must be positive")
+        self._num_bits = num_bits
+        config = mtj or MTJConfig()
+        if disturb_probability is None:
+            disturb_probability = ReadDisturbanceModel(config).per_read_probability
+        if write_failure_probability is None:
+            write_failure_probability = WriteErrorModel(
+                config
+            ).per_write_failure_probability
+        if not 0.0 <= disturb_probability <= 1.0:
+            raise ConfigurationError("disturb_probability must be in [0, 1]")
+        if not 0.0 <= write_failure_probability <= 1.0:
+            raise ConfigurationError("write_failure_probability must be in [0, 1]")
+        self._disturb_probability = disturb_probability
+        self._write_failure_probability = write_failure_probability
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._bits = np.zeros(num_bits, dtype=np.uint8)
+        self._reads = 0
+        self._disturb_events = 0
+
+    # -- basic properties ---------------------------------------------------
+
+    @property
+    def num_bits(self) -> int:
+        """Block width in bits."""
+        return self._num_bits
+
+    @property
+    def disturb_probability(self) -> float:
+        """Per-read, per-cell disturbance probability."""
+        return self._disturb_probability
+
+    @property
+    def read_count(self) -> int:
+        """Number of reads the block has experienced."""
+        return self._reads
+
+    @property
+    def disturb_event_count(self) -> int:
+        """Number of individual cell flips caused by read disturbance."""
+        return self._disturb_events
+
+    @property
+    def ones_count(self) -> int:
+        """Number of cells currently storing '1'."""
+        return int(self._bits.sum())
+
+    def snapshot(self) -> np.ndarray:
+        """Return a copy of the current cell contents."""
+        return self._bits.copy()
+
+    # -- operations ----------------------------------------------------------
+
+    def write(self, bits: np.ndarray) -> int:
+        """Write a new block value.
+
+        Cells whose value does not change are not pulsed.  Each changing cell
+        may independently suffer a write failure and keep its old value.
+
+        Args:
+            bits: Array of 0/1 values of length ``num_bits``.
+
+        Returns:
+            The number of cells that failed to write.
+        """
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.shape != (self._num_bits,):
+            raise ConfigurationError(
+                f"expected {self._num_bits} bits, got shape {bits.shape}"
+            )
+        if not np.all((bits == 0) | (bits == 1)):
+            raise ConfigurationError("bits must be 0 or 1")
+
+        changing = bits != self._bits
+        num_changing = int(changing.sum())
+        if num_changing == 0:
+            return 0
+        if self._write_failure_probability > 0.0:
+            failures = self._rng.random(num_changing) < self._write_failure_probability
+        else:
+            failures = np.zeros(num_changing, dtype=bool)
+        new_values = bits[changing].copy()
+        old_values = self._bits[changing]
+        new_values[failures] = old_values[failures]
+        self._bits[changing] = new_values
+        return int(failures.sum())
+
+    def read(self) -> np.ndarray:
+        """Read the block, disturbing '1' cells with the configured probability.
+
+        Returns:
+            The value observed by the sense amplifiers (pre-disturbance).
+        """
+        observed = self._bits.copy()
+        self._reads += 1
+        if self._disturb_probability > 0.0:
+            ones = np.flatnonzero(self._bits == 1)
+            if ones.size:
+                flips = ones[self._rng.random(ones.size) < self._disturb_probability]
+                if flips.size:
+                    self._bits[flips] = 0
+                    self._disturb_events += int(flips.size)
+        return observed
+
+    def scrub(self, correct_bits: np.ndarray) -> int:
+        """Restore the block to a known-correct value (ECC write-back).
+
+        Args:
+            correct_bits: The corrected block content.
+
+        Returns:
+            The number of cells that were actually repaired.
+        """
+        correct_bits = np.asarray(correct_bits, dtype=np.uint8)
+        if correct_bits.shape != (self._num_bits,):
+            raise ConfigurationError(
+                f"expected {self._num_bits} bits, got shape {correct_bits.shape}"
+            )
+        repaired = int((correct_bits != self._bits).sum())
+        self._bits = correct_bits.copy()
+        return repaired
+
+    def inject_errors(self, positions: np.ndarray | list[int]) -> None:
+        """Force specific cells to flip, for targeted fault-injection tests."""
+        positions = np.asarray(positions, dtype=int)
+        if positions.size and (positions.min() < 0 or positions.max() >= self._num_bits):
+            raise ConfigurationError("error positions out of range")
+        self._bits[positions] ^= 1
+
+    def error_count(self, reference_bits: np.ndarray) -> int:
+        """Number of cells that differ from a reference value."""
+        reference_bits = np.asarray(reference_bits, dtype=np.uint8)
+        if reference_bits.shape != (self._num_bits,):
+            raise ConfigurationError(
+                f"expected {self._num_bits} bits, got shape {reference_bits.shape}"
+            )
+        return int((reference_bits != self._bits).sum())

@@ -1,0 +1,107 @@
+"""Bit-true STT-MRAM cell model for Monte-Carlo fault injection.
+
+While the analytic models in :mod:`repro.mram.read_disturbance` and
+:mod:`repro.reliability.binomial` compute error probabilities in closed form,
+the Monte-Carlo path of the library needs cells whose stored value can
+actually be disturbed by sampled random events.  :class:`STTCell` is that
+object: it stores a single bit and mutates it according to the configured
+disturbance / write-failure probabilities when driven by an external random
+generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import MTJConfig
+from ..errors import ConfigurationError
+from .read_disturbance import ReadDisturbanceModel
+from .write_error import WriteErrorModel
+
+
+@dataclass
+class STTCell:
+    """A single STT-MRAM cell with a stored bit and disturbance behaviour.
+
+    Attributes:
+        value: The currently stored bit (0 or 1).
+        disturb_probability: Per-read probability of flipping when storing 1.
+        write_failure_probability: Per-write probability the pulse fails.
+        read_count: Number of reads the cell has experienced.
+        disturb_count: Number of read disturbances that actually occurred.
+    """
+
+    value: int = 0
+    disturb_probability: float = 1e-8
+    write_failure_probability: float = 0.0
+    read_count: int = field(default=0, compare=False)
+    disturb_count: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.value not in (0, 1):
+            raise ConfigurationError("cell value must be 0 or 1")
+        if not 0.0 <= self.disturb_probability <= 1.0:
+            raise ConfigurationError("disturb_probability must be in [0, 1]")
+        if not 0.0 <= self.write_failure_probability <= 1.0:
+            raise ConfigurationError("write_failure_probability must be in [0, 1]")
+
+    @classmethod
+    def from_mtj(cls, config: MTJConfig, value: int = 0) -> "STTCell":
+        """Build a cell whose probabilities follow an MTJ operating point."""
+        read_model = ReadDisturbanceModel(config)
+        write_model = WriteErrorModel(config)
+        return cls(
+            value=value,
+            disturb_probability=read_model.per_read_probability,
+            write_failure_probability=write_model.per_write_failure_probability,
+        )
+
+    def read(self, rng: np.random.Generator) -> int:
+        """Read the cell, possibly disturbing it.
+
+        Read disturbance is unidirectional: only a stored '1' can flip to
+        '0'.  The returned value is the *pre-disturbance* content — the sense
+        amplifier resolves before the flip completes — matching the standard
+        modelling assumption that a disturbed read still returns correct data
+        and the corruption is only visible to later reads.
+
+        Args:
+            rng: Random generator supplying the Bernoulli draw.
+
+        Returns:
+            The bit value seen by the sense amplifier.
+        """
+        observed = self.value
+        self.read_count += 1
+        if self.value == 1 and rng.random() < self.disturb_probability:
+            self.value = 0
+            self.disturb_count += 1
+        return observed
+
+    def write(self, value: int, rng: np.random.Generator | None = None) -> bool:
+        """Write a bit into the cell.
+
+        Args:
+            value: The bit to store (0 or 1).
+            rng: Optional random generator; when provided and the cell value
+                must change, a write failure may leave the old value in place.
+
+        Returns:
+            ``True`` when the cell ends up holding ``value``.
+        """
+        if value not in (0, 1):
+            raise ConfigurationError("cell value must be 0 or 1")
+        if value == self.value:
+            return True
+        if rng is not None and rng.random() < self.write_failure_probability:
+            return False
+        self.value = value
+        return True
+
+    def scrub(self, correct_value: int) -> None:
+        """Restore the cell to a known-correct value (ECC correction path)."""
+        if correct_value not in (0, 1):
+            raise ConfigurationError("cell value must be 0 or 1")
+        self.value = correct_value

@@ -1,0 +1,130 @@
+"""Magnetic-tunnel-junction (MTJ) device model.
+
+The MTJ is the storage element of an STT-MRAM cell (paper Fig. 1): a free
+ferromagnetic layer and a reference layer separated by an MgO barrier.  The
+relative orientation of the two layers (parallel / anti-parallel) gives a low
+or high resistance that is read out by a sense amplifier and interpreted as
+logic '0' or '1'.
+
+This module captures the static device properties needed by the error
+models: thermal stability factor, critical switching current, resistance
+states, and the tunnel-magnetoresistance ratio used by the sensing model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..config import MTJConfig
+from ..errors import ConfigurationError
+from ..units import BOLTZMANN_CONSTANT
+
+
+@dataclass(frozen=True)
+class MTJDevice:
+    """Static electrical model of an MTJ storage element.
+
+    Attributes:
+        config: Operating point (currents, pulse widths, Δ, temperature).
+        resistance_parallel_ohm: Low resistance state (logic '0').
+        resistance_antiparallel_ohm: High resistance state (logic '1').
+    """
+
+    config: MTJConfig
+    resistance_parallel_ohm: float = 3000.0
+    resistance_antiparallel_ohm: float = 6000.0
+
+    def __post_init__(self) -> None:
+        if self.resistance_parallel_ohm <= 0:
+            raise ConfigurationError("resistance_parallel_ohm must be positive")
+        if self.resistance_antiparallel_ohm <= self.resistance_parallel_ohm:
+            raise ConfigurationError(
+                "anti-parallel resistance must exceed parallel resistance"
+            )
+
+    @property
+    def tmr_ratio(self) -> float:
+        """Tunnel magnetoresistance ratio (R_AP - R_P) / R_P."""
+        return (
+            self.resistance_antiparallel_ohm - self.resistance_parallel_ohm
+        ) / self.resistance_parallel_ohm
+
+    @property
+    def thermal_stability(self) -> float:
+        """Thermal stability factor Δ = E_b / (k_B T)."""
+        return self.config.thermal_stability
+
+    @property
+    def energy_barrier_joule(self) -> float:
+        """Energy barrier E_b implied by Δ at the configured temperature."""
+        return (
+            self.config.thermal_stability
+            * BOLTZMANN_CONSTANT
+            * self.config.temperature_k
+        )
+
+    def read_voltage_v(self, stored_one: bool) -> float:
+        """Voltage developed across the MTJ by the read current.
+
+        Args:
+            stored_one: ``True`` when the cell stores logic '1'
+                (anti-parallel, high resistance).
+
+        Returns:
+            The sensing voltage in volts.
+        """
+        resistance = (
+            self.resistance_antiparallel_ohm
+            if stored_one
+            else self.resistance_parallel_ohm
+        )
+        return self.config.read_current_ua * 1e-6 * resistance
+
+    def sense_margin_v(self) -> float:
+        """Difference between the '1' and '0' sensing voltages."""
+        return self.read_voltage_v(True) - self.read_voltage_v(False)
+
+    def retention_time_s(self) -> float:
+        """Mean thermally-activated retention time of an idle cell.
+
+        Uses the Néel–Arrhenius law ``t_ret = τ · exp(Δ)`` with the
+        configured attempt period τ.
+        """
+        return self.config.attempt_period_s * math.exp(self.config.thermal_stability)
+
+    def switching_probability(self, current_ua: float, pulse_width_s: float) -> float:
+        """Probability that a current pulse switches the free layer.
+
+        This is the thermally-activated (precessional regime excluded)
+        switching model used throughout the STT-MRAM literature:
+
+        ``P_sw = 1 - exp(-(t / τ) · exp(-Δ · (1 - I / I_C0)))``
+
+        For ``I >= I_C0`` the exponential barrier term saturates at 1 and the
+        pulse switches with probability approaching 1 for long pulses.
+
+        Args:
+            current_ua: Pulse amplitude in microamperes.
+            pulse_width_s: Pulse duration in seconds.
+
+        Returns:
+            Switching probability in [0, 1].
+        """
+        if current_ua < 0:
+            raise ConfigurationError("current_ua must be non-negative")
+        if pulse_width_s < 0:
+            raise ConfigurationError("pulse_width_s must be non-negative")
+        if pulse_width_s == 0 or current_ua == 0:
+            return 0.0
+        ratio = min(current_ua / self.config.critical_current_ua, 1.0)
+        barrier = self.config.thermal_stability * (1.0 - ratio)
+        rate = math.exp(-barrier) / self.config.attempt_period_s
+        exponent = -rate * pulse_width_s
+        # Use expm1 for numerical accuracy when the probability is tiny.
+        return -math.expm1(exponent)
+
+
+def default_mtj_device(config: MTJConfig | None = None) -> MTJDevice:
+    """Return an :class:`MTJDevice` at the default (paper-like) operating point."""
+    return MTJDevice(config=config or MTJConfig())

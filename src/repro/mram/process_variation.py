@@ -1,0 +1,131 @@
+"""Process-variation model for STT-MRAM cell parameters.
+
+Die-to-die and cell-to-cell variation changes the thermal stability factor Δ
+and the critical current I_C0 of individual MTJs, which spreads the per-cell
+read-disturbance probability across an array by orders of magnitude.  The
+paper's own prior work (reference [2]) studies this effect; here it is
+offered as an optional extension so experiments can quantify how variation
+widens the gap between REAP and the conventional cache.
+
+Variation is modelled as independent Gaussian multipliers on Δ and I_C0,
+truncated to stay physical (positive, read current below critical current).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import MTJConfig
+from ..errors import ConfigurationError
+from .read_disturbance import read_disturbance_probability
+
+
+@dataclass(frozen=True)
+class ProcessVariationConfig:
+    """Relative (1-sigma) variation of the key MTJ parameters.
+
+    Attributes:
+        thermal_stability_sigma: Relative standard deviation of Δ.
+        critical_current_sigma: Relative standard deviation of I_C0.
+        min_multiplier: Lower truncation bound applied to both multipliers.
+        max_multiplier: Upper truncation bound applied to both multipliers.
+    """
+
+    thermal_stability_sigma: float = 0.05
+    critical_current_sigma: float = 0.05
+    min_multiplier: float = 0.6
+    max_multiplier: float = 1.4
+
+    def __post_init__(self) -> None:
+        if self.thermal_stability_sigma < 0 or self.critical_current_sigma < 0:
+            raise ConfigurationError("variation sigmas must be non-negative")
+        if not 0 < self.min_multiplier < 1 <= self.max_multiplier:
+            raise ConfigurationError(
+                "multiplier bounds must satisfy 0 < min < 1 <= max"
+            )
+
+
+class ProcessVariationSampler:
+    """Draws per-cell disturbance probabilities under process variation."""
+
+    def __init__(
+        self,
+        mtj: MTJConfig,
+        variation: ProcessVariationConfig | None = None,
+        seed: int = 1,
+    ) -> None:
+        """Create a sampler.
+
+        Args:
+            mtj: Nominal MTJ operating point.
+            variation: Relative variation parameters; defaults to 5% sigmas.
+            seed: Seed for the internal random generator.
+        """
+        self._mtj = mtj
+        self._variation = variation or ProcessVariationConfig()
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def nominal_probability(self) -> float:
+        """Disturbance probability of a nominal (variation-free) cell."""
+        return read_disturbance_probability(
+            thermal_stability=self._mtj.thermal_stability,
+            read_current_ua=self._mtj.read_current_ua,
+            critical_current_ua=self._mtj.critical_current_ua,
+            read_pulse_width_ns=self._mtj.read_pulse_width_ns,
+            attempt_period_ns=self._mtj.attempt_period_ns,
+        )
+
+    def sample_cell_probabilities(self, num_cells: int) -> np.ndarray:
+        """Sample per-read disturbance probabilities for ``num_cells`` cells.
+
+        Returns:
+            A float array of shape ``(num_cells,)``.
+        """
+        if num_cells < 0:
+            raise ConfigurationError("num_cells must be non-negative")
+        if num_cells == 0:
+            return np.empty(0, dtype=float)
+
+        v = self._variation
+        delta_mult = np.clip(
+            self._rng.normal(1.0, v.thermal_stability_sigma, size=num_cells),
+            v.min_multiplier,
+            v.max_multiplier,
+        )
+        ic0_mult = np.clip(
+            self._rng.normal(1.0, v.critical_current_sigma, size=num_cells),
+            v.min_multiplier,
+            v.max_multiplier,
+        )
+
+        probabilities = np.empty(num_cells, dtype=float)
+        for i in range(num_cells):
+            delta = self._mtj.thermal_stability * delta_mult[i]
+            ic0 = self._mtj.critical_current_ua * ic0_mult[i]
+            # Keep the read current sub-critical even for weak cells.
+            read_current = min(self._mtj.read_current_ua, 0.99 * ic0)
+            probabilities[i] = read_disturbance_probability(
+                thermal_stability=delta,
+                read_current_ua=read_current,
+                critical_current_ua=ic0,
+                read_pulse_width_ns=self._mtj.read_pulse_width_ns,
+                attempt_period_ns=self._mtj.attempt_period_ns,
+            )
+        return probabilities
+
+    def worst_case_probability(self, num_cells: int, quantile: float = 0.999) -> float:
+        """Estimate a high quantile of the per-cell disturbance probability.
+
+        Args:
+            num_cells: Sample size used for the empirical quantile.
+            quantile: Which quantile to report (e.g. 0.999).
+        """
+        if not 0.0 < quantile < 1.0:
+            raise ConfigurationError("quantile must be in (0, 1)")
+        samples = self.sample_cell_probabilities(num_cells)
+        if samples.size == 0:
+            return self.nominal_probability
+        return float(np.quantile(samples, quantile))

@@ -1,0 +1,204 @@
+"""Read-disturbance probability model (paper Eq. 1).
+
+Read disturbance is the unintentional switching of an STT-MRAM cell by the
+read current.  Because the read current is unidirectional and flows in the
+same direction as writing '0', only cells storing logic '1' can be disturbed
+(they flip 1 -> 0).
+
+The paper's Eq. (1) is printed as::
+
+    P = 1 - exp( -(t_read / τ) · exp( -Δ · (I_read - I_C0) / I_C0 ) )
+
+Taken literally, the inner exponent is *positive* for any read current below
+the critical current (I_read < I_C0), which would make the disturbance
+probability saturate at ~1 — the opposite of physical behaviour and
+inconsistent with the 1e-8 .. 1e-7 per-read probabilities the paper itself
+uses in its Section III-B numeric example.  The standard thermally-activated
+switching model (and the cited sources) use the *negated* form, which this
+module implements::
+
+    P = 1 - exp( -(t_read / τ) · exp( -Δ · (1 - I_read / I_C0) ) )
+
+With the default operating point (Δ = 60, I_read/I_C0 = 0.4, t_read = 2 ns,
+τ = 1 ns) this lands in the same 1e-8-per-read regime as the paper's
+examples.  The discrepancy is documented here and in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..config import MTJConfig
+from ..errors import ConfigurationError
+
+
+def read_disturbance_probability(
+    thermal_stability: float,
+    read_current_ua: float,
+    critical_current_ua: float,
+    read_pulse_width_ns: float,
+    attempt_period_ns: float = 1.0,
+) -> float:
+    """Per-read probability that a cell storing '1' flips to '0'.
+
+    Implements the corrected form of paper Eq. (1); see the module docstring
+    for the sign discussion.
+
+    Args:
+        thermal_stability: Thermal stability factor Δ.
+        read_current_ua: Read current I_read in microamperes.
+        critical_current_ua: Critical switching current I_C0 in microamperes.
+        read_pulse_width_ns: Read pulse width t_read in nanoseconds.
+        attempt_period_ns: Attempt period τ in nanoseconds (default 1 ns, as
+            assumed by the paper).
+
+    Returns:
+        Probability in [0, 1] of a disturbance during a single read.
+
+    Raises:
+        ConfigurationError: if any parameter is non-positive or the read
+            current is not below the critical current.
+    """
+    if thermal_stability <= 0:
+        raise ConfigurationError("thermal_stability must be positive")
+    if read_current_ua <= 0 or critical_current_ua <= 0:
+        raise ConfigurationError("currents must be positive")
+    if read_current_ua >= critical_current_ua:
+        raise ConfigurationError(
+            "read current must be below the critical current for a read operation"
+        )
+    if read_pulse_width_ns <= 0 or attempt_period_ns <= 0:
+        raise ConfigurationError("pulse width and attempt period must be positive")
+
+    barrier = thermal_stability * (1.0 - read_current_ua / critical_current_ua)
+    rate_per_attempt = math.exp(-barrier)
+    exponent = -(read_pulse_width_ns / attempt_period_ns) * rate_per_attempt
+    return -math.expm1(exponent)
+
+
+def read_current_for_target_probability(
+    target_probability: float,
+    thermal_stability: float,
+    critical_current_ua: float,
+    read_pulse_width_ns: float,
+    attempt_period_ns: float = 1.0,
+) -> float:
+    """Invert the disturbance model: read current giving a target probability.
+
+    Useful for calibrating an operating point, e.g. "which read current gives
+    P_RD = 1e-8 per read" so an experiment can be pinned to the paper's
+    numeric example.
+
+    Args:
+        target_probability: Desired per-read disturbance probability,
+            strictly between 0 and 1.
+        thermal_stability: Thermal stability factor Δ.
+        critical_current_ua: Critical switching current in microamperes.
+        read_pulse_width_ns: Read pulse width in nanoseconds.
+        attempt_period_ns: Attempt period in nanoseconds.
+
+    Returns:
+        The read current in microamperes that produces the target
+        probability under the corrected Eq. (1).
+
+    Raises:
+        ConfigurationError: if the target is not achievable with a current in
+            (0, I_C0), or parameters are invalid.
+    """
+    if not 0.0 < target_probability < 1.0:
+        raise ConfigurationError("target_probability must be in (0, 1)")
+    if thermal_stability <= 0 or critical_current_ua <= 0:
+        raise ConfigurationError("thermal_stability and critical current must be positive")
+    if read_pulse_width_ns <= 0 or attempt_period_ns <= 0:
+        raise ConfigurationError("pulse width and attempt period must be positive")
+
+    # P = 1 - exp(-(t/τ) e^{-Δ(1-r)})  =>  e^{-Δ(1-r)} = -ln(1-P)·τ/t
+    rate = -math.log1p(-target_probability) * attempt_period_ns / read_pulse_width_ns
+    if rate <= 0:
+        raise ConfigurationError("target_probability too small to represent")
+    barrier = -math.log(rate)
+    ratio = 1.0 - barrier / thermal_stability
+    if not 0.0 < ratio < 1.0:
+        raise ConfigurationError(
+            "target probability not reachable with a sub-critical read current "
+            f"(required I_read/I_C0 = {ratio:.3f})"
+        )
+    return ratio * critical_current_ua
+
+
+@dataclass(frozen=True)
+class ReadDisturbanceModel:
+    """Convenience wrapper binding the disturbance model to an MTJ config.
+
+    The model exposes the per-read, per-cell disturbance probability and
+    block-level helpers used by the cache reliability engine.
+    """
+
+    config: MTJConfig
+
+    @property
+    def per_read_probability(self) -> float:
+        """Per-read disturbance probability of a single cell storing '1'."""
+        return read_disturbance_probability(
+            thermal_stability=self.config.thermal_stability,
+            read_current_ua=self.config.read_current_ua,
+            critical_current_ua=self.config.critical_current_ua,
+            read_pulse_width_ns=self.config.read_pulse_width_ns,
+            attempt_period_ns=self.config.attempt_period_ns,
+        )
+
+    def probability_after_reads(self, num_reads: int) -> float:
+        """Probability a '1' cell has flipped after ``num_reads`` unchecked reads.
+
+        Disturbance events in successive reads are independent Bernoulli
+        trials, so the cell survives all reads with probability
+        ``(1 - p)^num_reads``.
+        """
+        if num_reads < 0:
+            raise ConfigurationError("num_reads must be non-negative")
+        if num_reads == 0:
+            return 0.0
+        p = self.per_read_probability
+        return -math.expm1(num_reads * math.log1p(-p))
+
+    def expected_flips(self, num_ones: int, num_reads: int) -> float:
+        """Expected number of flipped cells in a block.
+
+        Args:
+            num_ones: Number of cells storing '1' in the block.
+            num_reads: Number of unchecked reads the block experienced.
+        """
+        if num_ones < 0:
+            raise ConfigurationError("num_ones must be non-negative")
+        return num_ones * self.probability_after_reads(num_reads)
+
+    @classmethod
+    def with_target_probability(
+        cls, target_probability: float, base: MTJConfig | None = None
+    ) -> "ReadDisturbanceModel":
+        """Build a model whose per-read probability equals ``target_probability``.
+
+        The read current of the base configuration is re-derived so the
+        corrected Eq. (1) yields exactly the requested probability; all other
+        parameters are preserved.
+        """
+        base = base or MTJConfig()
+        current = read_current_for_target_probability(
+            target_probability=target_probability,
+            thermal_stability=base.thermal_stability,
+            critical_current_ua=base.critical_current_ua,
+            read_pulse_width_ns=base.read_pulse_width_ns,
+            attempt_period_ns=base.attempt_period_ns,
+        )
+        config = MTJConfig(
+            thermal_stability=base.thermal_stability,
+            read_current_ua=current,
+            critical_current_ua=base.critical_current_ua,
+            read_pulse_width_ns=base.read_pulse_width_ns,
+            attempt_period_ns=base.attempt_period_ns,
+            write_pulse_width_ns=base.write_pulse_width_ns,
+            write_current_ua=base.write_current_ua,
+            temperature_k=base.temperature_k,
+        )
+        return cls(config=config)

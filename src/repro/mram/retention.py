@@ -1,0 +1,77 @@
+"""Retention-failure model for idle STT-MRAM cells.
+
+Even without any access, a cell's free layer can spontaneously switch due to
+thermal agitation.  The retention time follows the Néel–Arrhenius law and is
+astronomically long for the thermal-stability factors used in caches
+(Δ ≈ 60), so retention errors are negligible next to read disturbance — but
+the model is included so experiments can sweep Δ downwards (e.g. for
+scaled / low-energy MTJ designs) and observe the crossover.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..config import MTJConfig
+from ..errors import ConfigurationError
+
+
+def retention_failure_probability(
+    thermal_stability: float,
+    idle_time_s: float,
+    attempt_period_ns: float = 1.0,
+) -> float:
+    """Probability an idle cell loses its value within ``idle_time_s``.
+
+    ``P = 1 - exp(-t_idle / (τ · exp(Δ)))``
+
+    Args:
+        thermal_stability: Thermal stability factor Δ.
+        idle_time_s: Idle interval in seconds.
+        attempt_period_ns: Attempt period τ in nanoseconds.
+
+    Returns:
+        Probability in [0, 1].
+    """
+    if thermal_stability <= 0:
+        raise ConfigurationError("thermal_stability must be positive")
+    if idle_time_s < 0:
+        raise ConfigurationError("idle_time_s must be non-negative")
+    if attempt_period_ns <= 0:
+        raise ConfigurationError("attempt_period_ns must be positive")
+    if idle_time_s == 0:
+        return 0.0
+
+    mean_retention_s = attempt_period_ns * 1e-9 * math.exp(thermal_stability)
+    return -math.expm1(-idle_time_s / mean_retention_s)
+
+
+@dataclass(frozen=True)
+class RetentionModel:
+    """Retention-failure model bound to an MTJ operating point."""
+
+    config: MTJConfig
+
+    def failure_probability(self, idle_time_s: float) -> float:
+        """Probability a single idle cell flips within ``idle_time_s``."""
+        return retention_failure_probability(
+            thermal_stability=self.config.thermal_stability,
+            idle_time_s=idle_time_s,
+            attempt_period_ns=self.config.attempt_period_ns,
+        )
+
+    def block_failure_probability(self, num_ones: int, idle_time_s: float) -> float:
+        """Probability at least one of ``num_ones`` idle cells flips."""
+        if num_ones < 0:
+            raise ConfigurationError("num_ones must be non-negative")
+        if num_ones == 0:
+            return 0.0
+        p = self.failure_probability(idle_time_s)
+        if p <= 0.0:
+            return 0.0
+        return -math.expm1(num_ones * math.log1p(-p))
+
+    def mean_retention_time_s(self) -> float:
+        """Mean retention time of a single cell in seconds."""
+        return self.config.attempt_period_s * math.exp(self.config.thermal_stability)

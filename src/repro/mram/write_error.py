@@ -1,0 +1,108 @@
+"""Write-error model for STT-MRAM cells.
+
+Writing an STT-MRAM cell is also a stochastic switching event: if the write
+pulse ends before the free layer has switched, the cell keeps its old value
+(a *write failure*).  The paper mentions write failures as the reliability
+cost of the "disruptive read and restore" mitigation family [14, 15]: every
+restore is an extra write and therefore an extra opportunity to fail.
+
+The model mirrors the read-disturbance model but for currents at or above
+the critical current, where switching is intended:
+
+``P_write_success = 1 - exp(-(t_write / τ) · exp(-Δ · max(0, 1 - I_w/I_C0)))``
+
+For I_w > I_C0 the barrier term is clamped to zero, leaving the familiar
+``1 - exp(-t/τ)``-style success probability whose failure tail shrinks
+exponentially with pulse width.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..config import MTJConfig
+from ..errors import ConfigurationError
+
+
+def write_failure_probability(
+    thermal_stability: float,
+    write_current_ua: float,
+    critical_current_ua: float,
+    write_pulse_width_ns: float,
+    attempt_period_ns: float = 1.0,
+) -> float:
+    """Probability that a single write pulse fails to switch the cell.
+
+    Args:
+        thermal_stability: Thermal stability factor Δ.
+        write_current_ua: Write current in microamperes.
+        critical_current_ua: Critical switching current in microamperes.
+        write_pulse_width_ns: Write pulse width in nanoseconds.
+        attempt_period_ns: Attempt period τ in nanoseconds.
+
+    Returns:
+        Failure probability in [0, 1].
+    """
+    if thermal_stability <= 0:
+        raise ConfigurationError("thermal_stability must be positive")
+    if write_current_ua <= 0 or critical_current_ua <= 0:
+        raise ConfigurationError("currents must be positive")
+    if write_pulse_width_ns <= 0 or attempt_period_ns <= 0:
+        raise ConfigurationError("pulse width and attempt period must be positive")
+
+    barrier = thermal_stability * max(0.0, 1.0 - write_current_ua / critical_current_ua)
+    rate_per_attempt = math.exp(-barrier)
+    success = -math.expm1(
+        -(write_pulse_width_ns / attempt_period_ns) * rate_per_attempt
+    )
+    return 1.0 - success
+
+
+@dataclass(frozen=True)
+class WriteErrorModel:
+    """Write-failure model bound to an MTJ operating point."""
+
+    config: MTJConfig
+
+    @property
+    def per_write_failure_probability(self) -> float:
+        """Probability that a single cell write fails."""
+        return write_failure_probability(
+            thermal_stability=self.config.thermal_stability,
+            write_current_ua=self.config.write_current_ua,
+            critical_current_ua=self.config.critical_current_ua,
+            write_pulse_width_ns=self.config.write_pulse_width_ns,
+            attempt_period_ns=self.config.attempt_period_ns,
+        )
+
+    def block_write_failure_probability(self, bits_written: int) -> float:
+        """Probability at least one of ``bits_written`` cells fails to write.
+
+        Only cells whose value actually changes are pulsed; callers should
+        pass the Hamming distance between old and new block contents when it
+        is known, or the full block width as a conservative bound.
+        """
+        if bits_written < 0:
+            raise ConfigurationError("bits_written must be non-negative")
+        if bits_written == 0:
+            return 0.0
+        p = self.per_write_failure_probability
+        return -math.expm1(bits_written * math.log1p(-p))
+
+    def restore_failure_probability(self, bits_restored: int, num_restores: int) -> float:
+        """Failure probability of a restore-after-read mitigation scheme.
+
+        Each restore rewrites ``bits_restored`` cells; performing
+        ``num_restores`` restores multiplies the exposure.  Used by the
+        :class:`repro.core.restore.RestoreCache` baseline to account for the
+        write-failure cost the paper attributes to that approach.
+        """
+        if num_restores < 0:
+            raise ConfigurationError("num_restores must be non-negative")
+        if num_restores == 0:
+            return 0.0
+        single = self.block_write_failure_probability(bits_restored)
+        if single <= 0.0:
+            return 0.0
+        return -math.expm1(num_restores * math.log1p(-single))

@@ -1,0 +1,61 @@
+"""Reliability mathematics: Eqs. (2)/(3)/(6), accumulation tracking, MTTF, MC.
+
+Public surface:
+
+* closed-form block probabilities (:mod:`repro.reliability.binomial`);
+* :class:`AccumulationTracker` / :class:`ConcealedReadHistogram` — the
+  Fig. 3 characterisation machinery;
+* :class:`MTTFResult` and helpers — the Fig. 5 metric;
+* :class:`FaultInjectionCampaign` — bit-true Monte-Carlo validation.
+"""
+
+from .accumulation import (
+    AccessSample,
+    AccumulationTracker,
+    ConcealedReadHistogram,
+    HistogramBin,
+)
+from .binomial import (
+    accumulated_correct_probability,
+    accumulated_failure_probability,
+    accumulation_penalty,
+    binomial_tail_ge,
+    block_correct_probability,
+    block_failure_probability,
+    expected_disturbed_bits,
+    reap_correct_probability,
+    reap_failure_probability,
+    reap_improvement_factor,
+)
+from .montecarlo import FaultInjectionCampaign, InjectionResult
+from .mttf import (
+    MTTFResult,
+    arithmetic_mean_improvement,
+    geometric_mean_improvement,
+    mttf_from_probabilities,
+    mttf_improvement,
+)
+
+__all__ = [
+    "AccessSample",
+    "AccumulationTracker",
+    "ConcealedReadHistogram",
+    "HistogramBin",
+    "block_correct_probability",
+    "block_failure_probability",
+    "accumulated_correct_probability",
+    "accumulated_failure_probability",
+    "reap_correct_probability",
+    "reap_failure_probability",
+    "accumulation_penalty",
+    "reap_improvement_factor",
+    "binomial_tail_ge",
+    "expected_disturbed_bits",
+    "MTTFResult",
+    "mttf_from_probabilities",
+    "mttf_improvement",
+    "geometric_mean_improvement",
+    "arithmetic_mean_improvement",
+    "FaultInjectionCampaign",
+    "InjectionResult",
+]

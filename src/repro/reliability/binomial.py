@@ -1,0 +1,169 @@
+"""Closed-form block-failure probabilities (paper Eqs. 2, 3 and 6).
+
+A cache block with ``n`` cells storing '1' is read; each '1' cell is
+independently disturbed with probability ``p`` per read.  With an ECC that
+corrects up to ``t`` errors per block:
+
+* **Single checked read** (Eq. 2 for t=1): the block is delivered correctly
+  when at most ``t`` cells flipped, ``P_corr = P[X <= t]`` with
+  ``X ~ Binomial(n, p)``.
+* **Accumulated concealed reads** (Eq. 3): ``N-1`` concealed reads plus the
+  final demand read expose the block to ``N·n`` Bernoulli trials before the
+  single ECC check, so ``P_corr_acc = P[X <= t]`` with
+  ``X ~ Binomial(N·n, p)``.
+* **REAP** (Eq. 6): every one of the ``N`` reads is checked (and the block
+  scrubbed), so the block survives when *each* read individually stays within
+  the ECC capability: ``P_corr_REAP = (P[X <= t])^N`` with
+  ``X ~ Binomial(n, p)``.
+
+The paper uses ``t = 1`` (SEC) throughout; the functions here take ``t`` as a
+parameter so ECC-strength ablations reuse the same math.
+
+Numerical care: failure probabilities of interest range from ~1e-15 to ~1e-2,
+so the *failure* side is always computed directly as an upper binomial tail
+(``scipy.stats.binom.sf``) rather than as ``1 - P_corr``, which would lose
+precision below ~1e-12.
+
+Note on Eq. (3)'s trial count: the paper defines ``N`` as "the number of
+concealed reads ... plus one (to count the last read access)", i.e. the total
+number of physical reads between consecutive ECC checks.  All functions here
+follow that convention: ``num_reads`` is the total read count, ``>= 1``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from scipy import stats
+
+from ..errors import ConfigurationError
+
+
+def _validate(p_cell: float, num_ones: int, num_reads: int, correctable: int) -> None:
+    if not 0.0 <= p_cell <= 1.0:
+        raise ConfigurationError("p_cell must be in [0, 1]")
+    if num_ones < 0:
+        raise ConfigurationError("num_ones must be non-negative")
+    if num_reads < 1:
+        raise ConfigurationError("num_reads must be >= 1 (the demand read itself)")
+    if correctable < 0:
+        raise ConfigurationError("correctable must be non-negative")
+
+
+def binomial_tail_ge(num_trials: int, p: float, k: int) -> float:
+    """``P[X >= k]`` for ``X ~ Binomial(num_trials, p)``, accurate for tiny tails."""
+    if num_trials < 0:
+        raise ConfigurationError("num_trials must be non-negative")
+    if not 0.0 <= p <= 1.0:
+        raise ConfigurationError("p must be in [0, 1]")
+    if k <= 0:
+        return 1.0
+    if k > num_trials:
+        return 0.0
+    return float(stats.binom.sf(k - 1, num_trials, p))
+
+
+def block_correct_probability(
+    p_cell: float, num_ones: int, correctable: int = 1
+) -> float:
+    """Eq. (2): probability a single checked read delivers correct data."""
+    _validate(p_cell, num_ones, 1, correctable)
+    return 1.0 - binomial_tail_ge(num_ones, p_cell, correctable + 1)
+
+
+def block_failure_probability(
+    p_cell: float, num_ones: int, correctable: int = 1
+) -> float:
+    """Complement of Eq. (2): uncorrectable-error probability of one read."""
+    _validate(p_cell, num_ones, 1, correctable)
+    return binomial_tail_ge(num_ones, p_cell, correctable + 1)
+
+
+def accumulated_correct_probability(
+    p_cell: float, num_ones: int, num_reads: int, correctable: int = 1
+) -> float:
+    """Eq. (3): correct-delivery probability after ``num_reads`` unchecked reads.
+
+    Args:
+        p_cell: Per-read, per-cell disturbance probability.
+        num_ones: Number of '1' cells in the block.
+        num_reads: Total reads between ECC checks (concealed reads + the
+            final demand read); ``num_reads = 1`` degenerates to Eq. (2).
+        correctable: ECC correction capability ``t``.
+    """
+    _validate(p_cell, num_ones, num_reads, correctable)
+    return 1.0 - binomial_tail_ge(num_reads * num_ones, p_cell, correctable + 1)
+
+
+def accumulated_failure_probability(
+    p_cell: float, num_ones: int, num_reads: int, correctable: int = 1
+) -> float:
+    """Complement of Eq. (3): uncorrectable-error probability with accumulation."""
+    _validate(p_cell, num_ones, num_reads, correctable)
+    return binomial_tail_ge(num_reads * num_ones, p_cell, correctable + 1)
+
+
+def reap_correct_probability(
+    p_cell: float, num_ones: int, num_reads: int, correctable: int = 1
+) -> float:
+    """Eq. (6): correct-delivery probability when every read is ECC-checked."""
+    _validate(p_cell, num_ones, num_reads, correctable)
+    single_failure = binomial_tail_ge(num_ones, p_cell, correctable + 1)
+    if single_failure >= 1.0:
+        return 0.0
+    return math.exp(num_reads * math.log1p(-single_failure))
+
+
+def reap_failure_probability(
+    p_cell: float, num_ones: int, num_reads: int, correctable: int = 1
+) -> float:
+    """Complement of Eq. (6), computed without cancellation for tiny values."""
+    _validate(p_cell, num_ones, num_reads, correctable)
+    single_failure = binomial_tail_ge(num_ones, p_cell, correctable + 1)
+    if single_failure >= 1.0:
+        return 1.0
+    return -math.expm1(num_reads * math.log1p(-single_failure))
+
+
+def accumulation_penalty(
+    p_cell: float, num_ones: int, num_reads: int, correctable: int = 1
+) -> float:
+    """Ratio of accumulated to single-read failure probability.
+
+    This is the "orders of magnitude" factor the paper's Section III-B example
+    highlights: 50 concealed reads raise the uncorrectable-error probability
+    of a 100-ones block from 5.0e-13 to 1.3e-9, a penalty of ~2.6e3.
+    """
+    base = block_failure_probability(p_cell, num_ones, correctable)
+    accumulated = accumulated_failure_probability(
+        p_cell, num_ones, num_reads, correctable
+    )
+    if base == 0.0:
+        return math.inf if accumulated > 0.0 else 1.0
+    return accumulated / base
+
+
+def reap_improvement_factor(
+    p_cell: float, num_ones: int, num_reads: int, correctable: int = 1
+) -> float:
+    """Factor by which REAP lowers the failure probability vs. accumulation.
+
+    For the paper's Section IV example (100 ones, p = 1e-8, 50 reads) this is
+    about 50x: 1.3e-9 (conventional) versus 2.6e-11 (REAP).
+    """
+    reap = reap_failure_probability(p_cell, num_ones, num_reads, correctable)
+    accumulated = accumulated_failure_probability(
+        p_cell, num_ones, num_reads, correctable
+    )
+    if reap == 0.0:
+        return math.inf if accumulated > 0.0 else 1.0
+    return accumulated / reap
+
+
+def expected_disturbed_bits(p_cell: float, num_ones: int, num_reads: int) -> float:
+    """Expected number of flipped cells after ``num_reads`` unchecked reads."""
+    _validate(p_cell, num_ones, num_reads, 0)
+    if num_ones == 0:
+        return 0.0
+    per_cell = -math.expm1(num_reads * math.log1p(-p_cell)) if p_cell < 1.0 else 1.0
+    return num_ones * per_cell

@@ -1,0 +1,193 @@
+"""Monte-Carlo fault injection for read-disturbance accumulation.
+
+The closed-form math in :mod:`repro.reliability.binomial` assumes idealised
+independent Bernoulli flips; this module validates it (and the REAP scheme's
+behaviour) against a bit-true simulation: a block stored in an
+:class:`repro.mram.STTBlockArray` is actually read, disturbed, ECC-decoded and
+scrubbed, and uncorrectable / silently-corrupted outcomes are counted.
+
+Because realistic disturbance probabilities (1e-8) would need billions of
+trials, the harness accepts an elevated ``disturb_probability`` — the shapes
+of Eqs. (3)/(6) are probability-level-independent, so an accelerated test at
+p = 1e-3 exercises exactly the same mechanisms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import MTJConfig
+from ..ecc import DecodeStatus, ECCScheme
+from ..errors import ConfigurationError
+from ..mram import STTBlockArray
+
+
+@dataclass(frozen=True)
+class InjectionResult:
+    """Outcome counts of a fault-injection campaign.
+
+    Attributes:
+        trials: Number of independent block lifetimes simulated.
+        clean: Lifetimes that ended with correct data and no correction needed.
+        corrected: Lifetimes where the final check corrected the data.
+        detected_uncorrectable: Lifetimes ending in a detected uncorrectable error.
+        silent_corruptions: Lifetimes where the decoder claimed success but
+            the delivered data differed from the golden data.
+    """
+
+    trials: int
+    clean: int
+    corrected: int
+    detected_uncorrectable: int
+    silent_corruptions: int
+
+    @property
+    def failures(self) -> int:
+        """Total uncorrectable outcomes (detected + silent)."""
+        return self.detected_uncorrectable + self.silent_corruptions
+
+    @property
+    def failure_rate(self) -> float:
+        """Empirical probability of an uncorrectable outcome."""
+        if self.trials == 0:
+            return 0.0
+        return self.failures / self.trials
+
+    @property
+    def success_rate(self) -> float:
+        """Empirical probability of correct data delivery."""
+        if self.trials == 0:
+            return 0.0
+        return (self.clean + self.corrected) / self.trials
+
+
+class FaultInjectionCampaign:
+    """Drives bit-true blocks through conventional and REAP read sequences."""
+
+    def __init__(
+        self,
+        ecc: ECCScheme,
+        disturb_probability: float,
+        mtj: MTJConfig | None = None,
+        seed: int = 1,
+    ) -> None:
+        """Create a campaign.
+
+        Args:
+            ecc: The block ECC scheme (its ``data_bits`` define the block width).
+            disturb_probability: Per-read, per-cell disturbance probability
+                used by the bit-true array (can be elevated for acceleration).
+            mtj: MTJ operating point used for write-failure behaviour.
+            seed: Seed for the campaign's random generator.
+        """
+        if not 0.0 <= disturb_probability <= 1.0:
+            raise ConfigurationError("disturb_probability must be in [0, 1]")
+        self._ecc = ecc
+        self._disturb_probability = disturb_probability
+        self._mtj = mtj or MTJConfig()
+        self._rng = np.random.default_rng(seed)
+
+    def _random_data(self, ones_fraction: float) -> np.ndarray:
+        data = (
+            self._rng.random(self._ecc.data_bits) < ones_fraction
+        ).astype(np.uint8)
+        return data
+
+    def _new_block(self, codeword: np.ndarray) -> STTBlockArray:
+        block = STTBlockArray(
+            num_bits=codeword.size,
+            mtj=self._mtj,
+            disturb_probability=self._disturb_probability,
+            write_failure_probability=0.0,
+            rng=self._rng,
+        )
+        block.write(codeword)
+        return block
+
+    def run_conventional(
+        self, num_reads: int, trials: int, ones_fraction: float = 0.5
+    ) -> InjectionResult:
+        """Simulate lifetimes where only the final read is ECC-checked.
+
+        Each trial writes fresh random data, performs ``num_reads - 1``
+        concealed reads (disturbing but never checking), then decodes on the
+        final demand read.
+        """
+        return self._run(num_reads, trials, ones_fraction, check_every_read=False)
+
+    def run_reap(
+        self, num_reads: int, trials: int, ones_fraction: float = 0.5
+    ) -> InjectionResult:
+        """Simulate lifetimes where every read is ECC-checked and scrubbed."""
+        return self._run(num_reads, trials, ones_fraction, check_every_read=True)
+
+    def _run(
+        self,
+        num_reads: int,
+        trials: int,
+        ones_fraction: float,
+        check_every_read: bool,
+    ) -> InjectionResult:
+        if num_reads < 1:
+            raise ConfigurationError("num_reads must be >= 1")
+        if trials < 1:
+            raise ConfigurationError("trials must be >= 1")
+        if not 0.0 <= ones_fraction <= 1.0:
+            raise ConfigurationError("ones_fraction must be in [0, 1]")
+
+        clean = corrected = detected = silent = 0
+        for _ in range(trials):
+            golden = self._random_data(ones_fraction)
+            codeword = self._ecc.encode(golden)
+            block = self._new_block(codeword)
+
+            outcome_status = DecodeStatus.CLEAN
+            failed = False
+            was_corrected = False
+            for read_index in range(num_reads):
+                block.read()
+                is_last = read_index == num_reads - 1
+                if check_every_read or is_last:
+                    stored = block.snapshot()
+                    result = self._ecc.decode(stored)
+                    if result.status is DecodeStatus.DETECTED_UNCORRECTABLE:
+                        outcome_status = result.status
+                        failed = True
+                        break
+                    if not np.array_equal(result.data, golden):
+                        outcome_status = DecodeStatus.MISCORRECTED
+                        failed = True
+                        break
+                    if result.status is DecodeStatus.CORRECTED:
+                        was_corrected = True
+                        # REAP scrubs the array with the corrected codeword.
+                        if check_every_read:
+                            block.scrub(self._ecc.encode(result.data))
+
+            if failed:
+                if outcome_status is DecodeStatus.DETECTED_UNCORRECTABLE:
+                    detected += 1
+                else:
+                    silent += 1
+            elif was_corrected:
+                corrected += 1
+            else:
+                clean += 1
+
+        return InjectionResult(
+            trials=trials,
+            clean=clean,
+            corrected=corrected,
+            detected_uncorrectable=detected,
+            silent_corruptions=silent,
+        )
+
+    def compare(
+        self, num_reads: int, trials: int, ones_fraction: float = 0.5
+    ) -> tuple[InjectionResult, InjectionResult]:
+        """Run both schemes with the same parameters and return (conventional, reap)."""
+        conventional = self.run_conventional(num_reads, trials, ones_fraction)
+        reap = self.run_reap(num_reads, trials, ones_fraction)
+        return conventional, reap

@@ -1,0 +1,35 @@
+"""Trace-driven simulation engine, experiment orchestration and results.
+
+Public surface:
+
+* :func:`run_l2_trace` / :func:`run_cpu_trace` — drive a protected cache or
+  the full hierarchy with a trace.
+* :func:`compare_schemes`, :class:`ExperimentRunner`, :func:`sweep`,
+  :class:`ExperimentSettings` — experiment orchestration.
+* :class:`SchemeRunResult`, :class:`WorkloadComparison`, :func:`format_table`
+  — results and console tables.
+"""
+
+from .engine import run_cpu_trace, run_l2_trace, simulated_time_for
+from .experiment import (
+    ExperimentRunner,
+    ExperimentSettings,
+    compare_schemes,
+    run_workload,
+    sweep,
+)
+from .results import SchemeRunResult, WorkloadComparison, format_table
+
+__all__ = [
+    "run_l2_trace",
+    "run_cpu_trace",
+    "simulated_time_for",
+    "ExperimentRunner",
+    "ExperimentSettings",
+    "compare_schemes",
+    "run_workload",
+    "sweep",
+    "SchemeRunResult",
+    "WorkloadComparison",
+    "format_table",
+]

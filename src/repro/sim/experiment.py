@@ -1,0 +1,226 @@
+"""Experiment orchestration: scheme comparisons and parameter sweeps.
+
+The figure builders in :mod:`repro.analysis` are thin wrappers around the
+two workhorses here:
+
+* :func:`compare_schemes` — run the *same* workload trace through a baseline
+  scheme and any number of alternatives and pair up the results.
+* :class:`ExperimentRunner` — run a whole suite of SPEC-named workloads,
+  optionally sweeping a parameter (ECC strength, associativity, disturbance
+  probability), and collect the per-workload comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from ..config import CacheLevelConfig, MTJConfig, SimulationConfig, paper_l2_config
+from ..core import DataValueProfile, ProtectionScheme, build_protected_cache
+from ..errors import AnalysisError
+from ..workloads import SPECWorkloadProfile, generate_l2_trace, get_profile
+from ..workloads.trace import Trace
+from .engine import run_l2_trace
+from .results import SchemeRunResult, WorkloadComparison
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Knobs shared by all runs of one experiment.
+
+    Attributes:
+        l2_config: Geometry and ECC of the L2 under test.
+        mtj: MTJ operating point (ignored when ``p_cell`` is given).
+        p_cell: Per-read, per-cell disturbance probability override.
+        num_accesses: L2 accesses generated per workload.
+        ones_count: When set, every block holds exactly this many '1' cells
+            (the paper's worked example uses 100); otherwise ones counts are
+            sampled from the default data profile.
+        seed: Base random seed (workload index is added to it).
+        track_accumulation: Record per-delivery samples (needed for Fig. 3).
+    """
+
+    l2_config: CacheLevelConfig = field(default_factory=paper_l2_config)
+    mtj: MTJConfig = field(default_factory=MTJConfig)
+    p_cell: float | None = 1e-8
+    num_accesses: int = 100_000
+    ones_count: int | None = 100
+    seed: int = 1
+    track_accumulation: bool = True
+
+    def data_profile(self, seed: int) -> DataValueProfile:
+        """Build the ones-count sampler implied by the settings."""
+        if self.ones_count is not None:
+            return DataValueProfile.constant(
+                self.ones_count, block_bits=self.l2_config.block_size_bits
+            )
+        return DataValueProfile(block_bits=self.l2_config.block_size_bits, seed=seed)
+
+
+def run_workload(
+    workload: SPECWorkloadProfile | str,
+    scheme: ProtectionScheme | str,
+    settings: ExperimentSettings | None = None,
+    trace: Trace | None = None,
+    sim_config: SimulationConfig | None = None,
+):
+    """Run one (workload, scheme) pair and return (result, protected cache).
+
+    Args:
+        workload: Profile object or SPEC benchmark name.
+        scheme: Protection scheme to evaluate.
+        settings: Experiment settings; defaults reproduce the paper setup.
+        trace: Pre-generated trace; when omitted one is generated from the
+            profile (always generate the trace once and pass it in when
+            comparing schemes, so both see the identical access stream).
+        sim_config: Simulation configuration for the time base.
+    """
+    settings = settings or ExperimentSettings()
+    profile = get_profile(workload) if isinstance(workload, str) else workload
+    if trace is None:
+        trace = generate_l2_trace(
+            profile, settings.l2_config, settings.num_accesses, seed=settings.seed
+        )
+    cache = build_protected_cache(
+        scheme,
+        settings.l2_config,
+        mtj=settings.mtj,
+        p_cell=settings.p_cell,
+        data_profile=settings.data_profile(settings.seed),
+        seed=settings.seed,
+        track_accumulation=settings.track_accumulation,
+    )
+    result = run_l2_trace(cache, trace, config=sim_config)
+    return result, cache
+
+
+def compare_schemes(
+    workload: SPECWorkloadProfile | str,
+    baseline: ProtectionScheme | str = ProtectionScheme.CONVENTIONAL,
+    alternatives: Sequence[ProtectionScheme | str] = (ProtectionScheme.REAP,),
+    settings: ExperimentSettings | None = None,
+    sim_config: SimulationConfig | None = None,
+) -> WorkloadComparison:
+    """Run one workload through a baseline and alternative schemes.
+
+    The trace is generated once and replayed identically for every scheme so
+    the comparison isolates the protection mechanism.
+    """
+    settings = settings or ExperimentSettings()
+    profile = get_profile(workload) if isinstance(workload, str) else workload
+    trace = generate_l2_trace(
+        profile, settings.l2_config, settings.num_accesses, seed=settings.seed
+    )
+    baseline_result, _ = run_workload(
+        profile, baseline, settings=settings, trace=trace, sim_config=sim_config
+    )
+    alternative_results = []
+    for scheme in alternatives:
+        result, _ = run_workload(
+            profile, scheme, settings=settings, trace=trace, sim_config=sim_config
+        )
+        alternative_results.append(result)
+    return WorkloadComparison(
+        workload=profile.name,
+        baseline=baseline_result,
+        alternatives=tuple(alternative_results),
+    )
+
+
+class ExperimentRunner:
+    """Runs a suite of workloads through a set of schemes."""
+
+    def __init__(
+        self,
+        workloads: Iterable[SPECWorkloadProfile | str],
+        settings: ExperimentSettings | None = None,
+        baseline: ProtectionScheme | str = ProtectionScheme.CONVENTIONAL,
+        alternatives: Sequence[ProtectionScheme | str] = (ProtectionScheme.REAP,),
+    ) -> None:
+        """Create a runner.
+
+        Args:
+            workloads: Profiles or benchmark names to evaluate.
+            settings: Shared experiment settings.
+            baseline: Scheme every alternative is normalised against.
+            alternatives: Schemes to evaluate against the baseline.
+        """
+        self._workloads = [
+            get_profile(w) if isinstance(w, str) else w for w in workloads
+        ]
+        if not self._workloads:
+            raise AnalysisError("at least one workload is required")
+        self._settings = settings or ExperimentSettings()
+        self._baseline = baseline
+        self._alternatives = tuple(alternatives)
+
+    @property
+    def workloads(self) -> list[SPECWorkloadProfile]:
+        """The workload profiles the runner evaluates."""
+        return list(self._workloads)
+
+    @property
+    def settings(self) -> ExperimentSettings:
+        """Shared experiment settings."""
+        return self._settings
+
+    def run(
+        self, progress: Callable[[str], None] | None = None
+    ) -> list[WorkloadComparison]:
+        """Run every workload and return the per-workload comparisons.
+
+        Args:
+            progress: Optional callback invoked with the workload name as
+                each comparison finishes.
+        """
+        comparisons = []
+        for index, profile in enumerate(self._workloads):
+            settings = ExperimentSettings(
+                l2_config=self._settings.l2_config,
+                mtj=self._settings.mtj,
+                p_cell=self._settings.p_cell,
+                num_accesses=self._settings.num_accesses,
+                ones_count=self._settings.ones_count,
+                seed=self._settings.seed + index,
+                track_accumulation=self._settings.track_accumulation,
+            )
+            comparison = compare_schemes(
+                profile,
+                baseline=self._baseline,
+                alternatives=self._alternatives,
+                settings=settings,
+            )
+            comparisons.append(comparison)
+            if progress is not None:
+                progress(profile.name)
+        return comparisons
+
+
+def sweep(
+    parameter_values: Sequence[object],
+    build_settings: Callable[[object], ExperimentSettings],
+    workload: SPECWorkloadProfile | str,
+    baseline: ProtectionScheme | str = ProtectionScheme.CONVENTIONAL,
+    alternatives: Sequence[ProtectionScheme | str] = (ProtectionScheme.REAP,),
+) -> list[tuple[object, WorkloadComparison]]:
+    """Sweep one parameter and compare schemes at each point.
+
+    Args:
+        parameter_values: The values to sweep.
+        build_settings: Maps a parameter value to the experiment settings to
+            use at that point.
+        workload: The workload evaluated at every point.
+        baseline: Baseline scheme.
+        alternatives: Alternative schemes.
+
+    Returns:
+        ``[(value, comparison), ...]`` in the order of ``parameter_values``.
+    """
+    results = []
+    for value in parameter_values:
+        settings = build_settings(value)
+        comparison = compare_schemes(
+            workload, baseline=baseline, alternatives=alternatives, settings=settings
+        )
+        results.append((value, comparison))
+    return results

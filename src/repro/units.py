@@ -1,0 +1,213 @@
+"""Unit helpers and physical constants used across the library.
+
+The library keeps all internal quantities in SI base units (seconds, amperes,
+joules, square metres) and uses these helpers at API boundaries so that a
+configuration can be written in the units the paper uses (nanoseconds,
+microamperes, picojoules, KB/MB, ...) without sprinkling conversion factors
+through the code.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Time
+# ---------------------------------------------------------------------------
+
+SECOND = 1.0
+MILLISECOND = 1e-3
+MICROSECOND = 1e-6
+NANOSECOND = 1e-9
+PICOSECOND = 1e-12
+
+HOUR = 3600.0
+DAY = 24.0 * HOUR
+YEAR = 365.25 * DAY
+
+
+def ns(value: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return value * NANOSECOND
+
+
+def ps(value: float) -> float:
+    """Convert picoseconds to seconds."""
+    return value * PICOSECOND
+
+
+def us(value: float) -> float:
+    """Convert microseconds to seconds."""
+    return value * MICROSECOND
+
+
+def to_ns(seconds: float) -> float:
+    """Convert seconds to nanoseconds."""
+    return seconds / NANOSECOND
+
+
+def seconds_to_years(seconds: float) -> float:
+    """Convert seconds to (Julian) years, the customary MTTF unit."""
+    return seconds / YEAR
+
+
+# ---------------------------------------------------------------------------
+# Current
+# ---------------------------------------------------------------------------
+
+AMPERE = 1.0
+MILLIAMPERE = 1e-3
+MICROAMPERE = 1e-6
+NANOAMPERE = 1e-9
+
+
+def ua(value: float) -> float:
+    """Convert microamperes to amperes."""
+    return value * MICROAMPERE
+
+
+def to_ua(amps: float) -> float:
+    """Convert amperes to microamperes."""
+    return amps / MICROAMPERE
+
+
+# ---------------------------------------------------------------------------
+# Energy
+# ---------------------------------------------------------------------------
+
+JOULE = 1.0
+MILLIJOULE = 1e-3
+MICROJOULE = 1e-6
+NANOJOULE = 1e-9
+PICOJOULE = 1e-12
+FEMTOJOULE = 1e-15
+
+
+def pj(value: float) -> float:
+    """Convert picojoules to joules."""
+    return value * PICOJOULE
+
+
+def nj(value: float) -> float:
+    """Convert nanojoules to joules."""
+    return value * NANOJOULE
+
+
+def fj(value: float) -> float:
+    """Convert femtojoules to joules."""
+    return value * FEMTOJOULE
+
+
+def to_pj(joules: float) -> float:
+    """Convert joules to picojoules."""
+    return joules / PICOJOULE
+
+
+def to_nj(joules: float) -> float:
+    """Convert joules to nanojoules."""
+    return joules / NANOJOULE
+
+
+# ---------------------------------------------------------------------------
+# Power
+# ---------------------------------------------------------------------------
+
+WATT = 1.0
+MILLIWATT = 1e-3
+MICROWATT = 1e-6
+NANOWATT = 1e-9
+
+
+def mw(value: float) -> float:
+    """Convert milliwatts to watts."""
+    return value * MILLIWATT
+
+
+def to_mw(watts: float) -> float:
+    """Convert watts to milliwatts."""
+    return watts / MILLIWATT
+
+
+# ---------------------------------------------------------------------------
+# Area
+# ---------------------------------------------------------------------------
+
+SQUARE_METRE = 1.0
+SQUARE_MILLIMETRE = 1e-6
+SQUARE_MICROMETRE = 1e-12
+SQUARE_NANOMETRE = 1e-18
+
+
+def mm2(value: float) -> float:
+    """Convert square millimetres to square metres."""
+    return value * SQUARE_MILLIMETRE
+
+
+def um2(value: float) -> float:
+    """Convert square micrometres to square metres."""
+    return value * SQUARE_MICROMETRE
+
+
+def to_mm2(square_metres: float) -> float:
+    """Convert square metres to square millimetres."""
+    return square_metres / SQUARE_MILLIMETRE
+
+
+def to_um2(square_metres: float) -> float:
+    """Convert square metres to square micrometres."""
+    return square_metres / SQUARE_MICROMETRE
+
+
+# ---------------------------------------------------------------------------
+# Capacity
+# ---------------------------------------------------------------------------
+
+BYTE = 1
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+
+def kib(value: int) -> int:
+    """Convert KiB (the paper's "KB") to bytes."""
+    return value * KIB
+
+
+def mib(value: int) -> int:
+    """Convert MiB (the paper's "MB") to bytes."""
+    return value * MIB
+
+
+def to_kib(num_bytes: int) -> float:
+    """Convert bytes to KiB."""
+    return num_bytes / KIB
+
+
+def to_mib(num_bytes: int) -> float:
+    """Convert bytes to MiB."""
+    return num_bytes / MIB
+
+
+# ---------------------------------------------------------------------------
+# Physical constants
+# ---------------------------------------------------------------------------
+
+BOLTZMANN_CONSTANT = 1.380649e-23
+"""Boltzmann constant in J/K."""
+
+ROOM_TEMPERATURE_K = 300.0
+"""Nominal operating temperature in kelvin used by the MTJ models."""
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return ``True`` when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_exact(value: int) -> int:
+    """Return ``log2(value)`` for an exact power of two.
+
+    Raises:
+        ValueError: if ``value`` is not a positive power of two.
+    """
+    if not is_power_of_two(value):
+        raise ValueError(f"{value} is not a positive power of two")
+    return value.bit_length() - 1

@@ -1,0 +1,158 @@
+"""CPU-level synthetic access-pattern generators.
+
+These generators produce instruction-fetch / load / store streams for the
+two-level hierarchy front end.  They model the classic microbenchmark
+patterns — sequential streaming, strided array walks, pointer chasing, hot
+loops — and can be mixed to approximate application phases.  The SPEC-named
+L2-level profiles used for the paper's figures live in
+:mod:`repro.workloads.spec_profiles`; the CPU-level generators here are used
+by the examples and the hierarchy tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TraceError
+from .trace import AccessKind, Trace, TraceRecord
+
+
+def _check_positive(name: str, value: int) -> None:
+    if value <= 0:
+        raise TraceError(f"{name} must be positive")
+
+
+def sequential_trace(
+    name: str = "sequential",
+    num_accesses: int = 10_000,
+    start_address: int = 0x10_0000,
+    stride_bytes: int = 8,
+    store_fraction: float = 0.0,
+    seed: int = 1,
+) -> Trace:
+    """A streaming walk over a contiguous region (no temporal reuse)."""
+    _check_positive("num_accesses", num_accesses)
+    _check_positive("stride_bytes", stride_bytes)
+    if not 0.0 <= store_fraction <= 1.0:
+        raise TraceError("store_fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    trace = Trace(name=name)
+    for i in range(num_accesses):
+        address = start_address + i * stride_bytes
+        kind = AccessKind.STORE if rng.random() < store_fraction else AccessKind.LOAD
+        trace.append(TraceRecord(kind=kind, address=address))
+    return trace
+
+
+def strided_trace(
+    name: str = "strided",
+    num_accesses: int = 10_000,
+    start_address: int = 0x20_0000,
+    stride_bytes: int = 256,
+    array_bytes: int = 1 << 20,
+    store_fraction: float = 0.1,
+    seed: int = 1,
+) -> Trace:
+    """A strided walk that wraps around a fixed-size array (regular reuse)."""
+    _check_positive("num_accesses", num_accesses)
+    _check_positive("stride_bytes", stride_bytes)
+    _check_positive("array_bytes", array_bytes)
+    rng = np.random.default_rng(seed)
+    trace = Trace(name=name)
+    offset = 0
+    for _ in range(num_accesses):
+        address = start_address + offset
+        kind = AccessKind.STORE if rng.random() < store_fraction else AccessKind.LOAD
+        trace.append(TraceRecord(kind=kind, address=address))
+        offset = (offset + stride_bytes) % array_bytes
+    return trace
+
+
+def pointer_chase_trace(
+    name: str = "pointer-chase",
+    num_accesses: int = 10_000,
+    num_nodes: int = 4_096,
+    node_bytes: int = 64,
+    start_address: int = 0x40_0000,
+    seed: int = 1,
+) -> Trace:
+    """A random pointer chase over a fixed node pool (irregular reuse)."""
+    _check_positive("num_accesses", num_accesses)
+    _check_positive("num_nodes", num_nodes)
+    _check_positive("node_bytes", node_bytes)
+    rng = np.random.default_rng(seed)
+    # A random permutation cycle gives every node exactly one successor.
+    order = rng.permutation(num_nodes)
+    successor = np.empty(num_nodes, dtype=np.int64)
+    successor[order] = np.roll(order, -1)
+    trace = Trace(name=name)
+    node = int(order[0])
+    for _ in range(num_accesses):
+        trace.append(
+            TraceRecord(kind=AccessKind.LOAD, address=start_address + node * node_bytes)
+        )
+        node = int(successor[node])
+    return trace
+
+
+def hot_loop_trace(
+    name: str = "hot-loop",
+    num_accesses: int = 10_000,
+    code_bytes: int = 4_096,
+    data_bytes: int = 64 * 1024,
+    loads_per_iteration: int = 4,
+    stores_per_iteration: int = 1,
+    code_address: int = 0x1000,
+    data_address: int = 0x80_0000,
+    seed: int = 1,
+) -> Trace:
+    """A small instruction loop repeatedly touching a modest data working set."""
+    _check_positive("num_accesses", num_accesses)
+    _check_positive("code_bytes", code_bytes)
+    _check_positive("data_bytes", data_bytes)
+    if loads_per_iteration < 0 or stores_per_iteration < 0:
+        raise TraceError("per-iteration access counts must be non-negative")
+    rng = np.random.default_rng(seed)
+    trace = Trace(name=name)
+    pc = 0
+    while len(trace) < num_accesses:
+        trace.append(TraceRecord(kind=AccessKind.IFETCH, address=code_address + pc))
+        pc = (pc + 4) % code_bytes
+        for _ in range(loads_per_iteration):
+            if len(trace) >= num_accesses:
+                break
+            offset = int(rng.integers(0, data_bytes // 8)) * 8
+            trace.append(TraceRecord(kind=AccessKind.LOAD, address=data_address + offset))
+        for _ in range(stores_per_iteration):
+            if len(trace) >= num_accesses:
+                break
+            offset = int(rng.integers(0, data_bytes // 8)) * 8
+            trace.append(TraceRecord(kind=AccessKind.STORE, address=data_address + offset))
+    return trace
+
+
+def mixed_trace(
+    name: str,
+    components: list[Trace],
+    seed: int = 1,
+) -> Trace:
+    """Randomly interleave several traces into one (phase-mixed workload).
+
+    The relative lengths of the components set their mixing weights; each
+    component's internal order is preserved.
+    """
+    if not components:
+        raise TraceError("at least one component trace is required")
+    rng = np.random.default_rng(seed)
+    iterators = [list(c.records) for c in components]
+    positions = [0] * len(components)
+    remaining = [len(c) for c in components]
+    trace = Trace(name=name)
+    while any(remaining):
+        weights = np.array(remaining, dtype=float)
+        weights /= weights.sum()
+        choice = int(rng.choice(len(components), p=weights))
+        trace.append(iterators[choice][positions[choice]])
+        positions[choice] += 1
+        remaining[choice] -= 1
+    return trace

@@ -1,0 +1,148 @@
+"""Memory-access trace containers and file I/O.
+
+Two trace granularities are used in the reproduction:
+
+* **CPU-level traces** (instruction fetches, loads, stores) drive the full
+  two-level hierarchy of :class:`repro.cache.CacheHierarchy`, mirroring the
+  paper's gem5 setup.
+* **L2-level traces** (reads and write-backs as seen by the shared L2) drive
+  a protected cache directly; the synthetic SPEC profiles generate at this
+  level because the phenomenon under study — concealed-read accumulation —
+  is entirely determined by the L2 access sequence.
+
+Traces can be saved to and loaded from a simple text format (one record per
+line: ``<kind> <hex address>``) so experiments are reproducible and
+shareable without rerunning the generators.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from ..errors import TraceError
+
+
+class AccessKind(str, enum.Enum):
+    """Kind of one memory reference."""
+
+    IFETCH = "I"
+    LOAD = "L"
+    STORE = "S"
+    L2_READ = "R"
+    L2_WRITE = "W"
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One memory reference.
+
+    Attributes:
+        kind: Reference kind (CPU-level or L2-level).
+        address: Physical byte address.
+    """
+
+    kind: AccessKind
+    address: int
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise TraceError("trace addresses must be non-negative")
+
+    @property
+    def is_write(self) -> bool:
+        """``True`` for stores and L2 write-backs."""
+        return self.kind in (AccessKind.STORE, AccessKind.L2_WRITE)
+
+
+@dataclass
+class Trace:
+    """An ordered sequence of memory references with a name."""
+
+    name: str
+    records: list[TraceRecord] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __getitem__(self, index: int) -> TraceRecord:
+        return self.records[index]
+
+    def append(self, record: TraceRecord) -> None:
+        """Append one record."""
+        self.records.append(record)
+
+    def extend(self, records: Iterable[TraceRecord]) -> None:
+        """Append many records."""
+        self.records.extend(records)
+
+    # -- summaries ------------------------------------------------------------
+
+    @property
+    def read_count(self) -> int:
+        """Number of non-write references."""
+        return sum(1 for r in self.records if not r.is_write)
+
+    @property
+    def write_count(self) -> int:
+        """Number of write references."""
+        return sum(1 for r in self.records if r.is_write)
+
+    @property
+    def read_fraction(self) -> float:
+        """Fraction of references that are reads."""
+        if not self.records:
+            return 0.0
+        return self.read_count / len(self.records)
+
+    def unique_blocks(self, block_size: int = 64) -> int:
+        """Number of distinct cache blocks touched."""
+        if block_size <= 0:
+            raise TraceError("block_size must be positive")
+        return len({r.address // block_size for r in self.records})
+
+    def footprint_bytes(self, block_size: int = 64) -> int:
+        """Footprint in bytes, at block granularity."""
+        return self.unique_blocks(block_size) * block_size
+
+    # -- file I/O --------------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Write the trace to a text file (one ``<kind> <hex addr>`` per line)."""
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as handle:
+            handle.write(f"# trace {self.name}\n")
+            for record in self.records:
+                handle.write(f"{record.kind.value} {record.address:#x}\n")
+
+    @classmethod
+    def load(cls, path: str | Path, name: str | None = None) -> "Trace":
+        """Read a trace written by :meth:`save`.
+
+        Raises:
+            TraceError: on malformed lines.
+        """
+        path = Path(path)
+        trace = cls(name=name or path.stem)
+        with path.open("r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                parts = line.split()
+                if len(parts) != 2:
+                    raise TraceError(
+                        f"{path}:{line_number}: expected '<kind> <address>', got {line!r}"
+                    )
+                try:
+                    kind = AccessKind(parts[0])
+                    address = int(parts[1], 16)
+                except ValueError as exc:
+                    raise TraceError(f"{path}:{line_number}: {exc}") from exc
+                trace.append(TraceRecord(kind=kind, address=address))
+        return trace

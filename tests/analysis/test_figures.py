@@ -1,0 +1,113 @@
+"""Tests for the Fig. 3 / Fig. 5 / Fig. 6 builders (small, fast settings)."""
+
+import pytest
+
+from repro.analysis import (
+    build_figure3,
+    build_figure5,
+    build_figure6,
+    comparisons_to_figure5,
+    comparisons_to_figure6,
+)
+from repro.config import CacheLevelConfig
+from repro.errors import AnalysisError
+from repro.sim import ExperimentSettings, compare_schemes
+
+
+@pytest.fixture(scope="module")
+def fast_settings():
+    return ExperimentSettings(
+        l2_config=CacheLevelConfig(
+            name="L2", size_bytes=256 * 1024, associativity=8, block_size_bytes=64,
+            technology="stt-mram",
+        ),
+        p_cell=1e-8,
+        num_accesses=6_000,
+        ones_count=100,
+        seed=1,
+    )
+
+
+class TestFigure3:
+    def test_builds_histogram(self, fast_settings):
+        series = build_figure3("perlbench", settings=fast_settings)
+        assert series.workload == "perlbench"
+        assert len(series.bins) > 1
+        assert series.total_failure_rate > 0
+        assert series.max_concealed_reads > 0
+
+    def test_frequencies_normalised_to_reference_bin(self, fast_settings):
+        """The lowest-concealed-read bin is the paper's 100-point reference."""
+        series = build_figure3("perlbench", settings=fast_settings)
+        lowest = min(series.bins, key=lambda b: b.concealed_reads)
+        assert lowest.normalized_frequency == pytest.approx(100.0)
+
+    def test_high_count_bins_rare_but_contribute(self, fast_settings):
+        """The paper's Fig. 3 observation: the tail has tiny frequency but a
+        large share of the failure rate."""
+        series = build_figure3("perlbench", settings=fast_settings)
+        bins = sorted(series.bins, key=lambda b: b.concealed_reads)
+        low, high = bins[0], bins[-1]
+        assert high.normalized_frequency < low.normalized_frequency
+        assert series.tail_dominance > 0.3
+
+    def test_requires_tracking(self, fast_settings):
+        settings = ExperimentSettings(
+            l2_config=fast_settings.l2_config,
+            p_cell=1e-8,
+            num_accesses=1_000,
+            track_accumulation=False,
+        )
+        with pytest.raises(AnalysisError):
+            build_figure3("perlbench", settings=settings)
+
+
+class TestFigure5:
+    def test_reap_wins_everywhere(self, fast_settings):
+        data = build_figure5(workloads=["mcf", "perlbench"], settings=fast_settings)
+        assert len(data.rows) == 2
+        for row in data.rows:
+            assert row.mttf_improvement > 1.0
+        assert data.min_improvement <= data.average_improvement <= data.max_improvement
+
+    def test_mcf_gains_least(self, fast_settings):
+        """Paper: mcf is the worst case (7.9x); heavy-reuse workloads gain more."""
+        data = build_figure5(workloads=["mcf", "perlbench", "h264ref"], settings=fast_settings)
+        assert data.row("mcf").mttf_improvement == data.min_improvement
+        assert data.row("h264ref").mttf_improvement > data.row("mcf").mttf_improvement
+
+    def test_row_lookup_unknown(self, fast_settings):
+        data = build_figure5(workloads=["mcf"], settings=fast_settings)
+        with pytest.raises(AnalysisError):
+            data.row("gcc")
+
+
+class TestFigure6:
+    def test_small_positive_overheads(self, fast_settings):
+        data = build_figure6(workloads=["cactusADM", "xalancbmk"], settings=fast_settings)
+        for row in data.rows:
+            assert 0.0 < row.overhead_percent < 10.0
+            assert row.relative_dynamic_energy > 1.0
+
+    def test_read_dominated_workload_has_larger_overhead(self, fast_settings):
+        """Paper: cactusADM is the worst case (6.5%), xalancbmk the best (1.0%)."""
+        data = build_figure6(workloads=["cactusADM", "xalancbmk"], settings=fast_settings)
+        assert data.row("cactusADM").overhead_percent > data.row("xalancbmk").overhead_percent
+
+
+class TestFromComparisons:
+    def test_reuses_precomputed_comparisons(self, fast_settings):
+        comparisons = [
+            compare_schemes("gcc", settings=fast_settings),
+            compare_schemes("mcf", settings=fast_settings),
+        ]
+        fig5 = comparisons_to_figure5(comparisons)
+        fig6 = comparisons_to_figure6(comparisons)
+        assert {r.workload for r in fig5.rows} == {"gcc", "mcf"}
+        assert {r.workload for r in fig6.rows} == {"gcc", "mcf"}
+
+    def test_rejects_empty(self):
+        with pytest.raises(AnalysisError):
+            comparisons_to_figure5([])
+        with pytest.raises(AnalysisError):
+            comparisons_to_figure6([])

@@ -1,0 +1,80 @@
+"""Tests for the plain-text report renderers."""
+
+import pytest
+
+from repro.analysis import (
+    build_area_table,
+    build_figure3,
+    build_latency_table,
+    build_table1,
+    numeric_example,
+    render_area_report,
+    render_figure3,
+    render_figure5,
+    render_figure6,
+    render_latency_report,
+    render_numeric_example,
+    render_table1,
+)
+from repro.analysis.figures import Figure5Data, Figure5Row, Figure6Data, Figure6Row
+from repro.config import CacheLevelConfig
+from repro.sim import ExperimentSettings
+
+
+@pytest.fixture(scope="module")
+def fast_settings():
+    return ExperimentSettings(
+        l2_config=CacheLevelConfig(
+            name="L2", size_bytes=128 * 1024, associativity=8, block_size_bytes=64,
+            technology="stt-mram",
+        ),
+        p_cell=1e-8,
+        num_accesses=3_000,
+        ones_count=100,
+    )
+
+
+class TestRenderers:
+    def test_table1(self):
+        text = render_table1(build_table1())
+        assert "L2" in text and "stt-mram" in text
+
+    def test_figure3(self, fast_settings):
+        text = render_figure3(build_figure3("perlbench", settings=fast_settings))
+        assert "perlbench" in text
+        assert "Failure rate" in text
+
+    def test_figure5(self):
+        data = Figure5Data(
+            rows=(
+                Figure5Row("mcf", 7.9, 1e-3, 1.3e-4, 80),
+                Figure5Row("namd", 1500.0, 1e-3, 6.7e-7, 20_000),
+            ),
+            average_improvement=753.95,
+            min_improvement=7.9,
+            max_improvement=1500.0,
+        )
+        text = render_figure5(data)
+        assert "mcf" in text and "average=754.0x" in text
+
+    def test_figure6(self):
+        data = Figure6Data(
+            rows=(Figure6Row("cactusADM", 1.065, 6.5, 0.96, 0.98),),
+            average_overhead_percent=6.5,
+            min_overhead_percent=6.5,
+            max_overhead_percent=6.5,
+        )
+        text = render_figure6(data)
+        assert "cactusADM" in text and "6.5" in text
+
+    def test_area_report(self):
+        text = render_area_report(build_area_table())
+        assert "Area overhead (%)" in text
+
+    def test_latency_report(self):
+        text = render_latency_report(build_latency_table())
+        assert "REAP" in text and "serial" in text
+
+    def test_numeric_example(self):
+        text = render_numeric_example(numeric_example())
+        assert "Eq. 4" in text and "Eq. 5" in text

@@ -1,0 +1,83 @@
+"""Tests for Table I, the overhead reports and the worked example."""
+
+import pytest
+
+from repro.analysis import (
+    build_area_table,
+    build_latency_table,
+    build_table1,
+    numeric_example,
+)
+from repro.config import paper_l2_config
+
+
+class TestTable1:
+    def test_matches_paper_configuration(self):
+        rows = {r.level: r for r in build_table1()}
+        assert rows["L1I"].size_kib == 32 and rows["L1I"].associativity == 4
+        assert rows["L1D"].size_kib == 32 and rows["L1D"].associativity == 4
+        assert rows["L2"].size_kib == 1024 and rows["L2"].associativity == 8
+        assert rows["L2"].technology == "stt-mram"
+        assert rows["L1I"].technology == "sram"
+        assert all(r.block_size_bytes == 64 for r in rows.values())
+        assert all(r.write_policy == "write-back" for r in rows.values())
+
+
+class TestAreaReport:
+    def test_overhead_below_one_percent(self):
+        report = build_area_table()
+        assert 0.0 < report.overhead_percent < 1.0
+
+    def test_decoder_fraction_about_a_tenth_of_a_percent(self):
+        report = build_area_table()
+        assert 0.0002 < report.decoder_area_fraction < 0.005
+
+    def test_decoder_counts(self):
+        report = build_area_table()
+        assert report.num_decoders_conventional == 1
+        assert report.num_decoders_reap == 8
+
+    def test_reap_area_larger(self):
+        report = build_area_table()
+        assert report.reap_total_mm2 > report.conventional_total_mm2
+
+    def test_respects_custom_associativity(self):
+        config = paper_l2_config()
+        wide = type(config)(
+            name="L2",
+            size_bytes=config.size_bytes,
+            associativity=16,
+            block_size_bytes=64,
+            technology=config.technology,
+            ecc=config.ecc,
+        )
+        report = build_area_table(wide)
+        assert report.num_decoders_reap == 16
+
+
+class TestLatencyReport:
+    def test_reap_no_slower(self):
+        report = build_latency_table()
+        assert report.reap_is_no_slower
+
+    def test_serial_pays_a_penalty(self):
+        report = build_latency_table()
+        assert report.serial_penalty_ns > 0
+
+
+class TestNumericExample:
+    def test_matches_paper_values(self):
+        example = numeric_example()
+        assert example.single_read_failure == pytest.approx(5.0e-13, rel=0.02)
+        assert example.accumulated_failure == pytest.approx(1.3e-9, rel=0.05)
+        assert example.reap_failure == pytest.approx(2.6e-11, rel=0.06)
+        assert example.reap_gain == pytest.approx(50.0, rel=0.05)
+
+    def test_penalty_of_three_orders_of_magnitude(self):
+        example = numeric_example()
+        assert 1e3 < example.accumulation_penalty < 1e4
+
+    def test_custom_parameters(self):
+        example = numeric_example(p_cell=1e-7, num_ones=200, num_reads=10)
+        assert example.num_reads == 10
+        assert example.accumulated_failure > example.single_read_failure

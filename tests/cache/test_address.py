@@ -1,0 +1,94 @@
+"""Tests for address decomposition."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import AddressMapper
+from repro.config import paper_l2_config
+from repro.errors import AddressError
+
+
+@pytest.fixture
+def mapper():
+    return AddressMapper(paper_l2_config())
+
+
+class TestDecompose:
+    def test_zero_address(self, mapper):
+        decomposed = mapper.decompose(0)
+        assert decomposed.tag == 0
+        assert decomposed.index == 0
+        assert decomposed.offset == 0
+        assert decomposed.block_address == 0
+
+    def test_offset_extraction(self, mapper):
+        decomposed = mapper.decompose(0x3F)
+        assert decomposed.offset == 0x3F
+        assert decomposed.index == 0
+        assert decomposed.block_address == 0
+
+    def test_index_extraction(self, mapper):
+        # Set index field starts at bit 6 and spans 11 bits for the paper L2.
+        decomposed = mapper.decompose(5 << 6)
+        assert decomposed.index == 5
+        assert decomposed.offset == 0
+
+    def test_tag_extraction(self, mapper):
+        decomposed = mapper.decompose(7 << 17)
+        assert decomposed.tag == 7
+        assert decomposed.index == 0
+
+    def test_block_address_clears_offset(self, mapper):
+        decomposed = mapper.decompose(0x12345)
+        assert decomposed.block_address == 0x12345 & ~0x3F
+
+    def test_rejects_negative(self, mapper):
+        with pytest.raises(AddressError):
+            mapper.decompose(-1)
+
+    def test_rejects_too_wide(self, mapper):
+        with pytest.raises(AddressError):
+            mapper.decompose(1 << 60)
+
+
+class TestCompose:
+    def test_compose_rejects_out_of_range_index(self, mapper):
+        with pytest.raises(AddressError):
+            mapper.compose(0, mapper.num_sets)
+
+    def test_compose_rejects_out_of_range_tag(self, mapper):
+        with pytest.raises(AddressError):
+            mapper.compose(1 << 40, 0)
+
+    def test_compose_rejects_out_of_range_offset(self, mapper):
+        with pytest.raises(AddressError):
+            mapper.compose(0, 0, offset=64)
+
+    def test_same_set_different_tags_collide_in_set(self, mapper):
+        a = mapper.compose(1, 17)
+        b = mapper.compose(2, 17)
+        assert mapper.set_index(a) == mapper.set_index(b) == 17
+        assert mapper.decompose(a).tag != mapper.decompose(b).tag
+
+
+class TestRoundTripProperty:
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(min_value=0, max_value=(1 << 48) - 1))
+    def test_decompose_compose_roundtrip(self, address):
+        mapper = AddressMapper(paper_l2_config())
+        decomposed = mapper.decompose(address)
+        rebuilt = mapper.compose(decomposed.tag, decomposed.index, decomposed.offset)
+        assert rebuilt == address
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=(1 << 31) - 1),
+        st.integers(min_value=0, max_value=2047),
+        st.integers(min_value=0, max_value=63),
+    )
+    def test_compose_decompose_roundtrip(self, tag, index, offset):
+        mapper = AddressMapper(paper_l2_config())
+        address = mapper.compose(tag, index, offset)
+        decomposed = mapper.decompose(address)
+        assert (decomposed.tag, decomposed.index, decomposed.offset) == (tag, index, offset)

@@ -1,0 +1,125 @@
+"""Tests for per-block state and the exposure-window bookkeeping."""
+
+import pytest
+
+from repro.cache import CacheBlock
+from repro.errors import CacheError
+
+
+class TestFillAndInvalidate:
+    def test_fill_marks_valid(self):
+        block = CacheBlock()
+        block.fill(tag=5, ones_count=100)
+        assert block.valid and block.tag == 5 and block.ones_count == 100
+        assert not block.dirty
+
+    def test_fill_resets_exposure(self):
+        block = CacheBlock()
+        block.fill(tag=1, ones_count=10)
+        block.record_concealed_read()
+        block.fill(tag=2, ones_count=20)
+        assert block.unchecked_reads == 0
+        assert block.reads_since_demand == 0
+
+    def test_invalidate_clears(self):
+        block = CacheBlock()
+        block.fill(tag=1, ones_count=10)
+        block.invalidate()
+        assert not block.valid and not block.dirty
+
+    def test_fill_rejects_negative_ones(self):
+        with pytest.raises(CacheError):
+            CacheBlock().fill(tag=1, ones_count=-1)
+
+
+class TestConcealedReads:
+    def test_concealed_read_accumulates(self):
+        block = CacheBlock()
+        block.fill(tag=1, ones_count=10)
+        for _ in range(5):
+            block.record_concealed_read()
+        assert block.unchecked_reads == 5
+        assert block.reads_since_demand == 5
+        assert block.total_concealed_reads == 5
+
+    def test_concealed_read_on_invalid_block_rejected(self):
+        with pytest.raises(CacheError):
+            CacheBlock().record_concealed_read()
+
+
+class TestCheckedReads:
+    def test_demand_read_with_no_concealed(self):
+        block = CacheBlock()
+        block.fill(tag=1, ones_count=10)
+        exposure = block.record_checked_read(demand=True)
+        assert exposure.unchecked_window == 1
+        assert exposure.demand_window == 1
+        assert block.unchecked_reads == 0
+        assert block.reads_since_demand == 0
+
+    def test_demand_read_after_concealed_reads(self):
+        """The unchecked window equals concealed reads + the demand read (Eq. 3 N)."""
+        block = CacheBlock()
+        block.fill(tag=1, ones_count=10)
+        for _ in range(7):
+            block.record_concealed_read()
+        exposure = block.record_checked_read(demand=True)
+        assert exposure.unchecked_window == 8
+        assert exposure.demand_window == 8
+
+    def test_reap_scrub_reads_keep_demand_window(self):
+        """Checked-but-not-delivered reads reset the unchecked window but not
+        the demand window (Eq. 6 counts them)."""
+        block = CacheBlock()
+        block.fill(tag=1, ones_count=10)
+        for _ in range(3):
+            exposure = block.record_checked_read(demand=False)
+            assert exposure.unchecked_window == 1
+        exposure = block.record_checked_read(demand=True)
+        assert exposure.demand_window == 4
+        assert exposure.unchecked_window == 1
+        assert block.reads_since_demand == 0
+
+    def test_consecutive_demand_reads_have_window_one(self):
+        block = CacheBlock()
+        block.fill(tag=1, ones_count=10)
+        block.record_checked_read(demand=True)
+        exposure = block.record_checked_read(demand=True)
+        assert exposure.unchecked_window == 1
+        assert exposure.demand_window == 1
+
+    def test_checked_read_on_invalid_block_rejected(self):
+        with pytest.raises(CacheError):
+            CacheBlock().record_checked_read(demand=True)
+
+    def test_total_counters(self):
+        block = CacheBlock()
+        block.fill(tag=1, ones_count=10)
+        block.record_concealed_read()
+        block.record_checked_read(demand=True)
+        assert block.total_reads == 2
+        assert block.total_checks == 1
+
+
+class TestWrites:
+    def test_write_marks_dirty_and_resets(self):
+        block = CacheBlock()
+        block.fill(tag=1, ones_count=10)
+        block.record_concealed_read()
+        block.record_write(ones_count=42)
+        assert block.dirty
+        assert block.ones_count == 42
+        assert block.unchecked_reads == 0
+        assert block.reads_since_demand == 0
+
+    def test_write_invalid_block_rejected(self):
+        with pytest.raises(CacheError):
+            CacheBlock().record_write(ones_count=5)
+
+    def test_matches(self):
+        block = CacheBlock()
+        block.fill(tag=9, ones_count=1)
+        assert block.matches(9)
+        assert not block.matches(8)
+        block.invalidate()
+        assert not block.matches(9)

@@ -1,0 +1,117 @@
+"""Property-based tests (hypothesis) for the cache substrate invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import AddressMapper, SetAssociativeCache
+from repro.config import CacheLevelConfig, ReplacementPolicyName
+
+
+def tiny_config(replacement=ReplacementPolicyName.LRU):
+    return CacheLevelConfig(
+        name="tiny",
+        size_bytes=8 * 1024,
+        associativity=4,
+        block_size_bytes=64,
+        replacement=replacement,
+    )
+
+
+addresses_strategy = st.lists(
+    st.integers(min_value=0, max_value=64 * 1024 - 1), min_size=1, max_size=300
+)
+ops_strategy = st.lists(st.booleans(), min_size=1, max_size=300)
+
+
+class TestCacheInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(addresses_strategy)
+    def test_occupancy_never_exceeds_capacity(self, addresses):
+        cache = SetAssociativeCache(tiny_config())
+        for address in addresses:
+            cache.access(address, is_write=False, fill_ones_count=10)
+        assert cache.occupancy() <= cache.config.num_blocks
+        assert cache.occupancy() >= 1
+
+    @settings(max_examples=50, deadline=None)
+    @given(addresses_strategy)
+    def test_accessed_block_is_always_resident_afterwards(self, addresses):
+        cache = SetAssociativeCache(tiny_config())
+        for address in addresses:
+            cache.access(address, is_write=False, fill_ones_count=10)
+            assert cache.contains(address)
+
+    @settings(max_examples=50, deadline=None)
+    @given(addresses_strategy)
+    def test_hits_plus_misses_equals_accesses(self, addresses):
+        cache = SetAssociativeCache(tiny_config())
+        for address in addresses:
+            cache.access(address, is_write=False)
+        stats = cache.stats
+        assert stats.hits + stats.misses == stats.accesses == len(addresses)
+
+    @settings(max_examples=50, deadline=None)
+    @given(addresses_strategy)
+    def test_fills_equal_misses_for_read_only_streams(self, addresses):
+        cache = SetAssociativeCache(tiny_config())
+        for address in addresses:
+            cache.access(address, is_write=False)
+        assert cache.stats.fills == cache.stats.misses
+
+    @settings(max_examples=50, deadline=None)
+    @given(addresses_strategy, ops_strategy)
+    def test_dirty_evictions_only_from_writes(self, addresses, writes):
+        cache = SetAssociativeCache(tiny_config())
+        any_write = False
+        for address, is_write in zip(addresses, writes):
+            cache.access(address, is_write=is_write, fill_ones_count=10)
+            any_write = any_write or is_write
+        if not any_write:
+            assert cache.stats.dirty_evictions == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(addresses_strategy)
+    def test_resident_tags_are_unique_per_set(self, addresses):
+        cache = SetAssociativeCache(tiny_config(ReplacementPolicyName.RANDOM))
+        for address in addresses:
+            cache.access(address, is_write=False)
+        for set_index in range(cache.num_sets):
+            tags = [b.tag for b in cache.blocks_in_set(set_index) if b.valid]
+            assert len(tags) == len(set(tags))
+
+    @settings(max_examples=30, deadline=None)
+    @given(addresses_strategy)
+    def test_working_set_smaller_than_way_count_never_evicts(self, addresses):
+        """Blocks mapping to a set never exceed its ways -> no evictions."""
+        config = tiny_config()
+        mapper = AddressMapper(config)
+        # Restrict every address to 4 distinct blocks in set 0.
+        cache = SetAssociativeCache(config)
+        restricted = [mapper.compose(tag % 4, 0) for tag in addresses]
+        for address in restricted:
+            cache.access(address, is_write=False)
+        assert cache.stats.evictions == 0
+
+
+class TestExposureInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=60),
+    )
+    def test_unchecked_reads_never_exceed_total_reads(self, gaps):
+        """Driving a block with arbitrary concealed/checked read interleavings
+        keeps its counters consistent."""
+        from repro.cache import CacheBlock
+
+        rng = np.random.default_rng(0)
+        block = CacheBlock()
+        block.fill(tag=1, ones_count=10)
+        for gap in gaps:
+            for _ in range(gap):
+                block.record_concealed_read()
+            exposure = block.record_checked_read(demand=bool(rng.integers(0, 2)))
+            assert exposure.unchecked_window == gap + 1
+            assert exposure.demand_window >= exposure.unchecked_window
+            assert block.unchecked_reads == 0
+        assert block.total_reads == sum(gaps) + len(gaps)

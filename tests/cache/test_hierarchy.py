@@ -1,0 +1,106 @@
+"""Tests for the two-level hierarchy front end."""
+
+import pytest
+
+from repro.cache import CacheHierarchy
+from repro.config import paper_hierarchy
+
+
+class RecordingL2:
+    """Minimal NextLevel stub that records the requests it receives."""
+
+    def __init__(self):
+        self.reads = []
+        self.writes = []
+
+    def read(self, address):
+        self.reads.append(address)
+
+    def write(self, address):
+        self.writes.append(address)
+
+
+@pytest.fixture
+def hierarchy():
+    l2 = RecordingL2()
+    return CacheHierarchy(paper_hierarchy(), l2), l2
+
+
+class TestInstructionPath:
+    def test_first_fetch_misses_to_l2(self, hierarchy):
+        front, l2 = hierarchy
+        front.fetch_instruction(0x1000)
+        assert len(l2.reads) == 1
+        assert front.l1i.stats.read_misses == 1
+
+    def test_repeated_fetch_hits_in_l1i(self, hierarchy):
+        front, l2 = hierarchy
+        front.fetch_instruction(0x1000)
+        front.fetch_instruction(0x1000)
+        assert len(l2.reads) == 1
+        assert front.l1i.stats.read_hits == 1
+
+    def test_ifetch_does_not_touch_l1d(self, hierarchy):
+        front, _ = hierarchy
+        front.fetch_instruction(0x1000)
+        assert front.l1d.stats.accesses == 0
+
+
+class TestDataPath:
+    def test_load_miss_goes_to_l2(self, hierarchy):
+        front, l2 = hierarchy
+        front.load(0x2000)
+        assert l2.reads == [0x2000]
+
+    def test_load_hit_stays_in_l1d(self, hierarchy):
+        front, l2 = hierarchy
+        front.load(0x2000)
+        front.load(0x2008)
+        assert len(l2.reads) == 1
+
+    def test_store_miss_fetches_block_first(self, hierarchy):
+        front, l2 = hierarchy
+        front.store(0x3000)
+        assert len(l2.reads) == 1
+        assert len(l2.writes) == 0
+
+    def test_dirty_l1d_eviction_writes_back_to_l2(self):
+        l2 = RecordingL2()
+        front = CacheHierarchy(paper_hierarchy(), l2)
+        l1d = front.l1d.config
+        # Store to one block, then march enough distinct blocks through the
+        # same L1D set to evict it.
+        base_index = 5
+        first = front.l1d.mapper.compose(1, base_index)
+        front.store(first)
+        for tag in range(2, 2 + l1d.associativity):
+            front.load(front.l1d.mapper.compose(tag, base_index))
+        assert front.stats.l2_writebacks >= 1
+        assert first in [a & ~0x3F for a in l2.writes] or l2.writes
+
+    def test_clean_l1d_eviction_is_silent(self):
+        l2 = RecordingL2()
+        front = CacheHierarchy(paper_hierarchy(), l2)
+        base_index = 9
+        for tag in range(1, 2 + front.l1d.config.associativity):
+            front.load(front.l1d.mapper.compose(tag, base_index))
+        assert l2.writes == []
+
+
+class TestStatistics:
+    def test_reference_counters(self, hierarchy):
+        front, _ = hierarchy
+        front.fetch_instruction(0x1000)
+        front.load(0x2000)
+        front.store(0x3000)
+        stats = front.stats
+        assert stats.instruction_fetches == 1
+        assert stats.data_reads == 1
+        assert stats.data_writes == 1
+        assert stats.total_references == 3
+
+    def test_l2_read_counter_matches_stub(self, hierarchy):
+        front, l2 = hierarchy
+        for address in (0x1000, 0x2000, 0x3000):
+            front.load(address)
+        assert front.stats.l2_reads == len(l2.reads)

@@ -1,0 +1,126 @@
+"""Tests for the read-path organisation models (Figs. 2 and 4)."""
+
+import pytest
+
+from repro.cache import (
+    ParallelReadPath,
+    REAPReadPath,
+    ReadPathTiming,
+    SerialReadPath,
+    build_read_path,
+)
+from repro.config import ReadPathMode
+from repro.errors import ConfigurationError
+
+
+class TestParallelReadPath:
+    def test_read_hit_events(self):
+        path = ParallelReadPath(8)
+        events = path.read_events(hit_way=3, valid_ways=list(range(8)))
+        assert events.ways_read == 8
+        assert events.ecc_decodes == 1
+        assert events.checked_ways == (3,)
+        assert len(events.concealed_ways) == 7
+        assert 3 not in events.concealed_ways
+
+    def test_partial_set_only_reads_valid_ways(self):
+        path = ParallelReadPath(8)
+        events = path.read_events(hit_way=1, valid_ways=[0, 1, 2])
+        assert events.ways_read == 3
+        assert events.concealed_ways == (0, 2)
+
+    def test_miss_conceals_everything(self):
+        path = ParallelReadPath(8)
+        events = path.miss_events(valid_ways=[0, 1, 2, 3])
+        assert events.ecc_decodes == 0
+        assert events.concealed_ways == (0, 1, 2, 3)
+        assert events.checked_ways == ()
+
+    def test_single_decoder_instance(self):
+        assert ParallelReadPath(8).ecc_decoder_instances == 1
+
+    def test_rejects_hit_way_not_valid(self):
+        with pytest.raises(ConfigurationError):
+            ParallelReadPath(4).read_events(hit_way=3, valid_ways=[0, 1])
+
+
+class TestSerialReadPath:
+    def test_read_hit_touches_only_one_way(self):
+        path = SerialReadPath(8)
+        events = path.read_events(hit_way=5, valid_ways=list(range(8)))
+        assert events.ways_read == 1
+        assert events.ecc_decodes == 1
+        assert events.concealed_ways == ()
+        assert events.checked_ways == (5,)
+
+    def test_miss_reads_nothing(self):
+        events = SerialReadPath(8).miss_events(valid_ways=list(range(8)))
+        assert events.ways_read == 0
+        assert events.ecc_decodes == 0
+
+
+class TestREAPReadPath:
+    def test_read_hit_checks_every_valid_way(self):
+        path = REAPReadPath(8)
+        events = path.read_events(hit_way=2, valid_ways=list(range(8)))
+        assert events.ways_read == 8
+        assert events.ecc_decodes == 8
+        assert events.concealed_ways == ()
+        assert set(events.checked_ways) == set(range(8))
+
+    def test_miss_still_checks_speculative_reads(self):
+        events = REAPReadPath(8).miss_events(valid_ways=[0, 4, 7])
+        assert events.ways_read == 3
+        assert events.ecc_decodes == 3
+        assert events.concealed_ways == ()
+
+    def test_decoder_per_way(self):
+        assert REAPReadPath(8).ecc_decoder_instances == 8
+
+
+class TestLatencyModel:
+    @pytest.fixture
+    def timing(self):
+        return ReadPathTiming(
+            tag_read_ns=0.8, tag_compare_ns=0.3, data_read_ns=1.2, ecc_decode_ns=0.4, mux_ns=0.1
+        )
+
+    def test_reap_not_slower_than_conventional(self, timing):
+        """The paper's Section V-B performance claim."""
+        conventional = ParallelReadPath(8).access_latency_ns(timing)
+        reap = REAPReadPath(8).access_latency_ns(timing)
+        assert reap <= conventional
+
+    def test_serial_is_slower(self, timing):
+        conventional = ParallelReadPath(8).access_latency_ns(timing)
+        serial = SerialReadPath(8).access_latency_ns(timing)
+        assert serial > conventional
+
+    def test_reap_faster_when_tag_path_dominates(self):
+        timing = ReadPathTiming(
+            tag_read_ns=2.0, tag_compare_ns=0.5, data_read_ns=1.0, ecc_decode_ns=0.4, mux_ns=0.1
+        )
+        assert REAPReadPath(8).access_latency_ns(timing) < ParallelReadPath(8).access_latency_ns(timing)
+
+    def test_timing_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            ReadPathTiming(tag_read_ns=-1.0)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "mode, cls",
+        [
+            (ReadPathMode.PARALLEL, ParallelReadPath),
+            (ReadPathMode.SERIAL, SerialReadPath),
+            (ReadPathMode.REAP, REAPReadPath),
+        ],
+    )
+    def test_builds_each_mode(self, mode, cls):
+        path = build_read_path(mode, 8)
+        assert isinstance(path, cls)
+        assert path.mode is mode
+
+    def test_rejects_bad_associativity(self):
+        with pytest.raises(ConfigurationError):
+            ParallelReadPath(0)

@@ -1,0 +1,162 @@
+"""Tests for the replacement policies."""
+
+import pytest
+
+from repro.cache import (
+    CacheBlock,
+    FIFOPolicy,
+    LERPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    TreePLRUPolicy,
+    build_replacement_policy,
+)
+from repro.config import ReplacementPolicyName
+from repro.errors import ReplacementError
+
+
+def make_blocks(count, valid=True):
+    blocks = []
+    for i in range(count):
+        block = CacheBlock()
+        if valid:
+            block.fill(tag=i, ones_count=10)
+        blocks.append(block)
+    return blocks
+
+
+class TestLRU:
+    def test_prefers_invalid_way(self):
+        policy = LRUPolicy(4, 4)
+        blocks = make_blocks(4)
+        blocks[2].invalidate()
+        assert policy.victim(0, blocks) == 2
+
+    def test_evicts_least_recently_used(self):
+        policy = LRUPolicy(1, 4)
+        blocks = make_blocks(4)
+        for way in (0, 1, 2, 3):
+            policy.on_fill(0, way)
+        policy.on_access(0, 0)
+        policy.on_access(0, 1)
+        # Way 2 was touched before way 3 is not; fills ordered 0,1,2,3 then
+        # accesses to 0 and 1 leave way 2 as the least recently used.
+        assert policy.victim(0, blocks) == 2
+
+    def test_access_updates_order(self):
+        policy = LRUPolicy(1, 2)
+        blocks = make_blocks(2)
+        policy.on_fill(0, 0)
+        policy.on_fill(0, 1)
+        policy.on_access(0, 0)
+        assert policy.victim(0, blocks) == 1
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ReplacementError):
+            LRUPolicy(1, 2).on_access(0, 5)
+
+
+class TestFIFO:
+    def test_evicts_oldest_fill_regardless_of_access(self):
+        policy = FIFOPolicy(1, 3)
+        blocks = make_blocks(3)
+        for way in (0, 1, 2):
+            policy.on_fill(0, way)
+        policy.on_access(0, 0)  # does not rescue way 0
+        assert policy.victim(0, blocks) == 0
+
+    def test_prefers_invalid(self):
+        policy = FIFOPolicy(1, 3)
+        blocks = make_blocks(3)
+        blocks[1].invalidate()
+        assert policy.victim(0, blocks) == 1
+
+
+class TestRandom:
+    def test_victim_in_range(self):
+        policy = RandomPolicy(1, 8, seed=3)
+        blocks = make_blocks(8)
+        for _ in range(50):
+            assert 0 <= policy.victim(0, blocks) < 8
+
+    def test_prefers_invalid(self):
+        policy = RandomPolicy(1, 4, seed=1)
+        blocks = make_blocks(4)
+        blocks[3].invalidate()
+        assert policy.victim(0, blocks) == 3
+
+    def test_reproducible(self):
+        blocks = make_blocks(8)
+        a = [RandomPolicy(1, 8, seed=9).victim(0, blocks) for _ in range(1)]
+        b = [RandomPolicy(1, 8, seed=9).victim(0, blocks) for _ in range(1)]
+        assert a == b
+
+
+class TestTreePLRU:
+    def test_requires_power_of_two_ways(self):
+        with pytest.raises(ReplacementError):
+            TreePLRUPolicy(1, 6)
+
+    def test_victim_avoids_recent_way(self):
+        policy = TreePLRUPolicy(1, 4)
+        blocks = make_blocks(4)
+        policy.on_access(0, 2)
+        assert policy.victim(0, blocks) != 2
+
+    def test_single_way(self):
+        policy = TreePLRUPolicy(1, 1)
+        blocks = make_blocks(1)
+        assert policy.victim(0, blocks) == 0
+
+    def test_round_robin_like_behaviour(self):
+        """Accessing every way in turn keeps pointing the victim elsewhere."""
+        policy = TreePLRUPolicy(1, 8)
+        blocks = make_blocks(8)
+        for way in range(8):
+            policy.on_access(0, way)
+            assert policy.victim(0, blocks) != way
+
+
+class TestLER:
+    def test_evicts_most_exposed_block(self):
+        policy = LERPolicy(1, 4)
+        blocks = make_blocks(4)
+        for way in range(4):
+            policy.on_fill(0, way)
+        blocks[1].record_concealed_read()
+        blocks[1].record_concealed_read()
+        blocks[3].record_concealed_read()
+        assert policy.victim(0, blocks) == 1
+
+    def test_ties_broken_by_recency(self):
+        policy = LERPolicy(1, 2)
+        blocks = make_blocks(2)
+        policy.on_fill(0, 0)
+        policy.on_fill(0, 1)
+        # Equal exposure; way 0 is older so it goes first.
+        assert policy.victim(0, blocks) == 0
+
+    def test_prefers_invalid(self):
+        policy = LERPolicy(1, 4)
+        blocks = make_blocks(4)
+        blocks[2].invalidate()
+        assert policy.victim(0, blocks) == 2
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name, cls",
+        [
+            (ReplacementPolicyName.LRU, LRUPolicy),
+            (ReplacementPolicyName.FIFO, FIFOPolicy),
+            (ReplacementPolicyName.RANDOM, RandomPolicy),
+            (ReplacementPolicyName.PLRU, TreePLRUPolicy),
+            (ReplacementPolicyName.LER, LERPolicy),
+        ],
+    )
+    def test_builds_each_policy(self, name, cls):
+        assert isinstance(build_replacement_policy(name, 16, 8), cls)
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ReplacementError):
+            LRUPolicy(0, 4)

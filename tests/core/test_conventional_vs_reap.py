@@ -1,0 +1,182 @@
+"""Behavioural comparison of the conventional, REAP and serial caches.
+
+These are the unit-level versions of the paper's claims: driving identical
+access streams through each scheme must show the conventional cache
+accumulating concealed reads and paying an accumulation-sized failure
+probability, while REAP and the serial cache do not accumulate.
+"""
+
+import pytest
+
+from repro.cache import AddressMapper
+from repro.config import CacheLevelConfig
+from repro.core import DataValueProfile, ProtectionScheme, build_protected_cache
+from repro.reliability import (
+    accumulated_failure_probability,
+    block_failure_probability,
+    reap_failure_probability,
+)
+
+
+def small_l2():
+    return CacheLevelConfig(
+        name="L2",
+        size_bytes=64 * 1024,
+        associativity=8,
+        block_size_bytes=64,
+        technology="stt-mram",
+    )
+
+
+def make(scheme):
+    return build_protected_cache(
+        scheme,
+        small_l2(),
+        p_cell=1e-8,
+        data_profile=DataValueProfile.constant(100),
+        seed=1,
+    )
+
+
+@pytest.fixture
+def addresses():
+    """Two blocks mapping to the same set."""
+    mapper = AddressMapper(small_l2())
+    return mapper.compose(1, 7), mapper.compose(2, 7)
+
+
+class TestConcealedReadAccounting:
+    def test_conventional_accumulates_concealed_reads(self, addresses):
+        victim, aggressor = addresses
+        cache = make(ProtectionScheme.CONVENTIONAL)
+        cache.read(victim)
+        cache.read(aggressor)
+        # 20 reads of the aggressor each speculatively read the victim too.
+        for _ in range(20):
+            cache.read(aggressor)
+        outcome = cache.read(victim)
+        assert outcome.concealed_reads == 21
+        assert cache.reliability.concealed_reads > 0
+
+    def test_reap_never_accumulates(self, addresses):
+        victim, aggressor = addresses
+        cache = make(ProtectionScheme.REAP)
+        cache.read(victim)
+        cache.read(aggressor)
+        for _ in range(20):
+            cache.read(aggressor)
+        outcome = cache.read(victim)
+        assert outcome.concealed_reads == 0
+        assert cache.reliability.concealed_reads == 0
+
+    def test_serial_has_no_speculative_reads(self, addresses):
+        victim, aggressor = addresses
+        cache = make(ProtectionScheme.SERIAL)
+        cache.read(victim)
+        for _ in range(20):
+            cache.read(aggressor)
+        outcome = cache.read(victim)
+        assert outcome.concealed_reads == 0
+        assert cache.stats.data_way_reads == cache.stats.read_hits
+
+
+class TestFailureProbabilities:
+    def test_conventional_delivery_pays_eq3(self, addresses):
+        victim, aggressor = addresses
+        cache = make(ProtectionScheme.CONVENTIONAL)
+        cache.read(victim)
+        cache.read(aggressor)
+        for _ in range(48):
+            cache.read(aggressor)
+        outcome = cache.read(victim)
+        # 49 aggressor hits + 1 aggressor miss-fill read = 50 concealed reads,
+        # plus the demand read -> window of 51.
+        expected = accumulated_failure_probability(1e-8, 100, outcome.concealed_reads + 1)
+        assert outcome.failure_probability == pytest.approx(expected)
+
+    def test_reap_delivery_pays_eq6(self, addresses):
+        victim, aggressor = addresses
+        cache = make(ProtectionScheme.REAP)
+        cache.read(victim)
+        cache.read(aggressor)
+        for _ in range(48):
+            cache.read(aggressor)
+        outcome = cache.read(victim)
+        expected = reap_failure_probability(1e-8, 100, outcome.demand_window)
+        assert outcome.failure_probability == pytest.approx(expected)
+
+    def test_reap_expected_failures_lower(self, addresses):
+        victim, aggressor = addresses
+        results = {}
+        for scheme in (ProtectionScheme.CONVENTIONAL, ProtectionScheme.REAP):
+            cache = make(scheme)
+            cache.read(victim)
+            cache.read(aggressor)
+            for _ in range(100):
+                cache.read(aggressor)
+            cache.read(victim)
+            results[scheme] = cache.expected_failures
+        assert results[ProtectionScheme.REAP] < results[ProtectionScheme.CONVENTIONAL]
+
+    def test_serial_matches_single_read_failure(self, addresses):
+        victim, aggressor = addresses
+        cache = make(ProtectionScheme.SERIAL)
+        cache.read(victim)
+        for _ in range(30):
+            cache.read(aggressor)
+        outcome = cache.read(victim)
+        assert outcome.failure_probability == pytest.approx(
+            block_failure_probability(1e-8, 100)
+        )
+
+
+class TestEnergyAccounting:
+    def test_reap_burns_more_decode_energy(self, addresses):
+        victim, aggressor = addresses
+        energies = {}
+        for scheme in (ProtectionScheme.CONVENTIONAL, ProtectionScheme.REAP):
+            cache = make(scheme)
+            cache.read(victim)
+            for _ in range(50):
+                cache.read(aggressor)
+            energies[scheme] = cache.energy
+        assert (
+            energies[ProtectionScheme.REAP].ecc_decode_pj
+            > energies[ProtectionScheme.CONVENTIONAL].ecc_decode_pj
+        )
+        # ... but the total dynamic energy difference stays small (paper: ~2.7%).
+        ratio = (
+            energies[ProtectionScheme.REAP].dynamic_pj
+            / energies[ProtectionScheme.CONVENTIONAL].dynamic_pj
+        )
+        assert 1.0 < ratio < 1.10
+
+    def test_serial_reads_fewer_ways(self, addresses):
+        victim, aggressor = addresses
+        serial = make(ProtectionScheme.SERIAL)
+        parallel = make(ProtectionScheme.CONVENTIONAL)
+        for cache in (serial, parallel):
+            cache.read(victim)
+            for _ in range(20):
+                cache.read(aggressor)
+        assert serial.energy.data_read_pj < parallel.energy.data_read_pj
+
+
+class TestWriteBehaviour:
+    def test_write_resets_accumulation(self, addresses):
+        victim, aggressor = addresses
+        cache = make(ProtectionScheme.CONVENTIONAL)
+        cache.read(victim)
+        for _ in range(10):
+            cache.read(aggressor)
+        cache.write(victim)
+        outcome = cache.read(victim)
+        assert outcome.concealed_reads == 0
+
+    def test_writes_cost_the_same_across_schemes(self, addresses):
+        victim, _ = addresses
+        conventional = make(ProtectionScheme.CONVENTIONAL)
+        reap = make(ProtectionScheme.REAP)
+        conventional.write(victim)
+        reap.write(victim)
+        assert conventional.energy.data_write_pj == pytest.approx(reap.energy.data_write_pj)

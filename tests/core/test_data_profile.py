@@ -1,0 +1,46 @@
+"""Tests for the ones-count data profile."""
+
+import numpy as np
+import pytest
+
+from repro.core import DataValueProfile
+from repro.errors import ConfigurationError
+
+
+class TestDataValueProfile:
+    def test_samples_within_block_width(self):
+        profile = DataValueProfile(block_bits=512, seed=1)
+        samples = profile.sample_many(200)
+        assert np.all((samples >= 0) & (samples <= 512))
+
+    def test_mean_tracks_configured_fraction(self):
+        profile = DataValueProfile(block_bits=512, ones_fraction_mean=0.2, seed=2)
+        samples = profile.sample_many(2000)
+        assert samples.mean() == pytest.approx(0.2 * 512, rel=0.1)
+
+    def test_zero_std_gives_binomial_spread_only(self):
+        profile = DataValueProfile(block_bits=512, ones_fraction_mean=0.5, ones_fraction_std=0.0, seed=3)
+        samples = profile.sample_many(500)
+        assert samples.std() < 20
+
+    def test_reproducible_with_seed(self):
+        a = DataValueProfile(seed=9).sample_many(50)
+        b = DataValueProfile(seed=9).sample_many(50)
+        assert np.array_equal(a, b)
+
+    def test_constant_profile(self):
+        profile = DataValueProfile.constant(100)
+        assert all(profile.sample() == 100 for _ in range(10))
+        assert profile.mean_ones == pytest.approx(100.0)
+
+    def test_constant_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            DataValueProfile.constant(600, block_bits=512)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ConfigurationError):
+            DataValueProfile(ones_fraction_mean=1.5)
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ConfigurationError):
+            DataValueProfile().sample_many(-1)

@@ -1,0 +1,126 @@
+"""Tests for the reliability engine (exposure -> failure probability)."""
+
+import pytest
+
+from repro.cache import CacheBlock
+from repro.core.engine import ReliabilityEngine
+from repro.errors import ConfigurationError
+from repro.reliability import (
+    accumulated_failure_probability,
+    block_failure_probability,
+    reap_failure_probability,
+)
+
+
+def fresh_block(ones=100):
+    block = CacheBlock()
+    block.fill(tag=1, ones_count=ones)
+    return block
+
+
+class TestConstruction:
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ConfigurationError):
+            ReliabilityEngine(p_cell=1.5)
+
+    def test_tracking_can_be_disabled(self):
+        engine = ReliabilityEngine(p_cell=1e-8, track_accumulation=False)
+        assert engine.tracker is None
+
+
+class TestConventionalDelivery:
+    def test_matches_eq3(self):
+        engine = ReliabilityEngine(p_cell=1e-8)
+        block = fresh_block()
+        for _ in range(49):
+            engine.on_concealed_read(block)
+        outcome = engine.on_conventional_delivery(block)
+        assert outcome.concealed_reads == 49
+        assert outcome.failure_probability == pytest.approx(
+            accumulated_failure_probability(1e-8, 100, 50)
+        )
+
+    def test_no_concealed_reads_matches_eq2(self):
+        engine = ReliabilityEngine(p_cell=1e-8)
+        outcome = engine.on_conventional_delivery(fresh_block())
+        assert outcome.failure_probability == pytest.approx(
+            block_failure_probability(1e-8, 100)
+        )
+
+    def test_expected_failures_accumulate(self):
+        engine = ReliabilityEngine(p_cell=1e-6)
+        for _ in range(10):
+            engine.on_conventional_delivery(fresh_block())
+        assert engine.expected_failures == pytest.approx(
+            10 * block_failure_probability(1e-6, 100)
+        )
+
+    def test_tracker_records_samples(self):
+        engine = ReliabilityEngine(p_cell=1e-8)
+        block = fresh_block()
+        engine.on_concealed_read(block)
+        engine.on_conventional_delivery(block)
+        assert len(engine.tracker) == 1
+        assert engine.tracker.samples[0].concealed_reads == 1
+
+    def test_zero_ones_never_fails(self):
+        engine = ReliabilityEngine(p_cell=1e-2)
+        outcome = engine.on_conventional_delivery(fresh_block(ones=0))
+        assert outcome.failure_probability == 0.0
+
+
+class TestReapDelivery:
+    def test_matches_eq6(self):
+        engine = ReliabilityEngine(p_cell=1e-8)
+        block = fresh_block()
+        for _ in range(49):
+            engine.on_scrub_read(block)
+        outcome = engine.on_reap_delivery(block)
+        assert outcome.demand_window == 50
+        assert outcome.failure_probability == pytest.approx(
+            reap_failure_probability(1e-8, 100, 50)
+        )
+
+    def test_reap_delivery_beats_conventional(self):
+        conventional = ReliabilityEngine(p_cell=1e-8)
+        reap = ReliabilityEngine(p_cell=1e-8)
+        block_a, block_b = fresh_block(), fresh_block()
+        for _ in range(99):
+            conventional.on_concealed_read(block_a)
+            reap.on_scrub_read(block_b)
+        failure_conventional = conventional.on_conventional_delivery(block_a).failure_probability
+        failure_reap = reap.on_reap_delivery(block_b).failure_probability
+        assert failure_reap < failure_conventional
+
+    def test_scrub_reads_counted(self):
+        engine = ReliabilityEngine(p_cell=1e-8)
+        block = fresh_block()
+        engine.on_scrub_read(block)
+        assert engine.stats.scrub_events == 1
+
+
+class TestSerialDelivery:
+    def test_matches_eq2_regardless_of_history(self):
+        engine = ReliabilityEngine(p_cell=1e-8)
+        outcome = engine.on_serial_delivery(fresh_block())
+        assert outcome.failure_probability == pytest.approx(
+            block_failure_probability(1e-8, 100)
+        )
+
+
+class TestStatsBookkeeping:
+    def test_max_and_mean_windows(self):
+        engine = ReliabilityEngine(p_cell=1e-8)
+        block = fresh_block()
+        for _ in range(9):
+            engine.on_concealed_read(block)
+        engine.on_conventional_delivery(block)
+        engine.on_conventional_delivery(fresh_block())
+        assert engine.stats.max_accumulated_reads == 10
+        assert engine.stats.mean_accumulated_reads == pytest.approx((10 + 1) / 2)
+
+    def test_memoisation_is_transparent(self):
+        engine = ReliabilityEngine(p_cell=1e-8)
+        first = engine.on_conventional_delivery(fresh_block()).failure_probability
+        second = engine.on_conventional_delivery(fresh_block()).failure_probability
+        assert first == second

@@ -1,0 +1,114 @@
+"""Tests for the protection-scheme classes and their factory."""
+
+import pytest
+
+from repro.config import CacheLevelConfig, ReadPathMode
+from repro.core import (
+    SCHEME_CLASSES,
+    ConventionalCache,
+    DataValueProfile,
+    ProtectionScheme,
+    REAPCache,
+    RestoreCache,
+    SerialAccessCache,
+    build_protected_cache,
+)
+
+
+def small_l2(**overrides):
+    params = dict(
+        name="L2",
+        size_bytes=64 * 1024,
+        associativity=8,
+        block_size_bytes=64,
+        technology="stt-mram",
+    )
+    params.update(overrides)
+    return CacheLevelConfig(**params)
+
+
+def make(scheme, **kwargs):
+    defaults = dict(
+        config=small_l2(),
+        p_cell=1e-8,
+        data_profile=DataValueProfile.constant(100),
+        seed=1,
+    )
+    defaults.update(kwargs)
+    return build_protected_cache(scheme, **defaults)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "scheme, cls",
+        [
+            (ProtectionScheme.CONVENTIONAL, ConventionalCache),
+            (ProtectionScheme.REAP, REAPCache),
+            (ProtectionScheme.SERIAL, SerialAccessCache),
+            (ProtectionScheme.RESTORE, RestoreCache),
+        ],
+    )
+    def test_builds_each_scheme(self, scheme, cls):
+        cache = make(scheme)
+        assert isinstance(cache, cls)
+
+    def test_accepts_string_names(self):
+        assert isinstance(make("reap"), REAPCache)
+
+    def test_registry_is_complete(self):
+        assert set(SCHEME_CLASSES) == set(ProtectionScheme)
+
+    def test_scheme_overrides_configured_read_path(self):
+        cache = make(ProtectionScheme.REAP, config=small_l2(read_path=ReadPathMode.SERIAL))
+        assert cache.config.read_path is ReadPathMode.REAP
+
+    def test_p_cell_derived_from_mtj_when_not_given(self):
+        cache = build_protected_cache(
+            ProtectionScheme.CONVENTIONAL, small_l2(), data_profile=DataValueProfile.constant(100)
+        )
+        assert 0.0 < cache.p_cell < 1e-3
+
+
+class TestReadPathModes:
+    def test_modes(self):
+        assert ConventionalCache.read_path_mode() is ReadPathMode.PARALLEL
+        assert REAPCache.read_path_mode() is ReadPathMode.REAP
+        assert SerialAccessCache.read_path_mode() is ReadPathMode.SERIAL
+        assert RestoreCache.read_path_mode() is ReadPathMode.PARALLEL
+
+    def test_scheme_names_are_unique(self):
+        names = {cls.scheme_name() for cls in SCHEME_CLASSES.values()}
+        assert len(names) == len(SCHEME_CLASSES)
+
+
+class TestBasicOperation:
+    def test_read_miss_then_hit(self):
+        cache = make(ProtectionScheme.CONVENTIONAL)
+        address = 0x4000
+        assert cache.read(address) is None  # miss: nothing delivered yet
+        outcome = cache.read(address)
+        assert outcome is not None
+        assert outcome.failure_probability >= 0.0
+        assert cache.stats.read_hits == 1
+
+    def test_write_then_read(self):
+        cache = make(ProtectionScheme.REAP)
+        cache.write(0x8000)
+        outcome = cache.read(0x8000)
+        assert outcome is not None
+        assert cache.stats.write_misses == 1
+
+    def test_latency_properties(self):
+        conventional = make(ProtectionScheme.CONVENTIONAL)
+        reap = make(ProtectionScheme.REAP)
+        serial = make(ProtectionScheme.SERIAL)
+        assert reap.read_hit_latency_ns() <= conventional.read_hit_latency_ns()
+        assert serial.read_hit_latency_ns() > conventional.read_hit_latency_ns()
+
+    def test_mttf_helper(self):
+        cache = make(ProtectionScheme.CONVENTIONAL)
+        cache.read(0x0)
+        cache.read(0x0)
+        result = cache.mttf(simulated_time_s=1.0)
+        assert result.simulated_time_s == 1.0
+        assert result.expected_failures == cache.expected_failures

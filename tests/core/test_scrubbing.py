@@ -1,0 +1,126 @@
+"""Tests for the patrol-scrubbing baseline (extension scheme)."""
+
+import pytest
+
+from repro.cache import AddressMapper
+from repro.config import CacheLevelConfig
+from repro.core import DataValueProfile, ProtectionScheme, ScrubbingCache, build_protected_cache
+from repro.errors import ConfigurationError
+
+
+def small_l2():
+    return CacheLevelConfig(
+        name="L2",
+        size_bytes=32 * 1024,
+        associativity=8,
+        block_size_bytes=64,
+        technology="stt-mram",
+    )
+
+
+def make(scrub_rate=1.0):
+    return ScrubbingCache(
+        config=small_l2(),
+        p_cell=1e-8,
+        data_profile=DataValueProfile.constant(100),
+        seed=1,
+        scrub_lines_per_access=scrub_rate,
+    )
+
+
+def make_scheme(scheme):
+    return build_protected_cache(
+        scheme, small_l2(), p_cell=1e-8, data_profile=DataValueProfile.constant(100), seed=1
+    )
+
+
+@pytest.fixture
+def addresses():
+    mapper = AddressMapper(small_l2())
+    return mapper.compose(1, 5), mapper.compose(2, 5)
+
+
+class TestConstruction:
+    def test_factory_builds_scrubbing_cache(self):
+        cache = make_scheme(ProtectionScheme.SCRUBBING)
+        assert isinstance(cache, ScrubbingCache)
+        assert cache.scheme_name() == "scrubbing"
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ConfigurationError):
+            make(scrub_rate=-1.0)
+
+
+class TestScrubberBehaviour:
+    def test_scrubber_visits_lines(self, addresses):
+        victim, aggressor = addresses
+        cache = make(scrub_rate=1.0)
+        cache.read(victim)
+        for _ in range(20):
+            cache.read(aggressor)
+        assert cache.scrubbed_lines > 0
+
+    def test_zero_rate_never_scrubs(self, addresses):
+        victim, aggressor = addresses
+        cache = make(scrub_rate=0.0)
+        cache.read(victim)
+        for _ in range(20):
+            cache.read(aggressor)
+        assert cache.scrubbed_lines == 0
+
+    def test_fractional_rate_accumulates(self, addresses):
+        victim, _ = addresses
+        cache = make(scrub_rate=0.25)
+        for _ in range(8):
+            cache.read(victim)
+        assert cache.scrubbed_lines == 2
+
+    def test_scrubbing_bounds_accumulation(self, addresses):
+        """With an aggressive scrubber the victim's accumulation window is
+        much smaller than the number of concealed reads it suffered."""
+        victim, aggressor = addresses
+        scrubbed = make(scrub_rate=2.0)
+        unscrubbed = make(scrub_rate=0.0)
+        for cache in (scrubbed, unscrubbed):
+            cache.read(victim)
+            cache.read(aggressor)
+            for _ in range(100):
+                cache.read(aggressor)
+            cache.read(victim)
+        scrubbed_window = scrubbed.reliability.max_accumulated_reads
+        unscrubbed_window = unscrubbed.reliability.max_accumulated_reads
+        assert scrubbed_window < unscrubbed_window
+
+    def test_reliability_sits_between_conventional_and_reap(self, addresses):
+        victim, aggressor = addresses
+        failures = {}
+        for scheme in (ProtectionScheme.CONVENTIONAL, ProtectionScheme.SCRUBBING, ProtectionScheme.REAP):
+            cache = make_scheme(scheme)
+            cache.read(victim)
+            cache.read(aggressor)
+            for _ in range(200):
+                cache.read(aggressor)
+            cache.read(victim)
+            failures[scheme] = cache.expected_failures
+        assert failures[ProtectionScheme.SCRUBBING] < failures[ProtectionScheme.CONVENTIONAL]
+        # REAP's per-read checking dominates a background scrubber for the
+        # delivered line's failure probability.
+        assert failures[ProtectionScheme.REAP] < failures[ProtectionScheme.CONVENTIONAL]
+
+    def test_scrubbing_costs_energy(self, addresses):
+        victim, aggressor = addresses
+        scrubbed = make(scrub_rate=2.0)
+        conventional = make_scheme(ProtectionScheme.CONVENTIONAL)
+        for cache in (scrubbed, conventional):
+            cache.read(victim)
+            for _ in range(50):
+                cache.read(aggressor)
+        assert scrubbed.energy.dynamic_pj > conventional.energy.dynamic_pj
+
+    def test_writes_also_advance_the_scrubber(self, addresses):
+        victim, _ = addresses
+        cache = make(scrub_rate=1.0)
+        cache.read(victim)
+        for _ in range(10):
+            cache.write(victim)
+        assert cache.scrubbed_lines >= 10

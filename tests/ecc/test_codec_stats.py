@@ -1,0 +1,62 @@
+"""Tests for the ECC hardware cost model."""
+
+import pytest
+
+from repro.ecc import ECCCostModel, GateLibrary, HammingSECCode, HammingSECDEDCode
+from repro.errors import ConfigurationError
+
+
+class TestGateLibrary:
+    def test_defaults_valid(self):
+        lib = GateLibrary()
+        assert lib.xor2_area_um2 > 0
+
+    def test_rejects_bad_activity(self):
+        with pytest.raises(ConfigurationError):
+            GateLibrary(activity_factor=0.0)
+
+    def test_rejects_nonpositive_area(self):
+        with pytest.raises(ConfigurationError):
+            GateLibrary(xor2_area_um2=0.0)
+
+
+class TestCodecCost:
+    @pytest.fixture
+    def model(self):
+        return ECCCostModel(HammingSECCode(512))
+
+    def test_encoder_cost_positive(self, model):
+        cost = model.encoder_cost()
+        assert cost.area_um2 > 0
+        assert cost.energy_per_op_pj > 0
+        assert cost.latency_ns > 0
+
+    def test_decoder_costs_more_than_encoder(self, model):
+        assert model.decoder_cost().area_um2 > model.encoder_cost().area_um2
+        assert model.decoder_cost().energy_per_op_pj > model.encoder_cost().energy_per_op_pj
+
+    def test_larger_code_costs_more(self):
+        small = ECCCostModel(HammingSECCode(64)).decoder_cost()
+        large = ECCCostModel(HammingSECCode(512)).decoder_cost()
+        assert large.area_um2 > small.area_um2
+        assert large.xor_gates > small.xor_gates
+
+    def test_secded_costs_more_than_sec(self):
+        sec = ECCCostModel(HammingSECCode(512)).decoder_cost()
+        secded = ECCCostModel(HammingSECDEDCode(512)).decoder_cost()
+        assert secded.area_um2 > sec.area_um2
+
+    def test_scaled_multiplies_area_not_latency(self, model):
+        cost = model.decoder_cost()
+        scaled = cost.scaled(8)
+        assert scaled.area_um2 == pytest.approx(8 * cost.area_um2)
+        assert scaled.energy_per_op_pj == pytest.approx(8 * cost.energy_per_op_pj)
+        assert scaled.latency_ns == pytest.approx(cost.latency_ns)
+
+    def test_scaled_rejects_zero_copies(self, model):
+        with pytest.raises(ConfigurationError):
+            model.decoder_cost().scaled(0)
+
+    def test_decoder_latency_sub_nanosecond(self, model):
+        """A SEC decoder is a handful of XOR levels — well under 1 ns."""
+        assert model.decoder_cost().latency_ns < 1.0

@@ -1,0 +1,122 @@
+"""Property-based tests (hypothesis) for the ECC codecs.
+
+Invariants exercised:
+
+* encode/decode round-trips are identities for every code;
+* any single-bit error is corrected by SEC and SEC-DED;
+* any double-bit error is flagged (never silently accepted) by SEC-DED;
+* codeword length always equals data bits + parity bits.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc import (
+    DecodeStatus,
+    HammingSECCode,
+    HammingSECDEDCode,
+    InterleavedSECDEDCode,
+    ParityCode,
+)
+
+# Keep the widths modest so the property tests stay fast; behaviour is
+# width-independent by construction.
+WIDTHS = st.sampled_from([8, 16, 32, 64])
+
+
+def bits_strategy(width: int):
+    return st.lists(st.integers(0, 1), min_size=width, max_size=width).map(
+        lambda bits: np.array(bits, dtype=np.uint8)
+    )
+
+
+@st.composite
+def data_and_code(draw, code_factory):
+    width = draw(WIDTHS)
+    data = draw(bits_strategy(width))
+    return code_factory(width), data
+
+
+class TestRoundTripProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(data_and_code(HammingSECCode))
+    def test_sec_roundtrip_identity(self, pair):
+        code, data = pair
+        result = code.decode(code.encode(data))
+        assert result.status is DecodeStatus.CLEAN
+        assert np.array_equal(result.data, data)
+
+    @settings(max_examples=60, deadline=None)
+    @given(data_and_code(HammingSECDEDCode))
+    def test_secded_roundtrip_identity(self, pair):
+        code, data = pair
+        result = code.decode(code.encode(data))
+        assert result.status is DecodeStatus.CLEAN
+        assert np.array_equal(result.data, data)
+
+    @settings(max_examples=40, deadline=None)
+    @given(data_and_code(ParityCode))
+    def test_parity_roundtrip_identity(self, pair):
+        code, data = pair
+        result = code.decode(code.encode(data))
+        assert result.status is DecodeStatus.CLEAN
+        assert np.array_equal(result.data, data)
+
+    @settings(max_examples=40, deadline=None)
+    @given(data_and_code(lambda w: InterleavedSECDEDCode(w, degree=4)))
+    def test_interleaved_roundtrip_identity(self, pair):
+        code, data = pair
+        result = code.decode(code.encode(data))
+        assert result.status is DecodeStatus.CLEAN
+        assert np.array_equal(result.data, data)
+
+
+class TestSingleErrorProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(data_and_code(HammingSECCode), st.data())
+    def test_sec_corrects_any_single_error(self, pair, data_picker):
+        code, data = pair
+        codeword = code.encode(data)
+        position = data_picker.draw(st.integers(0, code.codeword_bits - 1))
+        codeword[position] ^= 1
+        result = code.decode(codeword)
+        assert result.ok
+        assert np.array_equal(result.data, data)
+
+    @settings(max_examples=80, deadline=None)
+    @given(data_and_code(HammingSECDEDCode), st.data())
+    def test_secded_corrects_any_single_error(self, pair, data_picker):
+        code, data = pair
+        codeword = code.encode(data)
+        position = data_picker.draw(st.integers(0, code.codeword_bits - 1))
+        codeword[position] ^= 1
+        result = code.decode(codeword)
+        assert result.ok
+        assert np.array_equal(result.data, data)
+
+
+class TestDoubleErrorProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(data_and_code(HammingSECDEDCode), st.data())
+    def test_secded_never_accepts_a_double_error(self, pair, data_picker):
+        code, data = pair
+        codeword = code.encode(data)
+        first = data_picker.draw(st.integers(0, code.codeword_bits - 1))
+        second = data_picker.draw(
+            st.integers(0, code.codeword_bits - 1).filter(lambda x: x != first)
+        )
+        codeword[first] ^= 1
+        codeword[second] ^= 1
+        result = code.decode(codeword)
+        assert result.status is DecodeStatus.DETECTED_UNCORRECTABLE
+
+
+class TestGeometryProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(WIDTHS)
+    def test_codeword_length_consistency(self, width):
+        for code in (HammingSECCode(width), HammingSECDEDCode(width), ParityCode(width)):
+            data = np.zeros(width, dtype=np.uint8)
+            assert code.encode(data).size == code.codeword_bits
+            assert code.codeword_bits == code.data_bits + code.parity_bits

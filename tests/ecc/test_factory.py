@@ -1,0 +1,69 @@
+"""Tests for the ECC factory and the no-ECC degenerate scheme."""
+
+import numpy as np
+import pytest
+
+from repro.config import ECCConfig, ECCKind
+from repro.ecc import (
+    DecodeStatus,
+    HammingSECCode,
+    HammingSECDEDCode,
+    InterleavedSECDEDCode,
+    NoECC,
+    ParityCode,
+    build_ecc_scheme,
+)
+from repro.errors import ECCCapacityError
+
+
+class TestNoECC:
+    def test_zero_overhead(self):
+        code = NoECC(512)
+        assert code.parity_bits == 0
+        assert code.codeword_bits == 512
+        assert code.correctable_errors == 0
+        assert code.detectable_errors == 0
+
+    def test_roundtrip_is_identity(self):
+        code = NoECC(16)
+        data = np.ones(16, dtype=np.uint8)
+        result = code.decode(code.encode(data))
+        assert result.status is DecodeStatus.CLEAN
+        assert np.array_equal(result.data, data)
+
+    def test_errors_pass_silently(self):
+        code = NoECC(16)
+        corrupted = np.zeros(16, dtype=np.uint8)
+        corrupted[3] = 1
+        assert code.decode(corrupted).status is DecodeStatus.CLEAN
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "kind, expected_type",
+        [
+            (ECCKind.NONE, NoECC),
+            (ECCKind.PARITY, ParityCode),
+            (ECCKind.HAMMING_SEC, HammingSECCode),
+            (ECCKind.HAMMING_SECDED, HammingSECDEDCode),
+        ],
+    )
+    def test_builds_expected_type(self, kind, expected_type):
+        scheme = build_ecc_scheme(ECCConfig(kind=kind), 512)
+        assert isinstance(scheme, expected_type)
+        assert scheme.data_bits == 512
+
+    def test_builds_interleaved_with_degree(self):
+        config = ECCConfig(kind=ECCKind.INTERLEAVED_SECDED, interleaving_degree=4)
+        scheme = build_ecc_scheme(config, 512)
+        assert isinstance(scheme, InterleavedSECDEDCode)
+        assert scheme.degree == 4
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(ECCCapacityError):
+            build_ecc_scheme(ECCConfig(), 0)
+
+    def test_paper_default_sec_512(self):
+        scheme = build_ecc_scheme(ECCConfig(kind=ECCKind.HAMMING_SEC), 512)
+        assert scheme.correctable_errors == 1
+        assert scheme.parity_bits == 10

@@ -1,0 +1,132 @@
+"""Tests for the Hamming SEC and SEC-DED codes."""
+
+import numpy as np
+import pytest
+
+from repro.ecc import DecodeStatus, HammingSECCode, HammingSECDEDCode, parity_bits_for_sec
+from repro.errors import ECCCapacityError
+
+
+class TestParityBitsForSEC:
+    @pytest.mark.parametrize(
+        "data_bits, expected",
+        [(1, 2), (4, 3), (11, 4), (26, 5), (57, 6), (64, 7), (120, 7), (247, 8), (512, 10)],
+    )
+    def test_known_values(self, data_bits, expected):
+        assert parity_bits_for_sec(data_bits) == expected
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ECCCapacityError):
+            parity_bits_for_sec(0)
+
+
+class TestHammingSEC:
+    @pytest.fixture(params=[8, 64, 512])
+    def code(self, request):
+        return HammingSECCode(request.param)
+
+    def test_geometry_512(self):
+        code = HammingSECCode(512)
+        assert code.parity_bits == 10
+        assert code.codeword_bits == 522
+        assert code.correctable_errors == 1
+
+    def test_clean_roundtrip(self, code):
+        rng = np.random.default_rng(1)
+        data = rng.integers(0, 2, size=code.data_bits).astype(np.uint8)
+        result = code.decode(code.encode(data))
+        assert result.status is DecodeStatus.CLEAN
+        assert np.array_equal(result.data, data)
+
+    def test_every_single_bit_error_corrected(self):
+        code = HammingSECCode(32)
+        rng = np.random.default_rng(2)
+        data = rng.integers(0, 2, size=32).astype(np.uint8)
+        codeword = code.encode(data)
+        for position in range(code.codeword_bits):
+            corrupted = codeword.copy()
+            corrupted[position] ^= 1
+            result = code.decode(corrupted)
+            assert result.status is DecodeStatus.CORRECTED
+            assert np.array_equal(result.data, data), f"failed at bit {position}"
+
+    def test_all_zero_data(self, code):
+        data = np.zeros(code.data_bits, dtype=np.uint8)
+        assert np.array_equal(code.decode(code.encode(data)).data, data)
+
+    def test_all_one_data(self, code):
+        data = np.ones(code.data_bits, dtype=np.uint8)
+        assert np.array_equal(code.decode(code.encode(data)).data, data)
+
+    def test_double_error_is_not_corrected_to_original(self):
+        """SEC fails on double errors: either miscorrects or flags them."""
+        code = HammingSECCode(64)
+        rng = np.random.default_rng(3)
+        data = rng.integers(0, 2, size=64).astype(np.uint8)
+        codeword = code.encode(data)
+        corrupted = codeword.copy()
+        corrupted[0] ^= 1
+        corrupted[5] ^= 1
+        result = code.decode(corrupted)
+        assert not (
+            result.status in (DecodeStatus.CLEAN,)
+            and np.array_equal(result.data, data)
+        )
+
+    def test_storage_overhead_is_small(self):
+        assert HammingSECCode(512).storage_overhead == pytest.approx(10 / 512)
+
+
+class TestHammingSECDED:
+    def test_geometry_64(self):
+        """The classic (72, 64) organisation."""
+        code = HammingSECDEDCode(64)
+        assert code.codeword_bits == 72
+        assert code.parity_bits == 8
+        assert code.detectable_errors == 2
+
+    def test_clean_roundtrip(self):
+        code = HammingSECDEDCode(128)
+        rng = np.random.default_rng(5)
+        data = rng.integers(0, 2, size=128).astype(np.uint8)
+        result = code.decode(code.encode(data))
+        assert result.status is DecodeStatus.CLEAN
+        assert np.array_equal(result.data, data)
+
+    def test_every_single_bit_error_corrected(self):
+        code = HammingSECDEDCode(32)
+        rng = np.random.default_rng(6)
+        data = rng.integers(0, 2, size=32).astype(np.uint8)
+        codeword = code.encode(data)
+        for position in range(code.codeword_bits):
+            corrupted = codeword.copy()
+            corrupted[position] ^= 1
+            result = code.decode(corrupted)
+            assert result.status is DecodeStatus.CORRECTED
+            assert np.array_equal(result.data, data), f"failed at bit {position}"
+
+    def test_every_double_error_detected(self):
+        """No double error may be silently accepted or miscorrected."""
+        code = HammingSECDEDCode(16)
+        rng = np.random.default_rng(7)
+        data = rng.integers(0, 2, size=16).astype(np.uint8)
+        codeword = code.encode(data)
+        n = code.codeword_bits
+        for i in range(n):
+            for j in range(i + 1, n):
+                corrupted = codeword.copy()
+                corrupted[i] ^= 1
+                corrupted[j] ^= 1
+                result = code.decode(corrupted)
+                assert result.status is DecodeStatus.DETECTED_UNCORRECTABLE, (
+                    f"double error at ({i}, {j}) not detected"
+                )
+
+    def test_overall_parity_bit_error_corrected(self):
+        code = HammingSECDEDCode(32)
+        data = np.ones(32, dtype=np.uint8)
+        codeword = code.encode(data)
+        codeword[-1] ^= 1
+        result = code.decode(codeword)
+        assert result.status is DecodeStatus.CORRECTED
+        assert np.array_equal(result.data, data)

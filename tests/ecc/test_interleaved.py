@@ -1,0 +1,94 @@
+"""Tests for the interleaved SEC-DED code."""
+
+import numpy as np
+import pytest
+
+from repro.ecc import DecodeStatus, InterleavedSECDEDCode
+from repro.errors import ECCCapacityError
+
+
+class TestGeometry:
+    def test_basic_geometry(self):
+        code = InterleavedSECDEDCode(512, degree=4)
+        assert code.degree == 4
+        assert code.data_bits == 512
+        # Each 128-bit lane needs 8 + 1 check bits.
+        assert code.parity_bits == 4 * 9
+        assert code.best_case_correctable_errors == 4
+        assert code.correctable_errors == 1
+
+    def test_rejects_indivisible_width(self):
+        with pytest.raises(ECCCapacityError):
+            InterleavedSECDEDCode(100, degree=3)
+
+    def test_rejects_bad_degree(self):
+        with pytest.raises(ECCCapacityError):
+            InterleavedSECDEDCode(64, degree=0)
+
+
+class TestDecoding:
+    @pytest.fixture
+    def code(self):
+        return InterleavedSECDEDCode(64, degree=4)
+
+    def test_clean_roundtrip(self, code):
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 2, size=64).astype(np.uint8)
+        result = code.decode(code.encode(data))
+        assert result.status is DecodeStatus.CLEAN
+        assert np.array_equal(result.data, data)
+
+    def test_single_error_in_each_lane_corrected(self, code):
+        rng = np.random.default_rng(1)
+        data = rng.integers(0, 2, size=64).astype(np.uint8)
+        codeword = code.encode(data)
+        lane_len = codeword.size // code.degree
+        corrupted = codeword.copy()
+        # One flip per lane: 4 errors total, all correctable thanks to interleaving.
+        for lane in range(code.degree):
+            corrupted[lane * lane_len + 2] ^= 1
+        result = code.decode(corrupted)
+        assert result.status is DecodeStatus.CORRECTED
+        assert np.array_equal(result.data, data)
+
+    def test_two_errors_in_one_lane_detected(self, code):
+        rng = np.random.default_rng(2)
+        data = rng.integers(0, 2, size=64).astype(np.uint8)
+        codeword = code.encode(data)
+        corrupted = codeword.copy()
+        corrupted[0] ^= 1
+        corrupted[3] ^= 1  # same lane (lane 0 codeword occupies the first slot)
+        result = code.decode(corrupted)
+        assert result.status is DecodeStatus.DETECTED_UNCORRECTABLE
+
+    def test_adjacent_data_bits_fall_in_different_lanes(self):
+        """Physically adjacent upsets are split across lanes and both corrected."""
+        code = InterleavedSECDEDCode(64, degree=4)
+        data = np.zeros(64, dtype=np.uint8)
+        codeword = code.encode(data)
+        corrupted = codeword.copy()
+        # Flip data bits 10 and 11 — adjacent in the data word, different lanes.
+        lane_len = codeword.size // code.degree
+        for data_bit in (10, 11):
+            lane = data_bit % 4
+            # position of this data bit within its lane's data portion
+            index_in_lane = data_bit // 4
+            lane_word = code._lane_code  # noqa: SLF001 - test reaches into layout
+            # Find codeword position: re-encode with only this bit set and diff.
+            probe = np.zeros(64, dtype=np.uint8)
+            probe[data_bit] = 1
+            diff = np.flatnonzero(code.encode(probe) != code.encode(np.zeros(64, dtype=np.uint8)))
+            data_positions = [d for d in diff if (d // lane_len) == lane]
+            corrupted[data_positions[0]] ^= 1
+        result = code.decode(corrupted)
+        assert result.status is DecodeStatus.CORRECTED
+        assert np.array_equal(result.data, data)
+
+    def test_degree_one_behaves_like_secded(self):
+        code = InterleavedSECDEDCode(32, degree=1)
+        data = np.ones(32, dtype=np.uint8)
+        codeword = code.encode(data)
+        codeword[5] ^= 1
+        result = code.decode(codeword)
+        assert result.status is DecodeStatus.CORRECTED
+        assert np.array_equal(result.data, data)

@@ -1,0 +1,59 @@
+"""Tests for the single-parity code."""
+
+import numpy as np
+import pytest
+
+from repro.ecc import DecodeStatus, ParityCode
+from repro.errors import ECCDecodingError
+
+
+class TestParityCode:
+    def test_geometry(self):
+        code = ParityCode(64)
+        assert code.parity_bits == 1
+        assert code.codeword_bits == 65
+        assert code.correctable_errors == 0
+        assert code.detectable_errors == 1
+        assert "Parity" in code.name
+
+    def test_clean_roundtrip(self):
+        code = ParityCode(16)
+        data = np.array([1, 0] * 8, dtype=np.uint8)
+        result = code.decode(code.encode(data))
+        assert result.status is DecodeStatus.CLEAN
+        assert np.array_equal(result.data, data)
+
+    def test_single_error_detected(self):
+        code = ParityCode(16)
+        codeword = code.encode(np.zeros(16, dtype=np.uint8))
+        codeword[3] ^= 1
+        result = code.decode(codeword)
+        assert result.status is DecodeStatus.DETECTED_UNCORRECTABLE
+        assert not result.ok
+
+    def test_double_error_passes_silently(self):
+        """Parity cannot see an even number of flips (documented limitation)."""
+        code = ParityCode(16)
+        codeword = code.encode(np.zeros(16, dtype=np.uint8))
+        codeword[3] ^= 1
+        codeword[7] ^= 1
+        assert code.decode(codeword).status is DecodeStatus.CLEAN
+
+    def test_parity_bit_error_detected(self):
+        code = ParityCode(8)
+        codeword = code.encode(np.ones(8, dtype=np.uint8))
+        codeword[-1] ^= 1
+        assert code.decode(codeword).status is DecodeStatus.DETECTED_UNCORRECTABLE
+
+    def test_storage_overhead(self):
+        assert ParityCode(512).storage_overhead == pytest.approx(1 / 512)
+
+    def test_rejects_wrong_length(self):
+        code = ParityCode(8)
+        with pytest.raises(ECCDecodingError):
+            code.decode(np.zeros(8, dtype=np.uint8))
+
+    def test_rejects_non_binary_input(self):
+        code = ParityCode(4)
+        with pytest.raises(ECCDecodingError):
+            code.encode(np.array([0, 1, 2, 0]))

@@ -1,0 +1,72 @@
+"""Tests for the per-simulation energy accountant."""
+
+import pytest
+
+from repro.config import paper_l2_config
+from repro.ecc import build_ecc_scheme
+from repro.energy import EnergyAccountant, NVSimLikeModel
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def accountant():
+    config = paper_l2_config()
+    ecc = build_ecc_scheme(config.ecc, config.block_size_bits)
+    return EnergyAccountant(NVSimLikeModel(config, ecc))
+
+
+class TestEnergyAccountant:
+    def test_starts_at_zero(self, accountant):
+        assert accountant.totals.dynamic_pj == 0.0
+        assert accountant.totals.total_pj == 0.0
+
+    def test_read_access_accumulates(self, accountant):
+        accountant.record_read_access(ways_read=8, ecc_decodes=1)
+        totals = accountant.totals
+        assert totals.data_read_pj == pytest.approx(8 * accountant.model.way_read_energy_pj())
+        assert totals.ecc_decode_pj == pytest.approx(accountant.model.ecc_decode_energy_pj())
+        assert totals.tag_pj > 0 and totals.mux_pj > 0
+
+    def test_reap_read_adds_more_decode_energy(self):
+        config = paper_l2_config()
+        ecc = build_ecc_scheme(config.ecc, config.block_size_bits)
+        conventional = EnergyAccountant(NVSimLikeModel(config, ecc))
+        reap = EnergyAccountant(NVSimLikeModel(config, ecc))
+        conventional.record_read_access(8, 1)
+        reap.record_read_access(8, 8)
+        assert reap.totals.dynamic_pj > conventional.totals.dynamic_pj
+        difference = reap.totals.dynamic_pj - conventional.totals.dynamic_pj
+        assert difference == pytest.approx(7 * reap.model.ecc_decode_energy_pj())
+
+    def test_write_access(self, accountant):
+        accountant.record_write_access()
+        assert accountant.totals.data_write_pj > 0
+        assert accountant.totals.ecc_encode_pj > 0
+
+    def test_fill_counts_as_write(self, accountant):
+        accountant.record_fill()
+        assert accountant.totals.data_write_pj > 0
+
+    def test_scrub_energy(self, accountant):
+        accountant.record_scrub()
+        assert accountant.totals.data_write_pj > 0
+
+    def test_leakage(self, accountant):
+        accountant.add_leakage(runtime_s=1e-3)
+        assert accountant.totals.leakage_pj > 0
+        assert accountant.totals.total_pj > accountant.totals.dynamic_pj
+
+    def test_ecc_fraction_of_dynamic(self, accountant):
+        accountant.record_read_access(8, 1)
+        assert 0.0 < accountant.totals.ecc_fraction_of_dynamic < 0.05
+
+    def test_as_dict(self, accountant):
+        accountant.record_read_access(8, 1)
+        data = accountant.totals.as_dict()
+        assert "dynamic_pj" in data and "ecc_fraction_of_dynamic" in data
+
+    def test_rejects_negative_events(self, accountant):
+        with pytest.raises(ConfigurationError):
+            accountant.record_read_access(-1, 0)
+        with pytest.raises(ConfigurationError):
+            accountant.add_leakage(-1.0)

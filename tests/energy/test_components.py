@@ -1,0 +1,61 @@
+"""Tests for the per-component energy profiles."""
+
+import pytest
+
+from repro.config import MemoryTechnology
+from repro.energy import SRAM_PROFILE, STT_MRAM_PROFILE, ArrayEnergyProfile, array_profile_for
+from repro.energy.components import ECCUnitProfile, PeripheralEnergyProfile
+from repro.errors import ConfigurationError
+
+
+class TestArrayProfiles:
+    def test_stt_mram_writes_cost_more_than_reads(self):
+        assert STT_MRAM_PROFILE.write_energy_pj > STT_MRAM_PROFILE.read_energy_pj
+
+    def test_stt_mram_leaks_far_less_than_sram(self):
+        assert STT_MRAM_PROFILE.leakage_mw_per_mb < SRAM_PROFILE.leakage_mw_per_mb / 10
+
+    def test_stt_mram_is_denser_than_sram(self):
+        assert STT_MRAM_PROFILE.area_mm2_per_mb < SRAM_PROFILE.area_mm2_per_mb
+
+    def test_profile_for_technology(self):
+        assert array_profile_for(MemoryTechnology.SRAM) is SRAM_PROFILE
+        assert array_profile_for(MemoryTechnology.STT_MRAM) is STT_MRAM_PROFILE
+
+    def test_scaled_profile(self):
+        scaled = STT_MRAM_PROFILE.scaled(2.0)
+        assert scaled.read_energy_pj == pytest.approx(2 * STT_MRAM_PROFILE.read_energy_pj)
+        assert scaled.leakage_mw_per_mb == STT_MRAM_PROFILE.leakage_mw_per_mb
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            STT_MRAM_PROFILE.scaled(0.0)
+
+    def test_rejects_negative_energy(self):
+        with pytest.raises(ConfigurationError):
+            ArrayEnergyProfile(
+                read_energy_pj=-1.0,
+                write_energy_pj=1.0,
+                leakage_mw_per_mb=1.0,
+                area_mm2_per_mb=1.0,
+                read_latency_ns=1.0,
+                write_latency_ns=1.0,
+            )
+
+
+class TestPeripheralAndECCProfiles:
+    def test_defaults_valid(self):
+        assert PeripheralEnergyProfile().tag_read_energy_pj > 0
+        assert ECCUnitProfile().decode_energy_pj > 0
+
+    def test_decoder_energy_is_tiny_vs_way_read(self):
+        """The paper's premise: the decoder is a negligible fraction of a read."""
+        assert ECCUnitProfile().decode_energy_pj < 0.1 * STT_MRAM_PROFILE.read_energy_pj
+
+    def test_rejects_bad_tag_fraction(self):
+        with pytest.raises(ConfigurationError):
+            PeripheralEnergyProfile(tag_area_fraction=1.5)
+
+    def test_rejects_nonpositive_decode_energy(self):
+        with pytest.raises(ConfigurationError):
+            ECCUnitProfile(decode_energy_pj=0.0)

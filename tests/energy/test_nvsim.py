@@ -1,0 +1,107 @@
+"""Tests for the NVSim-like cache energy/area/latency model."""
+
+import pytest
+
+from repro.config import ECCConfig, ECCKind, MemoryTechnology, ReadPathMode, paper_l2_config
+from repro.ecc import build_ecc_scheme
+from repro.energy import NVSimLikeModel
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def model():
+    config = paper_l2_config()
+    ecc = build_ecc_scheme(config.ecc, config.block_size_bits)
+    return NVSimLikeModel(config, ecc)
+
+
+class TestArea:
+    def test_reap_needs_eight_decoders(self, model):
+        assert model.num_ecc_decoders(ReadPathMode.PARALLEL) == 1
+        assert model.num_ecc_decoders(ReadPathMode.REAP) == 8
+
+    def test_area_overhead_below_one_percent(self, model):
+        """The paper's Section V-B area claim."""
+        overhead = model.area(ReadPathMode.REAP).total_mm2 / model.area(
+            ReadPathMode.PARALLEL
+        ).total_mm2 - 1.0
+        assert 0.0 < overhead < 0.01
+
+    def test_decoder_is_about_a_thousandth_of_the_cache(self, model):
+        """The paper: decoder contributes ~0.1% of total cache area."""
+        area = model.area(ReadPathMode.PARALLEL)
+        assert 0.0001 < area.ecc_decoders_mm2 / area.total_mm2 < 0.01
+
+    def test_data_array_dominates(self, model):
+        area = model.area()
+        assert area.data_array_mm2 > 0.8 * area.total_mm2
+
+    def test_check_bits_increase_data_area(self):
+        config = paper_l2_config()
+        no_ecc = NVSimLikeModel(config, build_ecc_scheme(ECCConfig(kind=ECCKind.NONE), 512))
+        sec = NVSimLikeModel(config, build_ecc_scheme(ECCConfig(kind=ECCKind.HAMMING_SEC), 512))
+        assert sec.area().data_array_mm2 > no_ecc.area().data_array_mm2
+
+    def test_area_overhead_vs_helper(self, model):
+        reap_config = paper_l2_config(read_path=ReadPathMode.REAP)
+        ecc = build_ecc_scheme(reap_config.ecc, reap_config.block_size_bits)
+        reap_model = NVSimLikeModel(reap_config, ecc)
+        assert reap_model.area_overhead_vs(ReadPathMode.PARALLEL) > 0
+
+
+class TestEnergy:
+    def test_read_access_breakdown(self, model):
+        breakdown = model.read_access_energy(ways_read=8, ecc_decodes=1)
+        assert breakdown.total_pj > 0
+        assert breakdown.data_array_pj == pytest.approx(8 * model.way_read_energy_pj())
+
+    def test_decoder_below_one_percent_of_read_access(self, model):
+        """The paper: the ECC decoder is <1% of the access energy."""
+        breakdown = model.read_access_energy(ways_read=8, ecc_decodes=1)
+        assert breakdown.ecc_fraction < 0.01
+
+    def test_reap_read_costs_slightly_more(self, model):
+        conventional = model.read_access_energy(ways_read=8, ecc_decodes=1).total_pj
+        reap = model.read_access_energy(ways_read=8, ecc_decodes=8).total_pj
+        assert conventional < reap < conventional * 1.10
+
+    def test_write_access_energy_dominated_by_array(self, model):
+        breakdown = model.write_access_energy()
+        assert breakdown.data_array_pj > 0.9 * breakdown.total_pj
+
+    def test_write_way_costs_more_than_read_way(self, model):
+        assert model.way_write_energy_pj() > model.way_read_energy_pj()
+
+    def test_rejects_negative_counts(self, model):
+        with pytest.raises(ConfigurationError):
+            model.read_access_energy(ways_read=-1, ecc_decodes=0)
+
+
+class TestLeakageAndLatency:
+    def test_stt_mram_leakage_is_small(self, model):
+        assert model.leakage_power_mw() < 20.0
+
+    def test_sram_leaks_more(self):
+        config = paper_l2_config()
+        sram_config = type(config)(
+            name="L2-sram",
+            size_bytes=config.size_bytes,
+            associativity=config.associativity,
+            block_size_bytes=config.block_size_bytes,
+            technology=MemoryTechnology.SRAM,
+            ecc=config.ecc,
+        )
+        ecc = build_ecc_scheme(config.ecc, config.block_size_bits)
+        sram = NVSimLikeModel(sram_config, ecc)
+        stt = NVSimLikeModel(config, ecc)
+        assert sram.leakage_power_mw() > 10 * stt.leakage_power_mw()
+
+    def test_reap_latency_not_longer(self, model):
+        assert model.read_hit_latency_ns(ReadPathMode.REAP) <= model.read_hit_latency_ns(
+            ReadPathMode.PARALLEL
+        )
+
+    def test_serial_latency_longer(self, model):
+        assert model.read_hit_latency_ns(ReadPathMode.SERIAL) > model.read_hit_latency_ns(
+            ReadPathMode.PARALLEL
+        )

@@ -1,0 +1,63 @@
+"""Integration test: CPU-level traces through the full two-level hierarchy."""
+
+import pytest
+
+from repro.config import paper_simulation_config
+from repro.core import DataValueProfile, ProtectionScheme, build_protected_cache
+from repro.sim import run_cpu_trace
+from repro.workloads import hot_loop_trace, mixed_trace, pointer_chase_trace, sequential_trace
+
+
+def build_l2(scheme, seed=1):
+    config = paper_simulation_config()
+    return build_protected_cache(
+        scheme,
+        config.hierarchy.l2,
+        p_cell=1e-8,
+        data_profile=DataValueProfile.constant(100),
+        seed=seed,
+    )
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return mixed_trace(
+        "mixed-app",
+        [
+            hot_loop_trace(num_accesses=8_000, data_bytes=8 * 1024, seed=1),
+            pointer_chase_trace(num_accesses=4_000, num_nodes=128, seed=2),
+            sequential_trace(num_accesses=3_000, stride_bytes=64, seed=3),
+        ],
+        seed=4,
+    )
+
+
+class TestHierarchyIntegration:
+    def test_l1_filters_most_references(self, workload):
+        result, hierarchy = run_cpu_trace(build_l2(ProtectionScheme.CONVENTIONAL), workload)
+        assert hierarchy.stats.total_references == len(workload)
+        assert result.num_accesses < 0.6 * len(workload)
+
+    def test_l2_sees_concealed_reads_under_conventional_scheme(self, workload):
+        result, _ = run_cpu_trace(build_l2(ProtectionScheme.CONVENTIONAL), workload)
+        assert result.concealed_reads > 0
+
+    def test_reap_improves_reliability_end_to_end(self, workload):
+        conventional, _ = run_cpu_trace(build_l2(ProtectionScheme.CONVENTIONAL), workload)
+        reap, _ = run_cpu_trace(build_l2(ProtectionScheme.REAP), workload)
+        assert reap.expected_failures < conventional.expected_failures
+        assert reap.concealed_reads == 0
+
+    def test_energy_overhead_bounded_end_to_end(self, workload):
+        conventional, _ = run_cpu_trace(build_l2(ProtectionScheme.CONVENTIONAL), workload)
+        reap, _ = run_cpu_trace(build_l2(ProtectionScheme.REAP), workload)
+        ratio = reap.dynamic_energy_pj / conventional.dynamic_energy_pj
+        assert 1.0 <= ratio < 1.10
+
+    def test_identical_functional_behaviour_across_schemes(self, workload):
+        """Protection schemes must not change hit/miss behaviour."""
+        _, hierarchy_a = run_cpu_trace(build_l2(ProtectionScheme.CONVENTIONAL), workload)
+        _, hierarchy_b = run_cpu_trace(build_l2(ProtectionScheme.REAP), workload)
+        assert hierarchy_a.stats.l2_reads == hierarchy_b.stats.l2_reads
+        assert hierarchy_a.stats.l2_writebacks == hierarchy_b.stats.l2_writebacks
+        assert hierarchy_a.l1d.stats.hit_rate == hierarchy_b.l1d.stats.hit_rate

@@ -1,0 +1,99 @@
+"""End-to-end checks of the paper's headline claims on small simulations.
+
+These tests reproduce the qualitative structure of the paper's evaluation
+(Section V) at a scale suitable for CI: the absolute MTTF factors depend on
+trace length, but the orderings and the bounded overheads must hold.
+"""
+
+import pytest
+
+from repro.analysis import (
+    build_area_table,
+    build_figure5,
+    build_figure6,
+    build_latency_table,
+    numeric_example,
+)
+from repro.config import CacheLevelConfig
+from repro.sim import ExperimentSettings
+
+
+@pytest.fixture(scope="module")
+def settings():
+    return ExperimentSettings(
+        l2_config=CacheLevelConfig(
+            name="L2",
+            size_bytes=256 * 1024,
+            associativity=8,
+            block_size_bytes=64,
+            technology="stt-mram",
+        ),
+        p_cell=1e-8,
+        num_accesses=12_000,
+        ones_count=100,
+        seed=1,
+    )
+
+
+@pytest.fixture(scope="module")
+def figure5(settings):
+    return build_figure5(
+        workloads=["mcf", "perlbench", "h264ref", "namd", "xalancbmk", "cactusADM"],
+        settings=settings,
+    )
+
+
+@pytest.fixture(scope="module")
+def figure6(settings):
+    return build_figure6(
+        workloads=["mcf", "perlbench", "h264ref", "namd", "xalancbmk", "cactusADM"],
+        settings=settings,
+    )
+
+
+class TestSection3Formulation:
+    def test_worked_example_numbers(self):
+        example = numeric_example()
+        assert example.single_read_failure == pytest.approx(5.0e-13, rel=0.02)
+        assert example.accumulated_failure == pytest.approx(1.3e-9, rel=0.05)
+        assert example.reap_failure == pytest.approx(2.6e-11, rel=0.06)
+
+
+class TestFigure5Claims:
+    def test_reap_always_improves_mttf(self, figure5):
+        for row in figure5.rows:
+            assert row.mttf_improvement > 1.0
+
+    def test_improvements_span_orders_of_magnitude(self, figure5):
+        assert figure5.max_improvement / figure5.min_improvement > 20.0
+
+    def test_mcf_is_the_worst_case(self, figure5):
+        assert figure5.row("mcf").mttf_improvement == figure5.min_improvement
+        assert figure5.row("mcf").mttf_improvement < 20.0
+
+    def test_heavy_reuse_workloads_gain_most(self, figure5):
+        for name in ("h264ref", "namd"):
+            assert figure5.row(name).mttf_improvement > 5 * figure5.row("mcf").mttf_improvement
+
+    def test_average_improvement_is_large(self, figure5):
+        assert figure5.average_improvement > 50.0
+
+
+class TestFigure6Claims:
+    def test_overheads_are_a_few_percent(self, figure6):
+        for row in figure6.rows:
+            assert 0.0 < row.overhead_percent < 8.0
+        assert figure6.average_overhead_percent < 5.0
+
+    def test_read_dominated_worst_write_heavy_best(self, figure6):
+        assert figure6.row("cactusADM").overhead_percent == figure6.max_overhead_percent
+        assert figure6.row("xalancbmk").overhead_percent < figure6.row("cactusADM").overhead_percent
+
+
+class TestSection5BOverheads:
+    def test_area_overhead_below_one_percent(self):
+        assert build_area_table().overhead_percent < 1.0
+
+    def test_no_performance_degradation(self):
+        report = build_latency_table()
+        assert report.reap_is_no_slower

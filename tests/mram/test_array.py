@@ -1,0 +1,128 @@
+"""Tests for the bit-true STT block array."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mram import STTBlockArray
+
+
+def make_array(num_bits=64, disturb=0.0, write_fail=0.0, seed=0):
+    return STTBlockArray(
+        num_bits=num_bits,
+        disturb_probability=disturb,
+        write_failure_probability=write_fail,
+        rng=np.random.default_rng(seed),
+    )
+
+
+class TestConstruction:
+    def test_starts_all_zero(self):
+        array = make_array()
+        assert array.ones_count == 0
+        assert array.num_bits == 64
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(ConfigurationError):
+            STTBlockArray(num_bits=0)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ConfigurationError):
+            STTBlockArray(num_bits=8, disturb_probability=2.0)
+
+    def test_default_probabilities_from_mtj(self):
+        array = STTBlockArray(num_bits=8)
+        assert 0.0 <= array.disturb_probability < 1.0
+
+
+class TestWrite:
+    def test_write_sets_bits(self):
+        array = make_array(8)
+        bits = np.array([1, 0, 1, 0, 1, 1, 0, 0], dtype=np.uint8)
+        failures = array.write(bits)
+        assert failures == 0
+        assert np.array_equal(array.snapshot(), bits)
+
+    def test_write_wrong_shape_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_array(8).write(np.ones(4, dtype=np.uint8))
+
+    def test_write_non_binary_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_array(4).write(np.array([0, 1, 2, 0]))
+
+    def test_write_failures_leave_old_values(self):
+        array = make_array(16, write_fail=1.0)
+        bits = np.ones(16, dtype=np.uint8)
+        failures = array.write(bits)
+        assert failures == 16
+        assert array.ones_count == 0
+
+    def test_unchanged_bits_are_not_pulsed(self):
+        array = make_array(8, write_fail=1.0)
+        failures = array.write(np.zeros(8, dtype=np.uint8))
+        assert failures == 0
+
+
+class TestReadAndDisturb:
+    def test_read_returns_pre_disturbance_value(self):
+        array = make_array(8, disturb=1.0)
+        array.write(np.ones(8, dtype=np.uint8))
+        observed = array.read()
+        assert observed.sum() == 8
+        assert array.ones_count == 0
+        assert array.disturb_event_count == 8
+
+    def test_zero_disturbance_preserves_content(self):
+        array = make_array(32)
+        pattern = (np.arange(32) % 2).astype(np.uint8)
+        array.write(pattern)
+        for _ in range(50):
+            array.read()
+        assert np.array_equal(array.snapshot(), pattern)
+
+    def test_read_count_tracks(self):
+        array = make_array(8)
+        for _ in range(7):
+            array.read()
+        assert array.read_count == 7
+
+    def test_only_ones_can_flip(self):
+        array = make_array(16, disturb=1.0)
+        pattern = np.zeros(16, dtype=np.uint8)
+        pattern[:4] = 1
+        array.write(pattern)
+        array.read()
+        assert array.disturb_event_count == 4
+        assert array.ones_count == 0
+
+
+class TestScrubAndInjection:
+    def test_scrub_restores(self):
+        array = make_array(8, disturb=1.0)
+        golden = np.ones(8, dtype=np.uint8)
+        array.write(golden)
+        array.read()
+        repaired = array.scrub(golden)
+        assert repaired == 8
+        assert np.array_equal(array.snapshot(), golden)
+
+    def test_inject_errors_flips_positions(self):
+        array = make_array(8)
+        array.inject_errors([0, 3])
+        assert array.snapshot()[0] == 1
+        assert array.snapshot()[3] == 1
+
+    def test_inject_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_array(8).inject_errors([9])
+
+    def test_error_count_against_reference(self):
+        array = make_array(8)
+        reference = np.zeros(8, dtype=np.uint8)
+        array.inject_errors([1, 2, 5])
+        assert array.error_count(reference) == 3
+
+    def test_error_count_shape_check(self):
+        with pytest.raises(ConfigurationError):
+            make_array(8).error_count(np.zeros(4, dtype=np.uint8))

@@ -1,0 +1,97 @@
+"""Tests for the bit-true STT cell."""
+
+import numpy as np
+import pytest
+
+from repro.config import MTJConfig
+from repro.errors import ConfigurationError
+from repro.mram import STTCell
+
+
+class TestSTTCellBasics:
+    def test_default_cell_stores_zero(self):
+        assert STTCell().value == 0
+
+    def test_rejects_invalid_value(self):
+        with pytest.raises(ConfigurationError):
+            STTCell(value=2)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ConfigurationError):
+            STTCell(disturb_probability=1.5)
+
+    def test_from_mtj_derives_probabilities(self):
+        cell = STTCell.from_mtj(MTJConfig(), value=1)
+        assert cell.value == 1
+        assert 0.0 <= cell.disturb_probability < 1.0
+
+
+class TestReadBehaviour:
+    def test_read_returns_stored_value(self):
+        rng = np.random.default_rng(0)
+        cell = STTCell(value=1, disturb_probability=0.0)
+        assert cell.read(rng) == 1
+        assert cell.value == 1
+
+    def test_read_zero_never_disturbs(self):
+        rng = np.random.default_rng(0)
+        cell = STTCell(value=0, disturb_probability=1.0)
+        for _ in range(10):
+            assert cell.read(rng) == 0
+        assert cell.disturb_count == 0
+
+    def test_certain_disturbance_flips_one_to_zero(self):
+        rng = np.random.default_rng(0)
+        cell = STTCell(value=1, disturb_probability=1.0)
+        observed = cell.read(rng)
+        # The sense amplifier still sees the pre-disturbance value.
+        assert observed == 1
+        assert cell.value == 0
+        assert cell.disturb_count == 1
+
+    def test_read_count_increments(self):
+        rng = np.random.default_rng(0)
+        cell = STTCell(value=0)
+        for _ in range(5):
+            cell.read(rng)
+        assert cell.read_count == 5
+
+    def test_statistical_disturb_rate(self):
+        rng = np.random.default_rng(42)
+        flips = 0
+        trials = 2000
+        for _ in range(trials):
+            cell = STTCell(value=1, disturb_probability=0.3)
+            cell.read(rng)
+            flips += cell.disturb_count
+        assert flips / trials == pytest.approx(0.3, abs=0.05)
+
+
+class TestWriteAndScrub:
+    def test_write_same_value_always_succeeds(self):
+        cell = STTCell(value=1, write_failure_probability=1.0)
+        assert cell.write(1, np.random.default_rng(0))
+        assert cell.value == 1
+
+    def test_write_failure_keeps_old_value(self):
+        cell = STTCell(value=0, write_failure_probability=1.0)
+        assert not cell.write(1, np.random.default_rng(0))
+        assert cell.value == 0
+
+    def test_write_without_rng_is_deterministic(self):
+        cell = STTCell(value=0, write_failure_probability=1.0)
+        assert cell.write(1)
+        assert cell.value == 1
+
+    def test_write_rejects_invalid_value(self):
+        with pytest.raises(ConfigurationError):
+            STTCell().write(3)
+
+    def test_scrub_restores_value(self):
+        cell = STTCell(value=0)
+        cell.scrub(1)
+        assert cell.value == 1
+
+    def test_scrub_rejects_invalid_value(self):
+        with pytest.raises(ConfigurationError):
+            STTCell().scrub(7)

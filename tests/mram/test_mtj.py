@@ -1,0 +1,103 @@
+"""Tests for the static MTJ device model."""
+
+import math
+
+import pytest
+
+from repro.config import MTJConfig
+from repro.errors import ConfigurationError
+from repro.mram import MTJDevice, default_mtj_device
+
+
+class TestMTJDevice:
+    def test_default_device_builds(self):
+        device = default_mtj_device()
+        assert device.thermal_stability == pytest.approx(60.0)
+
+    def test_tmr_ratio(self):
+        device = MTJDevice(
+            config=MTJConfig(),
+            resistance_parallel_ohm=3000.0,
+            resistance_antiparallel_ohm=6000.0,
+        )
+        assert device.tmr_ratio == pytest.approx(1.0)
+
+    def test_rejects_inverted_resistances(self):
+        with pytest.raises(ConfigurationError):
+            MTJDevice(
+                config=MTJConfig(),
+                resistance_parallel_ohm=6000.0,
+                resistance_antiparallel_ohm=3000.0,
+            )
+
+    def test_read_voltage_higher_for_one(self):
+        device = default_mtj_device()
+        assert device.read_voltage_v(True) > device.read_voltage_v(False)
+
+    def test_sense_margin_positive(self):
+        assert default_mtj_device().sense_margin_v() > 0
+
+    def test_energy_barrier_scales_with_delta(self):
+        low = MTJDevice(config=MTJConfig(thermal_stability=40.0))
+        high = MTJDevice(config=MTJConfig(thermal_stability=80.0))
+        assert high.energy_barrier_joule == pytest.approx(2 * low.energy_barrier_joule)
+
+    def test_retention_time_is_astronomical_at_delta_60(self):
+        device = default_mtj_device()
+        # exp(60) ns is ~3.6 thousand years; far beyond any cache residency.
+        assert device.retention_time_s() > 1e10
+
+
+class TestSwitchingProbability:
+    def test_zero_pulse_never_switches(self):
+        assert default_mtj_device().switching_probability(100.0, 0.0) == 0.0
+
+    def test_zero_current_never_switches(self):
+        assert default_mtj_device().switching_probability(0.0, 1e-9) == 0.0
+
+    def test_probability_bounded(self):
+        device = default_mtj_device()
+        p = device.switching_probability(90.0, 10e-9)
+        assert 0.0 <= p <= 1.0
+
+    def test_monotonic_in_current(self):
+        device = default_mtj_device()
+        probabilities = [
+            device.switching_probability(current, 5e-9) for current in (20, 50, 80, 99)
+        ]
+        assert probabilities == sorted(probabilities)
+
+    def test_monotonic_in_pulse_width(self):
+        device = default_mtj_device()
+        probabilities = [
+            device.switching_probability(90.0, width) for width in (1e-9, 5e-9, 50e-9)
+        ]
+        assert probabilities == sorted(probabilities)
+
+    def test_above_critical_long_pulse_switches(self):
+        device = default_mtj_device()
+        # At the critical current the barrier vanishes; a pulse much longer
+        # than the attempt period switches essentially surely.
+        assert device.switching_probability(100.0, 1e-6) == pytest.approx(1.0)
+
+    def test_low_current_probability_is_tiny(self):
+        device = default_mtj_device()
+        p = device.switching_probability(40.0, 2e-9)
+        assert p < 1e-10
+
+    def test_rejects_negative_current(self):
+        with pytest.raises(ConfigurationError):
+            default_mtj_device().switching_probability(-1.0, 1e-9)
+
+    def test_rejects_negative_pulse(self):
+        with pytest.raises(ConfigurationError):
+            default_mtj_device().switching_probability(10.0, -1e-9)
+
+    def test_matches_closed_form(self):
+        config = MTJConfig()
+        device = MTJDevice(config=config)
+        current, width = 70.0, 3e-9
+        ratio = current / config.critical_current_ua
+        barrier = config.thermal_stability * (1 - ratio)
+        expected = 1 - math.exp(-(width / config.attempt_period_s) * math.exp(-barrier))
+        assert device.switching_probability(current, width) == pytest.approx(expected, rel=1e-9)

@@ -1,0 +1,65 @@
+"""Tests for the process-variation sampler."""
+
+import numpy as np
+import pytest
+
+from repro.config import MTJConfig
+from repro.errors import ConfigurationError
+from repro.mram import ProcessVariationConfig, ProcessVariationSampler
+
+
+class TestProcessVariationConfig:
+    def test_defaults_valid(self):
+        config = ProcessVariationConfig()
+        assert config.thermal_stability_sigma == pytest.approx(0.05)
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ConfigurationError):
+            ProcessVariationConfig(thermal_stability_sigma=-0.1)
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ConfigurationError):
+            ProcessVariationConfig(min_multiplier=1.2, max_multiplier=1.4)
+
+
+class TestProcessVariationSampler:
+    def test_sample_shape(self):
+        sampler = ProcessVariationSampler(MTJConfig(), seed=3)
+        samples = sampler.sample_cell_probabilities(100)
+        assert samples.shape == (100,)
+        assert np.all((samples >= 0) & (samples <= 1))
+
+    def test_zero_cells_gives_empty(self):
+        sampler = ProcessVariationSampler(MTJConfig())
+        assert sampler.sample_cell_probabilities(0).size == 0
+
+    def test_reproducible_with_seed(self):
+        a = ProcessVariationSampler(MTJConfig(), seed=7).sample_cell_probabilities(50)
+        b = ProcessVariationSampler(MTJConfig(), seed=7).sample_cell_probabilities(50)
+        assert np.allclose(a, b)
+
+    def test_zero_variation_matches_nominal(self):
+        variation = ProcessVariationConfig(
+            thermal_stability_sigma=0.0, critical_current_sigma=0.0
+        )
+        sampler = ProcessVariationSampler(MTJConfig(), variation=variation, seed=1)
+        samples = sampler.sample_cell_probabilities(20)
+        assert np.allclose(samples, sampler.nominal_probability, rtol=1e-9)
+
+    def test_variation_spreads_probabilities(self):
+        sampler = ProcessVariationSampler(MTJConfig(), seed=5)
+        samples = sampler.sample_cell_probabilities(500)
+        # Variation in Delta moves the probability by orders of magnitude.
+        assert samples.max() / max(samples.min(), 1e-300) > 10.0
+
+    def test_worst_case_exceeds_nominal(self):
+        sampler = ProcessVariationSampler(MTJConfig(), seed=11)
+        assert sampler.worst_case_probability(500) >= sampler.nominal_probability
+
+    def test_worst_case_rejects_bad_quantile(self):
+        with pytest.raises(ConfigurationError):
+            ProcessVariationSampler(MTJConfig()).worst_case_probability(10, quantile=1.5)
+
+    def test_negative_cells_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProcessVariationSampler(MTJConfig()).sample_cell_probabilities(-1)

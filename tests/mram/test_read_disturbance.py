@@ -1,0 +1,108 @@
+"""Tests for the read-disturbance probability model (corrected Eq. 1)."""
+
+import math
+
+import pytest
+
+from repro.config import MTJConfig
+from repro.errors import ConfigurationError
+from repro.mram import (
+    ReadDisturbanceModel,
+    read_current_for_target_probability,
+    read_disturbance_probability,
+)
+
+
+class TestReadDisturbanceProbability:
+    def test_probability_in_unit_interval(self):
+        p = read_disturbance_probability(60.0, 40.0, 100.0, 2.0)
+        assert 0.0 < p < 1.0
+
+    def test_default_operating_point_near_paper_regime(self):
+        """The paper's numeric examples use P_RD around 1e-8...1e-7."""
+        p = read_disturbance_probability(60.0, 40.0, 100.0, 2.0)
+        assert 1e-17 < p < 1e-4
+
+    def test_monotonic_in_read_current(self):
+        ps = [read_disturbance_probability(60.0, i, 100.0, 2.0) for i in (20, 40, 60, 80)]
+        assert ps == sorted(ps)
+
+    def test_monotonic_in_pulse_width(self):
+        ps = [read_disturbance_probability(60.0, 50.0, 100.0, t) for t in (1.0, 2.0, 8.0)]
+        assert ps == sorted(ps)
+
+    def test_decreasing_in_thermal_stability(self):
+        ps = [read_disturbance_probability(d, 50.0, 100.0, 2.0) for d in (40.0, 60.0, 80.0)]
+        assert ps == sorted(ps, reverse=True)
+
+    def test_closed_form_value(self):
+        delta, iread, ic0, tread, tau = 60.0, 40.0, 100.0, 2.0, 1.0
+        expected = 1 - math.exp(-(tread / tau) * math.exp(-delta * (1 - iread / ic0)))
+        assert read_disturbance_probability(delta, iread, ic0, tread, tau) == pytest.approx(
+            expected, rel=1e-12
+        )
+
+    def test_rejects_read_current_at_critical(self):
+        with pytest.raises(ConfigurationError):
+            read_disturbance_probability(60.0, 100.0, 100.0, 2.0)
+
+    def test_rejects_nonpositive_delta(self):
+        with pytest.raises(ConfigurationError):
+            read_disturbance_probability(0.0, 40.0, 100.0, 2.0)
+
+    def test_rejects_nonpositive_pulse(self):
+        with pytest.raises(ConfigurationError):
+            read_disturbance_probability(60.0, 40.0, 100.0, 0.0)
+
+
+class TestInverseModel:
+    @pytest.mark.parametrize("target", [1e-10, 1e-8, 1e-6])
+    def test_roundtrip(self, target):
+        current = read_current_for_target_probability(target, 60.0, 100.0, 2.0)
+        achieved = read_disturbance_probability(60.0, current, 100.0, 2.0)
+        assert achieved == pytest.approx(target, rel=1e-6)
+
+    def test_rejects_target_of_one(self):
+        with pytest.raises(ConfigurationError):
+            read_current_for_target_probability(1.0, 60.0, 100.0, 2.0)
+
+    def test_rejects_unreachable_target(self):
+        # A probability this high would need a super-critical read current.
+        with pytest.raises(ConfigurationError):
+            read_current_for_target_probability(0.99, 60.0, 100.0, 2.0)
+
+
+class TestReadDisturbanceModel:
+    def test_per_read_probability_matches_function(self):
+        config = MTJConfig()
+        model = ReadDisturbanceModel(config)
+        expected = read_disturbance_probability(
+            config.thermal_stability,
+            config.read_current_ua,
+            config.critical_current_ua,
+            config.read_pulse_width_ns,
+            config.attempt_period_ns,
+        )
+        assert model.per_read_probability == pytest.approx(expected)
+
+    def test_probability_after_zero_reads_is_zero(self):
+        assert ReadDisturbanceModel(MTJConfig()).probability_after_reads(0) == 0.0
+
+    def test_probability_accumulates_with_reads(self):
+        model = ReadDisturbanceModel.with_target_probability(1e-6)
+        one = model.probability_after_reads(1)
+        many = model.probability_after_reads(1000)
+        assert many > one
+        assert many == pytest.approx(1000 * one, rel=1e-2)
+
+    def test_expected_flips_scales_with_ones(self):
+        model = ReadDisturbanceModel.with_target_probability(1e-6)
+        assert model.expected_flips(200, 10) == pytest.approx(2 * model.expected_flips(100, 10))
+
+    def test_with_target_probability_pins_value(self):
+        model = ReadDisturbanceModel.with_target_probability(1e-8)
+        assert model.per_read_probability == pytest.approx(1e-8, rel=1e-6)
+
+    def test_negative_reads_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ReadDisturbanceModel(MTJConfig()).probability_after_reads(-1)

@@ -1,0 +1,51 @@
+"""Tests for the retention-failure model."""
+
+import pytest
+
+from repro.config import MTJConfig
+from repro.errors import ConfigurationError
+from repro.mram import RetentionModel, retention_failure_probability
+
+
+class TestRetentionFailureProbability:
+    def test_zero_idle_time_no_failure(self):
+        assert retention_failure_probability(60.0, 0.0) == 0.0
+
+    def test_bounded(self):
+        assert 0.0 <= retention_failure_probability(30.0, 1.0) <= 1.0
+
+    def test_grows_with_idle_time(self):
+        short = retention_failure_probability(40.0, 1.0)
+        long = retention_failure_probability(40.0, 1000.0)
+        assert long > short
+
+    def test_shrinks_with_thermal_stability(self):
+        weak = retention_failure_probability(30.0, 1.0)
+        strong = retention_failure_probability(60.0, 1.0)
+        assert strong < weak
+
+    def test_delta_60_is_negligible_over_a_year(self):
+        p = retention_failure_probability(60.0, 3.15e7)
+        assert p < 1e-9
+
+    def test_rejects_negative_idle(self):
+        with pytest.raises(ConfigurationError):
+            retention_failure_probability(60.0, -1.0)
+
+
+class TestRetentionModel:
+    def test_mean_retention_time_matches_arrhenius(self):
+        model = RetentionModel(MTJConfig(thermal_stability=40.0, attempt_period_ns=1.0))
+        assert model.mean_retention_time_s() == pytest.approx(1e-9 * 2.353852668370200e17, rel=1e-6)
+
+    def test_block_probability_zero_for_zero_ones(self):
+        model = RetentionModel(MTJConfig())
+        assert model.block_failure_probability(0, 100.0) == 0.0
+
+    def test_block_probability_grows_with_ones(self):
+        model = RetentionModel(MTJConfig(thermal_stability=30.0))
+        assert model.block_failure_probability(512, 1.0) >= model.block_failure_probability(10, 1.0)
+
+    def test_negative_ones_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RetentionModel(MTJConfig()).block_failure_probability(-1, 1.0)

@@ -1,0 +1,69 @@
+"""Tests for the write-failure model."""
+
+import pytest
+
+from repro.config import MTJConfig
+from repro.errors import ConfigurationError
+from repro.mram import WriteErrorModel, write_failure_probability
+
+
+class TestWriteFailureProbability:
+    def test_bounded(self):
+        p = write_failure_probability(60.0, 120.0, 100.0, 10.0)
+        assert 0.0 <= p <= 1.0
+
+    def test_longer_pulse_fails_less(self):
+        short = write_failure_probability(60.0, 120.0, 100.0, 2.0)
+        long = write_failure_probability(60.0, 120.0, 100.0, 20.0)
+        assert long < short
+
+    def test_stronger_current_fails_less_or_equal(self):
+        weak = write_failure_probability(60.0, 90.0, 100.0, 10.0)
+        strong = write_failure_probability(60.0, 150.0, 100.0, 10.0)
+        assert strong <= weak
+
+    def test_sub_critical_write_mostly_fails_for_short_pulse(self):
+        p = write_failure_probability(60.0, 50.0, 100.0, 1.0)
+        assert p > 0.99
+
+    def test_rejects_nonpositive_current(self):
+        with pytest.raises(ConfigurationError):
+            write_failure_probability(60.0, 0.0, 100.0, 10.0)
+
+    def test_rejects_nonpositive_pulse(self):
+        with pytest.raises(ConfigurationError):
+            write_failure_probability(60.0, 120.0, 100.0, 0.0)
+
+
+class TestWriteErrorModel:
+    def test_per_write_probability_matches_function(self):
+        config = MTJConfig()
+        model = WriteErrorModel(config)
+        expected = write_failure_probability(
+            config.thermal_stability,
+            config.write_current_ua,
+            config.critical_current_ua,
+            config.write_pulse_width_ns,
+            config.attempt_period_ns,
+        )
+        assert model.per_write_failure_probability == pytest.approx(expected)
+
+    def test_zero_bits_never_fail(self):
+        assert WriteErrorModel(MTJConfig()).block_write_failure_probability(0) == 0.0
+
+    def test_block_probability_grows_with_bits(self):
+        model = WriteErrorModel(MTJConfig())
+        assert model.block_write_failure_probability(512) >= model.block_write_failure_probability(64)
+
+    def test_restore_exposure_grows_with_restores(self):
+        model = WriteErrorModel(MTJConfig())
+        one = model.restore_failure_probability(512, 1)
+        many = model.restore_failure_probability(512, 1000)
+        assert many >= one
+
+    def test_zero_restores_no_failure(self):
+        assert WriteErrorModel(MTJConfig()).restore_failure_probability(512, 0) == 0.0
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WriteErrorModel(MTJConfig()).block_write_failure_probability(-1)

@@ -1,0 +1,89 @@
+"""Tests for the Monte-Carlo fault-injection campaign.
+
+The campaign runs at artificially elevated disturbance probabilities so the
+statistical assertions converge with a modest number of trials; the
+mechanisms (accumulation vs. per-read checking and scrubbing) are identical
+to the realistic-probability regime.
+"""
+
+import pytest
+
+from repro.ecc import HammingSECCode
+from repro.errors import ConfigurationError
+from repro.reliability import FaultInjectionCampaign, InjectionResult
+
+
+class TestInjectionResult:
+    def test_rates(self):
+        result = InjectionResult(
+            trials=100, clean=70, corrected=20, detected_uncorrectable=6, silent_corruptions=4
+        )
+        assert result.failures == 10
+        assert result.failure_rate == pytest.approx(0.1)
+        assert result.success_rate == pytest.approx(0.9)
+
+    def test_zero_trials(self):
+        result = InjectionResult(0, 0, 0, 0, 0)
+        assert result.failure_rate == 0.0
+
+
+class TestCampaign:
+    @pytest.fixture
+    def campaign(self):
+        return FaultInjectionCampaign(
+            ecc=HammingSECCode(64), disturb_probability=2e-3, seed=11
+        )
+
+    def test_outcomes_partition_trials(self, campaign):
+        result = campaign.run_conventional(num_reads=20, trials=200)
+        assert (
+            result.clean
+            + result.corrected
+            + result.detected_uncorrectable
+            + result.silent_corruptions
+            == result.trials
+        )
+
+    def test_zero_disturbance_never_fails(self):
+        campaign = FaultInjectionCampaign(HammingSECCode(64), disturb_probability=0.0)
+        result = campaign.run_conventional(num_reads=50, trials=50)
+        assert result.failures == 0
+        assert result.clean == 50
+
+    def test_reap_beats_conventional_at_high_accumulation(self):
+        """With many unchecked reads, the conventional block accumulates
+        multi-bit errors while REAP scrubs after every read."""
+        campaign = FaultInjectionCampaign(
+            HammingSECCode(64), disturb_probability=5e-3, seed=3
+        )
+        conventional, reap = campaign.compare(num_reads=60, trials=300, ones_fraction=0.5)
+        assert conventional.failure_rate > reap.failure_rate
+
+    def test_reap_mostly_survives(self):
+        campaign = FaultInjectionCampaign(
+            HammingSECCode(64), disturb_probability=1e-3, seed=5
+        )
+        result = campaign.run_reap(num_reads=40, trials=200)
+        assert result.success_rate > 0.95
+
+    def test_single_read_schemes_agree(self):
+        """With one read per lifetime the two schemes are the same machine."""
+        a = FaultInjectionCampaign(HammingSECCode(64), disturb_probability=5e-3, seed=7)
+        b = FaultInjectionCampaign(HammingSECCode(64), disturb_probability=5e-3, seed=7)
+        conventional = a.run_conventional(num_reads=1, trials=300)
+        reap = b.run_reap(num_reads=1, trials=300)
+        assert conventional.failure_rate == pytest.approx(reap.failure_rate, abs=0.02)
+
+    def test_all_zero_data_never_disturbs(self, campaign):
+        result = campaign.run_conventional(num_reads=30, trials=50, ones_fraction=0.0)
+        assert result.failures == 0
+
+    def test_rejects_bad_arguments(self, campaign):
+        with pytest.raises(ConfigurationError):
+            campaign.run_conventional(num_reads=0, trials=10)
+        with pytest.raises(ConfigurationError):
+            campaign.run_conventional(num_reads=1, trials=0)
+        with pytest.raises(ConfigurationError):
+            campaign.run_conventional(num_reads=1, trials=1, ones_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            FaultInjectionCampaign(HammingSECCode(64), disturb_probability=2.0)

@@ -1,0 +1,82 @@
+"""Tests for MTTF computation and improvement factors."""
+
+import math
+
+import pytest
+
+from repro.errors import AnalysisError, ConfigurationError
+from repro.reliability import (
+    MTTFResult,
+    arithmetic_mean_improvement,
+    geometric_mean_improvement,
+    mttf_from_probabilities,
+    mttf_improvement,
+)
+
+
+class TestMTTFResult:
+    def test_basic_rates(self):
+        result = MTTFResult(expected_failures=2.0, simulated_time_s=10.0, num_accesses=100)
+        assert result.failure_rate_per_second == pytest.approx(0.2)
+        assert result.mttf_seconds == pytest.approx(5.0)
+        assert result.failures_per_access == pytest.approx(0.02)
+
+    def test_zero_failures_gives_infinite_mttf(self):
+        result = MTTFResult(expected_failures=0.0, simulated_time_s=1.0, num_accesses=10)
+        assert math.isinf(result.mttf_seconds)
+
+    def test_mttf_years(self):
+        result = MTTFResult(expected_failures=1.0, simulated_time_s=365.25 * 24 * 3600, num_accesses=1)
+        assert result.mttf_years == pytest.approx(1.0)
+
+    def test_rejects_negative_failures(self):
+        with pytest.raises(ConfigurationError):
+            MTTFResult(expected_failures=-1.0, simulated_time_s=1.0, num_accesses=1)
+
+    def test_rejects_zero_time(self):
+        with pytest.raises(ConfigurationError):
+            MTTFResult(expected_failures=1.0, simulated_time_s=0.0, num_accesses=1)
+
+
+class TestFromProbabilities:
+    def test_sums_probabilities(self):
+        result = mttf_from_probabilities([0.1, 0.2, 0.3], simulated_time_s=2.0)
+        assert result.expected_failures == pytest.approx(0.6)
+        assert result.num_accesses == 3
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ConfigurationError):
+            mttf_from_probabilities([0.5, 1.5], simulated_time_s=1.0)
+
+
+class TestImprovement:
+    def test_ratio_of_expected_failures(self):
+        baseline = MTTFResult(expected_failures=10.0, simulated_time_s=1.0, num_accesses=100)
+        improved = MTTFResult(expected_failures=0.1, simulated_time_s=1.0, num_accesses=100)
+        assert mttf_improvement(baseline, improved) == pytest.approx(100.0)
+
+    def test_requires_same_interval(self):
+        baseline = MTTFResult(expected_failures=1.0, simulated_time_s=1.0, num_accesses=1)
+        improved = MTTFResult(expected_failures=1.0, simulated_time_s=2.0, num_accesses=1)
+        with pytest.raises(AnalysisError):
+            mttf_improvement(baseline, improved)
+
+    def test_infinite_when_improved_never_fails(self):
+        baseline = MTTFResult(expected_failures=1.0, simulated_time_s=1.0, num_accesses=1)
+        improved = MTTFResult(expected_failures=0.0, simulated_time_s=1.0, num_accesses=1)
+        assert math.isinf(mttf_improvement(baseline, improved))
+
+
+class TestMeans:
+    def test_arithmetic_mean(self):
+        assert arithmetic_mean_improvement([10.0, 20.0, 30.0]) == pytest.approx(20.0)
+
+    def test_arithmetic_mean_skips_infinities(self):
+        assert arithmetic_mean_improvement([10.0, math.inf, 30.0]) == pytest.approx(20.0)
+
+    def test_geometric_mean(self):
+        assert geometric_mean_improvement([1.0, 100.0]) == pytest.approx(10.0)
+
+    def test_geometric_mean_requires_finite_values(self):
+        with pytest.raises(AnalysisError):
+            geometric_mean_improvement([math.inf])

@@ -1,0 +1,114 @@
+"""Tests for experiment orchestration (comparisons, runner, sweeps)."""
+
+import pytest
+
+from repro.config import CacheLevelConfig
+from repro.core import ProtectionScheme
+from repro.errors import AnalysisError
+from repro.sim import (
+    ExperimentRunner,
+    ExperimentSettings,
+    compare_schemes,
+    run_workload,
+    sweep,
+)
+
+
+def fast_settings(num_accesses=4_000, **overrides):
+    params = dict(
+        l2_config=CacheLevelConfig(
+            name="L2", size_bytes=256 * 1024, associativity=8, block_size_bytes=64,
+            technology="stt-mram",
+        ),
+        p_cell=1e-8,
+        num_accesses=num_accesses,
+        ones_count=100,
+        seed=1,
+    )
+    params.update(overrides)
+    return ExperimentSettings(**params)
+
+
+class TestRunWorkload:
+    def test_returns_result_and_cache(self):
+        result, cache = run_workload("gcc", ProtectionScheme.CONVENTIONAL, settings=fast_settings())
+        assert result.workload == "gcc"
+        assert cache.scheme_name() == "conventional"
+
+    def test_constant_ones_profile_applied(self):
+        _, cache = run_workload("gcc", ProtectionScheme.CONVENTIONAL, settings=fast_settings())
+        resident = cache.cache.resident_blocks()
+        assert resident and all(block.ones_count == 100 for _, _, block in resident)
+
+
+class TestCompareSchemes:
+    def test_same_trace_for_all_schemes(self):
+        comparison = compare_schemes(
+            "gcc",
+            alternatives=(ProtectionScheme.REAP, ProtectionScheme.SERIAL),
+            settings=fast_settings(),
+        )
+        assert comparison.baseline.num_accesses == 4_000
+        for alternative in comparison.alternatives:
+            assert alternative.num_accesses == 4_000
+            assert alternative.workload == "gcc"
+
+    def test_reap_improves_mttf(self):
+        comparison = compare_schemes("perlbench", settings=fast_settings())
+        assert comparison.mttf_improvement("reap") > 1.0
+
+    def test_reap_energy_overhead_is_small_and_positive(self):
+        comparison = compare_schemes("perlbench", settings=fast_settings())
+        overhead = comparison.energy_overhead_percent("reap")
+        assert 0.0 < overhead < 10.0
+
+    def test_unknown_alternative_raises(self):
+        comparison = compare_schemes("gcc", settings=fast_settings())
+        with pytest.raises(AnalysisError):
+            comparison.alternative("restore")
+
+    def test_serial_and_reap_both_eliminate_accumulation(self):
+        """Both avoid accumulation, so both sit far below the baseline.  REAP's
+        Eq. (6) window also covers its checked speculative reads, so its
+        expected-failure total is at least the serial cache's."""
+        comparison = compare_schemes(
+            "perlbench",
+            alternatives=(ProtectionScheme.REAP, ProtectionScheme.SERIAL),
+            settings=fast_settings(),
+        )
+        baseline = comparison.baseline.expected_failures
+        reap = comparison.alternative("reap").expected_failures
+        serial = comparison.alternative("serial").expected_failures
+        assert serial <= reap * (1 + 1e-9)
+        assert reap < 0.5 * baseline
+        assert serial < 0.5 * baseline
+
+
+class TestExperimentRunner:
+    def test_runs_all_workloads(self):
+        runner = ExperimentRunner(["gcc", "mcf"], settings=fast_settings(num_accesses=2_000))
+        comparisons = runner.run()
+        assert [c.workload for c in comparisons] == ["gcc", "mcf"]
+
+    def test_progress_callback(self):
+        seen = []
+        runner = ExperimentRunner(["gcc"], settings=fast_settings(num_accesses=1_000))
+        runner.run(progress=seen.append)
+        assert seen == ["gcc"]
+
+    def test_rejects_empty_workload_list(self):
+        with pytest.raises(AnalysisError):
+            ExperimentRunner([], settings=fast_settings())
+
+
+class TestSweep:
+    def test_sweeps_disturbance_probability(self):
+        def build(p_cell):
+            return fast_settings(num_accesses=1_500, p_cell=p_cell)
+
+        results = sweep([1e-9, 1e-7], build, workload="gcc")
+        assert len(results) == 2
+        (low_p, low_cmp), (high_p, high_cmp) = results
+        assert low_p == 1e-9 and high_p == 1e-7
+        # Higher disturbance probability -> more expected failures in the baseline.
+        assert high_cmp.baseline.expected_failures > low_cmp.baseline.expected_failures

@@ -1,0 +1,76 @@
+"""Tests for result records and text-table formatting."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.sim import SchemeRunResult, WorkloadComparison, format_table
+
+
+def make_result(scheme="conventional", expected_failures=1e-6, dynamic=1000.0):
+    return SchemeRunResult(
+        workload="unit",
+        scheme=scheme,
+        num_accesses=100,
+        simulated_time_s=1.0,
+        expected_failures=expected_failures,
+        checked_reads=80,
+        concealed_reads=200,
+        max_accumulated_reads=40,
+        mean_accumulated_reads=5.0,
+        dynamic_energy_pj=dynamic,
+        ecc_energy_pj=10.0,
+        leakage_energy_pj=5.0,
+        hit_rate=0.9,
+        read_fraction=0.8,
+        read_hit_latency_ns=1.7,
+    )
+
+
+class TestSchemeRunResult:
+    def test_mttf_derivation(self):
+        result = make_result(expected_failures=0.5)
+        assert result.mttf.mttf_seconds == pytest.approx(2.0)
+
+    def test_failure_rate_per_access(self):
+        result = make_result(expected_failures=8e-6)
+        assert result.failure_rate_per_access == pytest.approx(1e-7)
+
+
+class TestWorkloadComparison:
+    @pytest.fixture
+    def comparison(self):
+        baseline = make_result(expected_failures=1e-4, dynamic=1000.0)
+        reap = make_result(scheme="reap", expected_failures=1e-6, dynamic=1030.0)
+        return WorkloadComparison(workload="unit", baseline=baseline, alternatives=(reap,))
+
+    def test_mttf_improvement(self, comparison):
+        assert comparison.mttf_improvement("reap") == pytest.approx(100.0)
+
+    def test_relative_energy(self, comparison):
+        assert comparison.relative_dynamic_energy("reap") == pytest.approx(1.03)
+        assert comparison.energy_overhead_percent("reap") == pytest.approx(3.0)
+
+    def test_unknown_scheme_raises(self, comparison):
+        with pytest.raises(AnalysisError):
+            comparison.alternative("serial")
+
+
+class TestFormatTable:
+    def test_renders_headers_and_rows(self):
+        table = format_table(["a", "b"], [[1, 2.5], ["x", 0.000123]])
+        lines = table.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 4
+        assert "1.23e-04" in table or "1.230e-04" in table
+
+    def test_zero_and_inf_formatting(self):
+        table = format_table(["v"], [[0.0], [float("inf")]])
+        assert "0" in table and "inf" in table
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(AnalysisError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        table = format_table(["a"], [])
+        assert "a" in table

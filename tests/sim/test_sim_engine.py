@@ -1,0 +1,97 @@
+"""Tests for the trace-driven simulation engine."""
+
+import pytest
+
+from repro.config import CacheLevelConfig, SimulationConfig
+from repro.core import DataValueProfile, ProtectionScheme, build_protected_cache
+from repro.errors import SimulationError
+from repro.sim import run_cpu_trace, run_l2_trace, simulated_time_for
+from repro.workloads import (
+    AccessKind,
+    Trace,
+    TraceRecord,
+    generate_l2_trace,
+    get_profile,
+    hot_loop_trace,
+)
+
+
+def small_l2():
+    return CacheLevelConfig(
+        name="L2", size_bytes=256 * 1024, associativity=8, block_size_bytes=64,
+        technology="stt-mram",
+    )
+
+
+def make_cache(scheme=ProtectionScheme.CONVENTIONAL):
+    return build_protected_cache(
+        scheme, small_l2(), p_cell=1e-8, data_profile=DataValueProfile.constant(100)
+    )
+
+
+class TestSimulatedTime:
+    def test_scales_with_accesses(self):
+        config = SimulationConfig()
+        assert simulated_time_for(2_000, config) == pytest.approx(
+            2 * simulated_time_for(1_000, config)
+        )
+
+    def test_rejects_negative(self):
+        with pytest.raises(SimulationError):
+            simulated_time_for(-1, SimulationConfig())
+
+
+class TestRunL2Trace:
+    def test_runs_generated_trace(self):
+        trace = generate_l2_trace(get_profile("gcc"), small_l2(), num_accesses=3_000, seed=1)
+        result = run_l2_trace(make_cache(), trace)
+        assert result.num_accesses == 3_000
+        assert result.workload == "gcc"
+        assert result.scheme == "conventional"
+        assert result.checked_reads > 0
+        assert result.dynamic_energy_pj > 0
+        assert result.expected_failures >= 0
+
+    def test_leakage_optional(self):
+        trace = generate_l2_trace(get_profile("gcc"), small_l2(), num_accesses=1_000, seed=1)
+        with_leakage = run_l2_trace(make_cache(), trace, add_leakage=True)
+        without = run_l2_trace(make_cache(), trace, add_leakage=False)
+        assert with_leakage.leakage_energy_pj > 0
+        assert without.leakage_energy_pj == 0
+
+    def test_rejects_cpu_level_records(self):
+        trace = Trace(name="cpu", records=[TraceRecord(AccessKind.LOAD, 0x0)])
+        with pytest.raises(SimulationError):
+            run_l2_trace(make_cache(), trace)
+
+    def test_mttf_property_consistent(self):
+        trace = generate_l2_trace(get_profile("gcc"), small_l2(), num_accesses=2_000, seed=1)
+        result = run_l2_trace(make_cache(), trace)
+        assert result.mttf.expected_failures == pytest.approx(result.expected_failures)
+        assert result.failure_rate_per_access >= 0
+
+
+class TestRunCpuTrace:
+    def test_hierarchy_filters_l2_traffic(self):
+        trace = hot_loop_trace(num_accesses=5_000, seed=1)
+        cache = build_protected_cache(
+            ProtectionScheme.CONVENTIONAL,
+            SimulationConfig().hierarchy.l2,
+            p_cell=1e-8,
+            data_profile=DataValueProfile.constant(100),
+        )
+        result, hierarchy = run_cpu_trace(cache, trace)
+        assert hierarchy.stats.total_references == 5_000
+        # The L1s absorb most of the traffic.
+        assert result.num_accesses < 5_000
+        assert result.num_accesses == hierarchy.stats.l2_reads + hierarchy.stats.l2_writebacks
+
+    def test_rejects_l2_level_records(self):
+        trace = Trace(name="l2", records=[TraceRecord(AccessKind.L2_READ, 0x0)])
+        cache = build_protected_cache(
+            ProtectionScheme.CONVENTIONAL,
+            SimulationConfig().hierarchy.l2,
+            p_cell=1e-8,
+        )
+        with pytest.raises(SimulationError):
+            run_cpu_trace(cache, trace)

@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.errors import ConfigurationError
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig5_defaults(self):
+        args = build_parser().parse_args(["fig5"])
+        assert args.accesses == 50_000
+        assert args.p_cell == 1e-8
+        assert args.workloads == []
+
+    def test_example_arguments(self):
+        args = build_parser().parse_args(["example", "--reads", "100"])
+        assert args.reads == 100
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "L2" in out and "stt-mram" in out
+
+    def test_example(self, capsys):
+        assert main(["example"]) == 0
+        out = capsys.readouterr().out
+        assert "Eq. 5" in out
+
+    def test_overheads(self, capsys):
+        assert main(["overheads"]) == 0
+        out = capsys.readouterr().out
+        assert "Area overhead (%)" in out and "REAP" in out
+
+    def test_workloads_listing(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "perlbench" in out and "mcf" in out
+
+    def test_fig5_small_run(self, capsys):
+        assert main(["fig5", "--accesses", "2000", "gcc"]) == 0
+        out = capsys.readouterr().out
+        assert "gcc" in out and "average=" in out
+
+    def test_fig6_csv_export(self, tmp_path, capsys):
+        csv_path = tmp_path / "fig6.csv"
+        assert main(["fig6", "--accesses", "2000", "--csv", str(csv_path), "gcc"]) == 0
+        assert csv_path.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_fig3_small_run(self, capsys):
+        assert main(["fig3", "--accesses", "3000", "perlbench"]) == 0
+        out = capsys.readouterr().out
+        assert "perlbench" in out and "Failure rate" in out
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            main(["fig5", "--accesses", "1000", "not-a-benchmark"])

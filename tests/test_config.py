@@ -1,0 +1,163 @@
+"""Tests for configuration dataclasses, validation and serialisation."""
+
+import pytest
+
+from repro.config import (
+    CacheLevelConfig,
+    ECCConfig,
+    ECCKind,
+    HierarchyConfig,
+    MemoryTechnology,
+    MTJConfig,
+    ReadPathMode,
+    ReplacementPolicyName,
+    SimulationConfig,
+    WritePolicy,
+    paper_hierarchy,
+    paper_l2_config,
+    paper_simulation_config,
+)
+from repro.errors import ConfigurationError
+
+
+class TestMTJConfig:
+    def test_defaults_are_valid(self):
+        config = MTJConfig()
+        assert config.read_current_ua < config.critical_current_ua
+
+    def test_read_current_ratio(self):
+        config = MTJConfig(read_current_ua=40.0, critical_current_ua=100.0)
+        assert config.read_current_ratio == pytest.approx(0.4)
+
+    def test_pulse_width_in_seconds(self):
+        config = MTJConfig(read_pulse_width_ns=2.0)
+        assert config.read_pulse_width_s == pytest.approx(2e-9)
+
+    def test_rejects_read_current_above_critical(self):
+        with pytest.raises(ConfigurationError):
+            MTJConfig(read_current_ua=120.0, critical_current_ua=100.0)
+
+    def test_rejects_negative_thermal_stability(self):
+        with pytest.raises(ConfigurationError):
+            MTJConfig(thermal_stability=-1.0)
+
+    def test_rejects_zero_pulse_width(self):
+        with pytest.raises(ConfigurationError):
+            MTJConfig(read_pulse_width_ns=0.0)
+
+    def test_round_trip_dict(self):
+        config = MTJConfig(thermal_stability=55.0, read_current_ua=35.0)
+        assert MTJConfig.from_dict(config.to_dict()) == config
+
+
+class TestECCConfig:
+    def test_default_is_sec(self):
+        assert ECCConfig().kind is ECCKind.HAMMING_SEC
+
+    def test_string_kind_is_coerced(self):
+        assert ECCConfig(kind="parity").kind is ECCKind.PARITY
+
+    def test_interleaving_only_for_interleaved(self):
+        with pytest.raises(ConfigurationError):
+            ECCConfig(kind=ECCKind.HAMMING_SEC, interleaving_degree=4)
+
+    def test_interleaved_accepts_degree(self):
+        config = ECCConfig(kind=ECCKind.INTERLEAVED_SECDED, interleaving_degree=4)
+        assert config.interleaving_degree == 4
+
+    def test_round_trip_dict(self):
+        config = ECCConfig(kind=ECCKind.INTERLEAVED_SECDED, interleaving_degree=2)
+        assert ECCConfig.from_dict(config.to_dict()) == config
+
+
+class TestCacheLevelConfig:
+    def test_paper_l2_geometry(self):
+        config = paper_l2_config()
+        assert config.num_sets == 2048
+        assert config.associativity == 8
+        assert config.num_blocks == 16384
+        assert config.offset_bits == 6
+        assert config.index_bits == 11
+        assert config.block_size_bits == 512
+
+    def test_tag_bits_fill_the_address(self):
+        config = paper_l2_config()
+        assert config.tag_bits + config.index_bits + config.offset_bits == config.address_bits
+
+    def test_rejects_non_power_of_two_block(self):
+        with pytest.raises(ConfigurationError):
+            CacheLevelConfig(name="bad", size_bytes=48 * 1024, associativity=4, block_size_bytes=48)
+
+    def test_rejects_size_not_multiple_of_way_size(self):
+        with pytest.raises(ConfigurationError):
+            CacheLevelConfig(name="bad", size_bytes=100_000, associativity=8, block_size_bytes=64)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ConfigurationError):
+            CacheLevelConfig(name="", size_bytes=64 * 1024, associativity=4)
+
+    def test_string_enums_are_coerced(self):
+        config = CacheLevelConfig(
+            name="L2",
+            size_bytes=1 << 20,
+            associativity=8,
+            technology="stt-mram",
+            write_policy="write-back",
+            replacement="lru",
+            read_path="reap",
+        )
+        assert config.technology is MemoryTechnology.STT_MRAM
+        assert config.write_policy is WritePolicy.WRITE_BACK
+        assert config.replacement is ReplacementPolicyName.LRU
+        assert config.read_path is ReadPathMode.REAP
+
+    def test_round_trip_dict(self):
+        config = paper_l2_config(read_path=ReadPathMode.REAP)
+        assert CacheLevelConfig.from_dict(config.to_dict()) == config
+
+
+class TestHierarchyConfig:
+    def test_paper_hierarchy_matches_table1(self):
+        hierarchy = paper_hierarchy()
+        l1i, l1d, l2 = hierarchy.levels()
+        assert l1i.size_bytes == 32 * 1024 and l1i.associativity == 4
+        assert l1d.size_bytes == 32 * 1024 and l1d.associativity == 4
+        assert l2.size_bytes == 1024 * 1024 and l2.associativity == 8
+        assert l2.technology is MemoryTechnology.STT_MRAM
+        assert l1i.technology is MemoryTechnology.SRAM
+
+    def test_rejects_mismatched_block_sizes(self):
+        l1 = CacheLevelConfig(name="L1", size_bytes=32 * 1024, associativity=4, block_size_bytes=32)
+        with pytest.raises(ConfigurationError):
+            HierarchyConfig(l1i=l1, l1d=paper_hierarchy().l1d, l2=paper_l2_config())
+
+    def test_round_trip_dict(self):
+        hierarchy = paper_hierarchy()
+        assert HierarchyConfig.from_dict(hierarchy.to_dict()) == hierarchy
+
+
+class TestSimulationConfig:
+    def test_defaults_use_paper_hierarchy(self):
+        config = SimulationConfig()
+        assert config.hierarchy == paper_hierarchy()
+
+    def test_cycle_time(self):
+        config = SimulationConfig(clock_frequency_ghz=2.0)
+        assert config.cycle_time_s == pytest.approx(0.5e-9)
+
+    def test_rejects_bad_latency(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(l2_read_latency_cycles=0)
+
+    def test_round_trip_dict(self):
+        config = paper_simulation_config(read_path=ReadPathMode.REAP, seed=7)
+        rebuilt = SimulationConfig.from_dict(config.to_dict())
+        assert rebuilt.hierarchy == config.hierarchy
+        assert rebuilt.seed == 7
+
+    def test_json_round_trip(self, tmp_path):
+        config = paper_simulation_config()
+        path = tmp_path / "config.json"
+        config.to_json(path)
+        rebuilt = SimulationConfig.from_json(path)
+        assert rebuilt.hierarchy == config.hierarchy

@@ -1,0 +1,107 @@
+"""Tests for unit helpers and conversions."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestTimeConversions:
+    def test_ns_to_seconds(self):
+        assert units.ns(1.0) == pytest.approx(1e-9)
+
+    def test_ps_to_seconds(self):
+        assert units.ps(1.0) == pytest.approx(1e-12)
+
+    def test_us_to_seconds(self):
+        assert units.us(2.0) == pytest.approx(2e-6)
+
+    def test_to_ns_roundtrip(self):
+        assert units.to_ns(units.ns(123.0)) == pytest.approx(123.0)
+
+    def test_seconds_to_years(self):
+        assert units.seconds_to_years(units.YEAR) == pytest.approx(1.0)
+
+    def test_year_is_365_25_days(self):
+        assert units.YEAR == pytest.approx(365.25 * 24 * 3600)
+
+
+class TestCurrentConversions:
+    def test_ua_to_amperes(self):
+        assert units.ua(100.0) == pytest.approx(1e-4)
+
+    def test_to_ua_roundtrip(self):
+        assert units.to_ua(units.ua(37.5)) == pytest.approx(37.5)
+
+
+class TestEnergyConversions:
+    def test_pj(self):
+        assert units.pj(1.0) == pytest.approx(1e-12)
+
+    def test_nj(self):
+        assert units.nj(1.0) == pytest.approx(1e-9)
+
+    def test_fj(self):
+        assert units.fj(1.0) == pytest.approx(1e-15)
+
+    def test_to_pj_roundtrip(self):
+        assert units.to_pj(units.pj(42.0)) == pytest.approx(42.0)
+
+    def test_to_nj_roundtrip(self):
+        assert units.to_nj(units.nj(7.0)) == pytest.approx(7.0)
+
+
+class TestPowerAndArea:
+    def test_mw(self):
+        assert units.mw(3.0) == pytest.approx(3e-3)
+
+    def test_to_mw_roundtrip(self):
+        assert units.to_mw(units.mw(11.0)) == pytest.approx(11.0)
+
+    def test_mm2(self):
+        assert units.mm2(1.0) == pytest.approx(1e-6)
+
+    def test_um2(self):
+        assert units.um2(1.0) == pytest.approx(1e-12)
+
+    def test_to_mm2_roundtrip(self):
+        assert units.to_mm2(units.mm2(5.5)) == pytest.approx(5.5)
+
+    def test_to_um2_roundtrip(self):
+        assert units.to_um2(units.um2(2.5)) == pytest.approx(2.5)
+
+
+class TestCapacity:
+    def test_kib(self):
+        assert units.kib(32) == 32 * 1024
+
+    def test_mib(self):
+        assert units.mib(1) == 1024 * 1024
+
+    def test_to_kib(self):
+        assert units.to_kib(units.kib(32)) == pytest.approx(32.0)
+
+    def test_to_mib(self):
+        assert units.to_mib(units.mib(3)) == pytest.approx(3.0)
+
+
+class TestPowerOfTwoHelpers:
+    @pytest.mark.parametrize("value", [1, 2, 4, 64, 1024, 1 << 20])
+    def test_is_power_of_two_true(self, value):
+        assert units.is_power_of_two(value)
+
+    @pytest.mark.parametrize("value", [0, -2, 3, 6, 1000])
+    def test_is_power_of_two_false(self, value):
+        assert not units.is_power_of_two(value)
+
+    @pytest.mark.parametrize("value, expected", [(1, 0), (2, 1), (64, 6), (1024, 10)])
+    def test_log2_exact(self, value, expected):
+        assert units.log2_exact(value) == expected
+
+    def test_log2_exact_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            units.log2_exact(48)
+
+    def test_boltzmann_constant_value(self):
+        assert math.isclose(units.BOLTZMANN_CONSTANT, 1.380649e-23)

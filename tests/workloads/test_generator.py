@@ -1,0 +1,95 @@
+"""Tests for the L2-level trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.cache import AddressMapper
+from repro.config import CacheLevelConfig, paper_l2_config
+from repro.errors import ConfigurationError, TraceError
+from repro.workloads import AccessKind, generate_l2_trace, get_profile
+
+
+@pytest.fixture(scope="module")
+def l2_config():
+    return paper_l2_config()
+
+
+class TestBasicGeneration:
+    def test_length(self, l2_config):
+        trace = generate_l2_trace(get_profile("gcc"), l2_config, num_accesses=5_000, seed=1)
+        assert len(trace) == 5_000
+
+    def test_only_l2_level_records(self, l2_config):
+        trace = generate_l2_trace(get_profile("gcc"), l2_config, num_accesses=2_000, seed=1)
+        assert all(r.kind in (AccessKind.L2_READ, AccessKind.L2_WRITE) for r in trace)
+
+    def test_deterministic_for_same_seed(self, l2_config):
+        a = generate_l2_trace(get_profile("gcc"), l2_config, num_accesses=2_000, seed=5)
+        b = generate_l2_trace(get_profile("gcc"), l2_config, num_accesses=2_000, seed=5)
+        assert [(r.kind, r.address) for r in a] == [(r.kind, r.address) for r in b]
+
+    def test_different_seeds_differ(self, l2_config):
+        a = generate_l2_trace(get_profile("gcc"), l2_config, num_accesses=2_000, seed=1)
+        b = generate_l2_trace(get_profile("gcc"), l2_config, num_accesses=2_000, seed=2)
+        assert [(r.kind, r.address) for r in a] != [(r.kind, r.address) for r in b]
+
+    def test_trace_named_after_profile(self, l2_config):
+        assert generate_l2_trace(get_profile("mcf"), l2_config, 1_000).name == "mcf"
+
+    def test_rejects_nonpositive_length(self, l2_config):
+        with pytest.raises(TraceError):
+            generate_l2_trace(get_profile("gcc"), l2_config, num_accesses=0)
+
+    def test_rejects_too_many_sets(self):
+        tiny = CacheLevelConfig(
+            name="tiny", size_bytes=8 * 64 * 8, associativity=8, block_size_bytes=64
+        )
+        with pytest.raises(ConfigurationError):
+            generate_l2_trace(get_profile("gcc"), tiny, num_accesses=100)
+
+
+class TestStatisticalShape:
+    def test_write_fraction_tracks_profile(self, l2_config):
+        profile = get_profile("lbm")
+        trace = generate_l2_trace(profile, l2_config, num_accesses=20_000, seed=3)
+        observed = trace.write_count / len(trace)
+        # Stable-set cold re-reads and churn structure perturb the raw rate a
+        # little, so allow a generous band around the configured fraction.
+        assert observed == pytest.approx(profile.write_fraction, abs=0.1)
+
+    def test_read_heavy_profile_is_read_heavy(self, l2_config):
+        trace = generate_l2_trace(get_profile("cactusADM"), l2_config, num_accesses=20_000, seed=3)
+        assert trace.read_fraction > 0.9
+
+    def test_addresses_land_in_a_limited_set_population(self, l2_config):
+        profile = get_profile("perlbench")
+        trace = generate_l2_trace(profile, l2_config, num_accesses=10_000, seed=1)
+        mapper = AddressMapper(l2_config)
+        sets_touched = {mapper.set_index(r.address) for r in trace}
+        assert len(sets_touched) <= profile.num_stable_sets + profile.num_churn_sets
+
+    def test_streaming_profile_touches_many_blocks(self, l2_config):
+        mcf = generate_l2_trace(get_profile("mcf"), l2_config, num_accesses=10_000, seed=1)
+        cactus = generate_l2_trace(get_profile("cactusADM"), l2_config, num_accesses=10_000, seed=1)
+        assert mcf.unique_blocks(64) > 2 * cactus.unique_blocks(64)
+
+    def test_stable_sets_produce_long_reuse_gaps(self, l2_config):
+        """The defining feature of heavy-tail profiles: some block is re-read
+        only after thousands of intervening accesses to its set."""
+        profile = get_profile("h264ref")
+        trace = generate_l2_trace(profile, l2_config, num_accesses=40_000, seed=2)
+        mapper = AddressMapper(l2_config)
+        per_set_position: dict[int, int] = {}
+        last_seen: dict[int, int] = {}
+        max_gap = 0
+        for record in trace:
+            if record.kind is not AccessKind.L2_READ:
+                continue
+            decomposed = mapper.decompose(record.address)
+            position = per_set_position.get(decomposed.index, 0)
+            block = record.address // 64
+            if block in last_seen:
+                max_gap = max(max_gap, position - last_seen[block])
+            last_seen[block] = position
+            per_set_position[decomposed.index] = position + 1
+        assert max_gap > 1_000

@@ -1,0 +1,122 @@
+"""Tests for the SPEC CPU2006-named workload profiles."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads import (
+    FIGURE3_WORKLOADS,
+    SPEC_CPU2006_PROFILES,
+    SPECWorkloadProfile,
+    all_profiles,
+    get_profile,
+)
+
+
+class TestRegistry:
+    def test_has_a_full_suite(self):
+        assert len(SPEC_CPU2006_PROFILES) >= 20
+
+    def test_figure3_workloads_present(self):
+        for name in FIGURE3_WORKLOADS:
+            assert name in SPEC_CPU2006_PROFILES
+
+    def test_paper_reference_workloads_present(self):
+        for name in ("mcf", "namd", "dealII", "h264ref", "cactusADM", "xalancbmk"):
+            assert name in SPEC_CPU2006_PROFILES
+
+    def test_get_profile(self):
+        assert get_profile("perlbench").name == "perlbench"
+
+    def test_get_profile_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            get_profile("not-a-benchmark")
+
+    def test_all_profiles_sorted(self):
+        names = [p.name for p in all_profiles()]
+        assert names == sorted(names)
+
+    def test_registry_keys_match_names(self):
+        for name, profile in SPEC_CPU2006_PROFILES.items():
+            assert profile.name == name
+
+
+class TestProfileSemantics:
+    def test_mcf_has_least_stable_reuse(self):
+        """mcf shows the smallest REAP gain in the paper (7.9x)."""
+        mcf = get_profile("mcf")
+        others = [p for p in all_profiles() if p.name != "mcf"]
+        assert mcf.stable_traffic_share <= min(p.stable_traffic_share for p in others)
+
+    def test_heavy_tail_workloads_have_long_gaps(self):
+        """namd, dealII and h264ref gain >1000x in the paper."""
+        threshold = get_profile("perlbench").cold_gap_median
+        for name in ("namd", "dealII", "h264ref"):
+            assert get_profile(name).cold_gap_median >= threshold
+
+    def test_cactusadm_is_read_dominated(self):
+        """cactusADM shows the largest energy overhead (6.5%) in the paper."""
+        cactus = get_profile("cactusADM")
+        assert cactus.write_fraction <= min(
+            p.write_fraction for p in all_profiles() if p.name != "cactusADM"
+        )
+
+    def test_xalancbmk_is_write_and_miss_heavy(self):
+        """xalancbmk shows the smallest energy overhead (1.0%) in the paper."""
+        xalanc = get_profile("xalancbmk")
+        assert xalanc.write_fraction > 0.25
+        assert xalanc.churn_miss_fraction > 0.4
+
+    def test_resident_lines_fit_in_a_set(self):
+        for profile in all_profiles():
+            assert profile.hot_lines_per_set + profile.cold_lines_per_set <= 8
+
+    def test_expected_cold_delivery_fraction_is_small(self):
+        for profile in all_profiles():
+            assert 0.0 <= profile.expected_cold_delivery_fraction < 0.05
+
+
+class TestValidation:
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ConfigurationError):
+            SPECWorkloadProfile(
+                name="bad",
+                write_fraction=1.5,
+                stable_traffic_share=0.5,
+                num_stable_sets=4,
+                num_churn_sets=4,
+                hot_lines_per_set=6,
+                cold_lines_per_set=2,
+                cold_gap_median=100.0,
+                cold_gap_sigma=0.5,
+                churn_miss_fraction=0.5,
+            )
+
+    def test_rejects_stable_share_without_stable_sets(self):
+        with pytest.raises(ConfigurationError):
+            SPECWorkloadProfile(
+                name="bad",
+                write_fraction=0.1,
+                stable_traffic_share=0.5,
+                num_stable_sets=0,
+                num_churn_sets=4,
+                hot_lines_per_set=6,
+                cold_lines_per_set=2,
+                cold_gap_median=100.0,
+                cold_gap_sigma=0.5,
+                churn_miss_fraction=0.5,
+            )
+
+    def test_rejects_nonpositive_gap(self):
+        with pytest.raises(ConfigurationError):
+            SPECWorkloadProfile(
+                name="bad",
+                write_fraction=0.1,
+                stable_traffic_share=0.5,
+                num_stable_sets=4,
+                num_churn_sets=4,
+                hot_lines_per_set=6,
+                cold_lines_per_set=2,
+                cold_gap_median=0.0,
+                cold_gap_sigma=0.5,
+                churn_miss_fraction=0.5,
+            )

@@ -1,0 +1,96 @@
+"""Tests for trace containers and file I/O."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.workloads import AccessKind, Trace, TraceRecord
+
+
+class TestTraceRecord:
+    def test_is_write(self):
+        assert TraceRecord(AccessKind.STORE, 0x10).is_write
+        assert TraceRecord(AccessKind.L2_WRITE, 0x10).is_write
+        assert not TraceRecord(AccessKind.LOAD, 0x10).is_write
+        assert not TraceRecord(AccessKind.IFETCH, 0x10).is_write
+
+    def test_rejects_negative_address(self):
+        with pytest.raises(TraceError):
+            TraceRecord(AccessKind.LOAD, -1)
+
+
+class TestTraceContainer:
+    @pytest.fixture
+    def trace(self):
+        trace = Trace(name="unit")
+        trace.extend(
+            [
+                TraceRecord(AccessKind.LOAD, 0x0),
+                TraceRecord(AccessKind.STORE, 0x40),
+                TraceRecord(AccessKind.LOAD, 0x80),
+                TraceRecord(AccessKind.LOAD, 0x0),
+            ]
+        )
+        return trace
+
+    def test_len_and_iteration(self, trace):
+        assert len(trace) == 4
+        assert sum(1 for _ in trace) == 4
+        assert trace[1].kind is AccessKind.STORE
+
+    def test_read_write_counts(self, trace):
+        assert trace.read_count == 3
+        assert trace.write_count == 1
+        assert trace.read_fraction == pytest.approx(0.75)
+
+    def test_unique_blocks_and_footprint(self, trace):
+        assert trace.unique_blocks(block_size=64) == 3
+        assert trace.footprint_bytes(block_size=64) == 192
+
+    def test_unique_blocks_rejects_bad_block_size(self, trace):
+        with pytest.raises(TraceError):
+            trace.unique_blocks(block_size=0)
+
+    def test_empty_trace_fractions(self):
+        assert Trace(name="empty").read_fraction == 0.0
+
+
+class TestTraceIO:
+    def test_save_and_load_roundtrip(self, tmp_path):
+        trace = Trace(name="io")
+        trace.extend(
+            [
+                TraceRecord(AccessKind.L2_READ, 0x1000),
+                TraceRecord(AccessKind.L2_WRITE, 0x2040),
+                TraceRecord(AccessKind.IFETCH, 0x3FFF),
+            ]
+        )
+        path = tmp_path / "trace.txt"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.name == "trace"
+        assert len(loaded) == 3
+        assert loaded[0].kind is AccessKind.L2_READ
+        assert loaded[1].address == 0x2040
+
+    def test_load_with_explicit_name(self, tmp_path):
+        trace = Trace(name="x", records=[TraceRecord(AccessKind.LOAD, 0)])
+        path = tmp_path / "t.txt"
+        trace.save(path)
+        assert Trace.load(path, name="renamed").name == "renamed"
+
+    def test_load_rejects_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("L 0x10 extra\n")
+        with pytest.raises(TraceError):
+            Trace.load(path)
+
+    def test_load_rejects_unknown_kind(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("Z 0x10\n")
+        with pytest.raises(TraceError):
+            Trace.load(path)
+
+    def test_load_skips_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "ok.txt"
+        path.write_text("# header\n\nL 0x40\n")
+        assert len(Trace.load(path)) == 1
