@@ -1,0 +1,69 @@
+"""Bench: campaign runner — serial vs parallel throughput, and cache hits.
+
+Runs the same small campaign (four workloads × one sweep point) through the
+:class:`repro.campaign.CampaignRunner` serially and with a process pool, so
+the harness reports the fan-out speed-up alongside the simulation benches.
+Also times a fully-cached re-run, which should be orders of magnitude
+faster than executing, and asserts the acceptance properties: parallel
+store entries are byte-identical to serial ones, and a re-run executes
+zero jobs.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from conftest import bench_settings
+from repro.campaign import CampaignSpec, ResultStore, run_campaign
+
+CAMPAIGN_WORKLOADS = ("perlbench", "gcc", "mcf", "namd")
+
+
+def campaign_spec(num_accesses: int = 3_000) -> CampaignSpec:
+    return CampaignSpec(
+        name="bench-campaign",
+        workloads=CAMPAIGN_WORKLOADS,
+        base_settings=bench_settings(num_accesses=num_accesses),
+    )
+
+
+def run_into(directory: str, jobs: int, label: str) -> ResultStore:
+    store = ResultStore(Path(directory) / f"{label}.jsonl")
+    run_campaign(campaign_spec(), store=store, jobs=jobs)
+    return store
+
+
+def test_bench_campaign_serial(benchmark):
+    with tempfile.TemporaryDirectory() as tmp:
+        store = benchmark.pedantic(
+            run_into, args=(tmp, 1, "serial"), rounds=1, iterations=1
+        )
+        assert len(store) == len(CAMPAIGN_WORKLOADS)
+
+
+def test_bench_campaign_parallel(benchmark):
+    """Fan-out over 4 workers; entries must match serial execution byte-for-byte."""
+    with tempfile.TemporaryDirectory() as tmp:
+        serial_store = run_into(tmp, 1, "serial")
+        parallel_store = benchmark.pedantic(
+            run_into, args=(tmp, 4, "parallel"), rounds=1, iterations=1
+        )
+        assert sorted(serial_store.keys()) == sorted(parallel_store.keys())
+        for key in serial_store.keys():
+            assert serial_store.entry_line(key) == parallel_store.entry_line(key)
+
+
+def test_bench_campaign_cached_rerun(benchmark):
+    """A completed campaign re-runs with zero executions (pure store reads)."""
+    with tempfile.TemporaryDirectory() as tmp:
+        store = run_into(tmp, 1, "warm")
+        result = benchmark.pedantic(
+            run_campaign,
+            args=(campaign_spec(),),
+            kwargs={"store": store, "jobs": 1},
+            rounds=1,
+            iterations=1,
+        )
+        assert result.executed == 0
+        assert result.cached == len(CAMPAIGN_WORKLOADS)

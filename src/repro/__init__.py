@@ -17,6 +17,8 @@ The package is organised bottom-up:
   serial, restore.
 * :mod:`repro.workloads` — traces and SPEC CPU2006-named synthetic profiles.
 * :mod:`repro.sim` — trace-driven engine and experiment orchestration.
+* :mod:`repro.campaign` — parallel, resumable experiment campaigns with a
+  persistent content-addressed result store.
 * :mod:`repro.analysis` — figure/table builders (Fig. 3, Fig. 5, Fig. 6,
   Table I, overhead reports).
 
@@ -29,6 +31,13 @@ Quickstart::
     print(comparison.energy_overhead_percent("reap"))
 """
 
+from .campaign import (
+    CampaignResult,
+    CampaignSpec,
+    JobSpec,
+    ResultStore,
+    run_campaign,
+)
 from .config import (
     CacheLevelConfig,
     ECCConfig,
@@ -114,4 +123,10 @@ __all__ = [
     "run_workload",
     "run_l2_trace",
     "run_cpu_trace",
+    # campaigns
+    "CampaignSpec",
+    "CampaignResult",
+    "JobSpec",
+    "ResultStore",
+    "run_campaign",
 ]

@@ -1,0 +1,74 @@
+"""Parallel, resumable experiment campaigns with a persistent result store.
+
+The paper's evaluation sweeps many (workload × scheme × parameter) points;
+this package turns those one-off runs into managed *campaigns*:
+
+* :mod:`~repro.campaign.spec` — :class:`CampaignSpec` / :class:`JobSpec`,
+  declarative descriptions of the cross-product to evaluate, each job
+  deterministic given its seed.
+* :mod:`~repro.campaign.runner` — :class:`CampaignRunner` /
+  :func:`run_campaign`, serial or ``multiprocessing`` fan-out with per-job
+  timing and progress callbacks.
+* :mod:`~repro.campaign.store` — :class:`ResultStore`, a JSONL-on-disk store
+  keyed by a content hash of the job spec.  Re-running a campaign skips
+  completed jobs, and parallel runs produce byte-identical entries to
+  serial ones.
+* :mod:`~repro.campaign.report` — aggregation from the store back into the
+  :mod:`repro.analysis` figure builders.
+
+Quickstart::
+
+    from repro.campaign import CampaignSpec, run_campaign
+    from repro.sim import ExperimentSettings
+
+    spec = CampaignSpec(
+        name="p-cell-sweep",
+        workloads=("gcc", "mcf"),
+        base_settings=ExperimentSettings(num_accesses=20_000),
+        sweep=(("p_cell", (1e-9, 1e-8, 1e-7)),),
+    )
+    result = run_campaign(spec, store="campaign_store.jsonl", jobs=4)
+    print(result.executed, "executed,", result.cached, "cached")
+"""
+
+from .hashing import canonical_json, content_hash
+from .report import (
+    campaign_summary_to_csv,
+    comparisons_at_point,
+    figure5_from_store,
+    figure6_from_store,
+    missing_jobs,
+    render_campaign_summary,
+)
+from .runner import CampaignResult, CampaignRunner, JobOutcome, run_campaign
+from .spec import SWEEPABLE_FIELDS, CampaignSpec, JobSpec
+from .store import (
+    ResultStore,
+    comparison_from_dict,
+    comparison_to_dict,
+    run_result_from_dict,
+    run_result_to_dict,
+)
+
+__all__ = [
+    "CampaignSpec",
+    "JobSpec",
+    "SWEEPABLE_FIELDS",
+    "CampaignRunner",
+    "CampaignResult",
+    "JobOutcome",
+    "run_campaign",
+    "ResultStore",
+    "comparison_to_dict",
+    "comparison_from_dict",
+    "run_result_to_dict",
+    "run_result_from_dict",
+    "canonical_json",
+    "content_hash",
+    "missing_jobs",
+    "comparisons_at_point",
+    "figure5_from_store",
+    "figure6_from_store",
+    "render_campaign_summary",
+    "campaign_summary_to_csv",
+]

@@ -1,0 +1,40 @@
+"""Canonical JSON encoding and content hashing for campaign jobs.
+
+Resumability hinges on every job having a stable identity: the same job
+specification must hash to the same key in every process, on every run, in
+any worker ordering.  The canonical form is JSON with sorted keys, no
+whitespace, and NaN/Infinity rejected (they would not round-trip), hashed
+with SHA-256.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+from ..errors import CampaignError
+
+
+def canonical_json(payload: Any) -> str:
+    """Serialise ``payload`` to its canonical JSON form.
+
+    Raises:
+        CampaignError: if the payload contains values JSON cannot represent
+            deterministically (NaN, Infinity, or non-JSON types).
+    """
+    try:
+        return json.dumps(
+            payload,
+            sort_keys=True,
+            separators=(",", ":"),
+            allow_nan=False,
+            ensure_ascii=True,
+        )
+    except (TypeError, ValueError) as exc:
+        raise CampaignError(f"payload is not canonically serialisable: {exc}") from exc
+
+
+def content_hash(payload: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON form of ``payload``."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()

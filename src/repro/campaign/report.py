@@ -1,0 +1,144 @@
+"""Aggregation from the result store back into the paper's figure builders.
+
+A campaign's store holds one comparison per (workload × sweep point).  These
+helpers slice the store along the sweep axis and feed the per-point
+comparison lists into the existing :mod:`repro.analysis` figure builders, so
+cached campaign results regenerate Fig. 5 / Fig. 6 without re-simulating
+anything.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Any, Sequence
+
+from ..analysis.figures import (
+    Figure5Data,
+    Figure6Data,
+    comparisons_to_figure5,
+    comparisons_to_figure6,
+)
+from ..errors import CampaignError
+from ..sim.results import WorkloadComparison, format_table
+from .runner import CampaignResult
+from .spec import CampaignSpec, JobSpec
+from .store import ResultStore
+
+
+def missing_jobs(spec: CampaignSpec, store: ResultStore) -> list[JobSpec]:
+    """Jobs of ``spec`` that have no entry in ``store`` yet."""
+    return [job for job in spec.jobs() if job.key not in store]
+
+
+def comparisons_at_point(
+    spec: CampaignSpec,
+    store: ResultStore,
+    point: Sequence[tuple[str, Any]] = (),
+) -> list[WorkloadComparison]:
+    """Stored comparisons for one sweep point, in workload order.
+
+    Raises:
+        CampaignError: if the point is not part of the campaign or any of
+            its jobs is missing from the store (run the campaign first).
+    """
+    point = tuple(point)
+    if point not in spec.points():
+        raise CampaignError(f"point {point!r} is not part of campaign {spec.name!r}")
+    comparisons = []
+    for job in spec.jobs():
+        if job.point != point:
+            continue
+        comparison = store.get(job.key)
+        if comparison is None:
+            raise CampaignError(
+                f"store {store.path} is missing job {job.workload!r} @ "
+                f"{job.point_label} (key {job.key[:12]}...); run the campaign first"
+            )
+        comparisons.append(comparison)
+    return comparisons
+
+
+def figure5_from_store(
+    spec: CampaignSpec,
+    store: ResultStore,
+    point: Sequence[tuple[str, Any]] = (),
+) -> Figure5Data:
+    """Build Fig. 5 (MTTF improvement) from stored results at one point."""
+    return comparisons_to_figure5(comparisons_at_point(spec, store, point))
+
+
+def figure6_from_store(
+    spec: CampaignSpec,
+    store: ResultStore,
+    point: Sequence[tuple[str, Any]] = (),
+) -> Figure6Data:
+    """Build Fig. 6 (dynamic energy) from stored results at one point."""
+    return comparisons_to_figure6(comparisons_at_point(spec, store, point))
+
+
+#: Per-job summary columns shared by the text table and the CSV export.
+_SUMMARY_HEADERS = (
+    "workload",
+    "point",
+    "scheme",
+    "mttf improvement",
+    "energy overhead (%)",
+    "status",
+    "elapsed (s)",
+)
+
+_SUMMARY_CSV_HEADERS = (
+    "workload",
+    "point",
+    "scheme",
+    "mttf_improvement",
+    "energy_overhead_percent",
+    "status",
+    "elapsed_s",
+)
+
+
+def _summary_rows(result: CampaignResult) -> list[list[Any]]:
+    """One row per outcome, reporting the first alternative scheme's
+    headline metrics (MTTF improvement and dynamic-energy overhead against
+    the baseline)."""
+    rows = []
+    for outcome in result.outcomes:
+        job = outcome.job
+        scheme = job.alternatives[0]
+        comparison = outcome.comparison
+        rows.append(
+            [
+                job.workload,
+                job.point_label,
+                scheme,
+                comparison.mttf_improvement(scheme),
+                comparison.energy_overhead_percent(scheme),
+                "cached" if outcome.cached else "ran",
+                outcome.elapsed_s,
+            ]
+        )
+    return rows
+
+
+def render_campaign_summary(result: CampaignResult) -> str:
+    """Fixed-width per-job summary table of a finished campaign run."""
+    table = format_table(list(_SUMMARY_HEADERS), _summary_rows(result))
+    footer = (
+        f"{len(result.outcomes)} jobs: {result.executed} executed, "
+        f"{result.cached} cached | workers={result.workers} | "
+        f"wall time {result.elapsed_s:.2f}s"
+    )
+    return f"{table}\n{footer}"
+
+
+def campaign_summary_to_csv(result: CampaignResult, path: str | Path) -> Path:
+    """Write the per-job summary to a CSV file and return its path."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_SUMMARY_CSV_HEADERS)
+        for row in _summary_rows(result):
+            writer.writerow(row[:-1] + [f"{row[-1]:.6f}"])
+    return path

@@ -1,0 +1,233 @@
+"""Campaign execution: serial or multiprocessing fan-out with caching.
+
+The runner expands a :class:`~repro.campaign.spec.CampaignSpec` (or takes an
+explicit job list), skips every job whose key is already in the result
+store, and executes the rest — serially, or across a ``multiprocessing``
+pool when ``jobs > 1``.  Each job is an independent deterministic
+simulation, so parallel execution produces byte-identical store entries to
+serial execution; only completion order differs, and outcomes are reported
+back in spec order regardless.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+from ..errors import CampaignError
+from ..sim.experiment import compare_schemes
+from ..sim.results import WorkloadComparison
+from .spec import CampaignSpec, JobSpec
+from .store import ResultStore, comparison_from_dict, comparison_to_dict
+
+
+def _run_comparison(job: JobSpec) -> WorkloadComparison:
+    return compare_schemes(
+        job.workload,
+        baseline=job.baseline,
+        alternatives=job.alternatives,
+        settings=job.settings,
+    )
+
+
+def _execute_job(payload: dict[str, Any]) -> tuple[str, dict[str, Any], float]:
+    """Worker entry point: run one job from its dictionary form.
+
+    Takes and returns plain dictionaries so the payload pickles identically
+    under any multiprocessing start method.
+    """
+    job = JobSpec.from_dict(payload)
+    start = time.perf_counter()
+    comparison = _run_comparison(job)
+    elapsed = time.perf_counter() - start
+    return job.key, comparison_to_dict(comparison), elapsed
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """One finished job: its spec, result, and how it was obtained.
+
+    Attributes:
+        job: The job specification.
+        comparison: The comparison result (from cache or fresh execution).
+        elapsed_s: Execution wall time; ``0.0`` for cache hits.
+        cached: ``True`` when the result came from the store without running.
+    """
+
+    job: JobSpec
+    comparison: WorkloadComparison
+    elapsed_s: float
+    cached: bool
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Everything a finished campaign run produced.
+
+    Attributes:
+        outcomes: One outcome per job, in spec order.
+        executed: Number of jobs actually simulated this run.
+        cached: Number of jobs satisfied from the result store.
+        elapsed_s: Wall time of the whole run.
+        workers: Worker processes used (1 = serial).
+    """
+
+    outcomes: tuple[JobOutcome, ...]
+    executed: int
+    cached: int
+    elapsed_s: float
+    workers: int
+
+    @property
+    def comparisons(self) -> list[WorkloadComparison]:
+        """The comparison results, in spec order."""
+        return [outcome.comparison for outcome in self.outcomes]
+
+
+class CampaignRunner:
+    """Executes a campaign against an optional persistent result store.
+
+    Args:
+        spec: A campaign specification, or an explicit job list for callers
+            (like :func:`repro.sim.sweep`) that build jobs directly.
+        store: Result store for caching/resumability; ``None`` disables
+            persistence and every job executes.
+        jobs: Worker processes; ``1`` (the default) runs serially in-process.
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec | Sequence[JobSpec],
+        store: ResultStore | None = None,
+        jobs: int = 1,
+    ) -> None:
+        if isinstance(spec, CampaignSpec):
+            self._jobs_list = spec.jobs()
+        else:
+            self._jobs_list = list(spec)
+            if not all(isinstance(j, JobSpec) for j in self._jobs_list):
+                raise CampaignError("explicit job lists must contain JobSpec objects")
+        if not self._jobs_list:
+            raise CampaignError("campaign expanded to zero jobs")
+        if jobs < 1:
+            raise CampaignError("jobs must be >= 1")
+        self._store = store
+        self._workers = jobs
+
+    @property
+    def jobs_list(self) -> list[JobSpec]:
+        """The expanded job list, in execution (spec) order."""
+        return list(self._jobs_list)
+
+    def run(
+        self, progress: Callable[[JobOutcome], None] | None = None
+    ) -> CampaignResult:
+        """Execute the campaign and return all outcomes in spec order.
+
+        Args:
+            progress: Optional callback invoked with each :class:`JobOutcome`
+                as it completes (cache hits first, then executed jobs in
+                completion order).
+        """
+        start = time.perf_counter()
+        by_key: dict[str, JobOutcome] = {}
+        pending: dict[str, JobSpec] = {}
+
+        for job in self._jobs_list:
+            key = job.key
+            if key in by_key or key in pending:
+                continue
+            cached = self._store.get(key) if self._store is not None else None
+            if cached is not None:
+                outcome = JobOutcome(
+                    job=job, comparison=cached, elapsed_s=0.0, cached=True
+                )
+                by_key[key] = outcome
+                if progress is not None:
+                    progress(outcome)
+            else:
+                pending[key] = job
+
+        if pending:
+            if self._workers > 1 and len(pending) > 1:
+                self._run_parallel(pending, by_key, progress)
+            else:
+                self._run_serial(pending, by_key, progress)
+
+        outcomes = tuple(by_key[job.key] for job in self._jobs_list)
+        executed = sum(1 for o in by_key.values() if not o.cached)
+        return CampaignResult(
+            outcomes=outcomes,
+            executed=executed,
+            cached=len(by_key) - executed,
+            elapsed_s=time.perf_counter() - start,
+            workers=self._workers,
+        )
+
+    def _record(
+        self,
+        job: JobSpec,
+        comparison: WorkloadComparison,
+        elapsed: float,
+        by_key: dict[str, JobOutcome],
+        progress: Callable[[JobOutcome], None] | None,
+    ) -> None:
+        if self._store is not None:
+            self._store.put(job, comparison)
+        outcome = JobOutcome(
+            job=job, comparison=comparison, elapsed_s=elapsed, cached=False
+        )
+        by_key[job.key] = outcome
+        if progress is not None:
+            progress(outcome)
+
+    def _run_serial(
+        self,
+        pending: dict[str, JobSpec],
+        by_key: dict[str, JobOutcome],
+        progress: Callable[[JobOutcome], None] | None,
+    ) -> None:
+        for job in pending.values():
+            job_start = time.perf_counter()
+            comparison = _run_comparison(job)
+            elapsed = time.perf_counter() - job_start
+            self._record(job, comparison, elapsed, by_key, progress)
+
+    def _run_parallel(
+        self,
+        pending: dict[str, JobSpec],
+        by_key: dict[str, JobOutcome],
+        progress: Callable[[JobOutcome], None] | None,
+    ) -> None:
+        # Fork keeps worker start-up cheap where available (Linux/macOS);
+        # elsewhere fall back to the platform default start method.
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context("fork" if "fork" in methods else None)
+        payloads = [job.to_dict() for job in pending.values()]
+        with context.Pool(processes=min(self._workers, len(payloads))) as pool:
+            for key, result, elapsed in pool.imap_unordered(_execute_job, payloads):
+                comparison = comparison_from_dict(result)
+                self._record(pending[key], comparison, elapsed, by_key, progress)
+
+
+def run_campaign(
+    spec: CampaignSpec | Sequence[JobSpec],
+    store: ResultStore | str | Path | None = None,
+    jobs: int = 1,
+    progress: Callable[[JobOutcome], None] | None = None,
+) -> CampaignResult:
+    """One-shot convenience wrapper around :class:`CampaignRunner`.
+
+    Args:
+        spec: Campaign specification or explicit job list.
+        store: Result store, a path to open one at, or ``None`` for no
+            persistence.
+        jobs: Worker processes.
+        progress: Optional per-job completion callback.
+    """
+    if isinstance(store, (str, Path)):
+        store = ResultStore(store)
+    return CampaignRunner(spec, store=store, jobs=jobs).run(progress=progress)

@@ -1,0 +1,189 @@
+"""Persistent JSONL result store keyed by job content hash.
+
+One line per completed job:
+
+``{"job": {...}, "key": "<sha256>", "result": {...}, "schema": 1}``
+
+Lines are canonical JSON (sorted keys, no whitespace), so a given job always
+serialises to the same bytes regardless of worker count or completion order
+— the property the resume test pins down.  The file is append-only while a
+campaign runs (crash-safe resumability: every completed job survives), and
+:meth:`ResultStore.compact` rewrites it sorted by key for deterministic
+whole-file bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from ..errors import CampaignError
+from ..sim.results import SchemeRunResult, WorkloadComparison
+from .hashing import canonical_json
+from .spec import SCHEMA_VERSION, JobSpec
+
+
+def run_result_to_dict(result: SchemeRunResult) -> dict[str, Any]:
+    """Serialise one scheme run to a plain dictionary."""
+    payload = asdict(result)
+    payload["extra"] = dict(result.extra)
+    return payload
+
+
+def run_result_from_dict(data: Mapping[str, Any]) -> SchemeRunResult:
+    """Rebuild a scheme run from its dictionary form."""
+    try:
+        payload = dict(data)
+        payload["extra"] = dict(payload.get("extra", {}))
+        return SchemeRunResult(**payload)
+    except TypeError as exc:
+        raise CampaignError(f"malformed run-result payload: {exc}") from exc
+
+
+def comparison_to_dict(comparison: WorkloadComparison) -> dict[str, Any]:
+    """Serialise a workload comparison to a plain dictionary."""
+    return {
+        "workload": comparison.workload,
+        "baseline": run_result_to_dict(comparison.baseline),
+        "alternatives": [run_result_to_dict(r) for r in comparison.alternatives],
+    }
+
+
+def comparison_from_dict(data: Mapping[str, Any]) -> WorkloadComparison:
+    """Rebuild a workload comparison from its dictionary form."""
+    try:
+        return WorkloadComparison(
+            workload=data["workload"],
+            baseline=run_result_from_dict(data["baseline"]),
+            alternatives=tuple(
+                run_result_from_dict(r) for r in data["alternatives"]
+            ),
+        )
+    except (KeyError, TypeError) as exc:
+        raise CampaignError(f"malformed comparison payload: {exc}") from exc
+
+
+class ResultStore:
+    """JSONL-on-disk store of completed campaign jobs.
+
+    Args:
+        path: Store file location; parent directories are created.  The file
+            itself is created on the first :meth:`put`.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self._path = Path(path)
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._lines: dict[str, str] = {}
+        if self._path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        with self._path.open("r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise CampaignError(
+                        f"{self._path}:{line_number}: invalid JSON: {exc}"
+                    ) from exc
+                if not isinstance(record, dict) or "key" not in record:
+                    raise CampaignError(
+                        f"{self._path}:{line_number}: record has no 'key' field"
+                    )
+                if record.get("schema") != SCHEMA_VERSION:
+                    raise CampaignError(
+                        f"{self._path}:{line_number}: schema "
+                        f"{record.get('schema')!r} != {SCHEMA_VERSION} "
+                        "(store written by an incompatible version)"
+                    )
+                # Re-canonicalise so equality checks compare canonical bytes
+                # even if the file was hand-edited or pretty-printed.
+                self._lines[record["key"]] = canonical_json(record)
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def path(self) -> Path:
+        """Location of the backing JSONL file."""
+        return self._path
+
+    def __len__(self) -> int:
+        return len(self._lines)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._lines
+
+    def keys(self) -> Iterator[str]:
+        """Iterate over stored job keys (insertion order)."""
+        return iter(self._lines)
+
+    def record(self, key: str) -> dict[str, Any] | None:
+        """Full stored record for a key (``None`` when absent)."""
+        line = self._lines.get(key)
+        return None if line is None else json.loads(line)
+
+    def entry_line(self, key: str) -> str | None:
+        """The exact canonical JSONL line stored for a key."""
+        return self._lines.get(key)
+
+    def get(self, key: str) -> WorkloadComparison | None:
+        """Deserialise the stored comparison for a key (``None`` when absent)."""
+        record = self.record(key)
+        return None if record is None else comparison_from_dict(record["result"])
+
+    def job(self, key: str) -> JobSpec | None:
+        """Deserialise the stored job spec for a key (``None`` when absent)."""
+        record = self.record(key)
+        return None if record is None else JobSpec.from_dict(record["job"])
+
+    # -- mutation -------------------------------------------------------------
+
+    def put(self, job: JobSpec, comparison: WorkloadComparison) -> bool:
+        """Record one completed job.
+
+        Returns ``True`` when the entry was written, ``False`` when an
+        identical entry was already present (idempotent re-put).
+
+        Raises:
+            CampaignError: if the key is present with a *different* payload —
+                a determinism violation or a hash collision, either of which
+                must fail loudly rather than silently overwrite.
+        """
+        record = {
+            "schema": SCHEMA_VERSION,
+            "key": job.key,
+            "job": job.to_dict(),
+            "result": comparison_to_dict(comparison),
+        }
+        line = canonical_json(record)
+        existing = self._lines.get(job.key)
+        if existing is not None:
+            if existing == line:
+                return False
+            raise CampaignError(
+                f"store already holds a different result for key {job.key} "
+                f"({job.workload!r} @ {job.point_label}); refusing to overwrite"
+            )
+        with self._path.open("a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._lines[job.key] = line
+        return True
+
+    def compact(self) -> None:
+        """Rewrite the file with entries sorted by key (deterministic bytes)."""
+        ordered = [self._lines[key] for key in sorted(self._lines)]
+        tmp_path = self._path.with_suffix(self._path.suffix + ".tmp")
+        tmp_path.write_text(
+            "".join(line + "\n" for line in ordered), encoding="utf-8"
+        )
+        tmp_path.replace(self._path)
+        self._lines = {json.loads(line)["key"]: line for line in ordered}

@@ -11,6 +11,9 @@ also exporting CSV/JSON):
 * ``repro-reap fig6``     — dynamic-energy overhead per workload (Fig. 6).
 * ``repro-reap overheads``— area and access-time reports (Section V-B).
 * ``repro-reap workloads``— list the available SPEC-named profiles.
+* ``repro-reap campaign`` — run a (workload × scheme × parameter) campaign
+  over a persistent result store, optionally fanned out over worker
+  processes (``--jobs``); re-running skips completed jobs.
 
 The interface is intentionally thin: it parses arguments, builds
 :class:`repro.sim.ExperimentSettings`, calls the analysis builders and prints
@@ -40,6 +43,7 @@ from .analysis import (
     render_table1,
 )
 from .analysis.export import figure3_to_csv, figure5_to_csv, figure6_to_csv
+from .errors import CampaignError
 from .sim import ExperimentSettings, format_table
 from .workloads import FIGURE3_WORKLOADS, all_profiles, get_profile
 
@@ -130,6 +134,74 @@ def _cmd_overheads(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_sweep_value(text: str) -> object:
+    """Parse one swept value: int, float, bool, ``none``, or bare string."""
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    if lowered in ("none", "null"):
+        return None
+    for converter in (int, float):
+        try:
+            return converter(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_sweep_arguments(specs: Sequence[str]) -> tuple[tuple[str, tuple], ...]:
+    """Parse repeated ``--sweep PARAM=V1,V2,...`` arguments."""
+    sweep = []
+    for item in specs:
+        parameter, separator, values_text = item.partition("=")
+        if not separator or not parameter or not values_text:
+            raise CampaignError(
+                f"--sweep expects PARAM=V1,V2,..., got {item!r}"
+            )
+        values = tuple(_parse_sweep_value(v) for v in values_text.split(","))
+        sweep.append((parameter, values))
+    return tuple(sweep)
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from .campaign import (
+        CampaignSpec,
+        ResultStore,
+        campaign_summary_to_csv,
+        missing_jobs,
+        render_campaign_summary,
+        run_campaign,
+    )
+
+    settings = _settings_from_args(args)
+    workloads = tuple(args.workloads) or tuple(p.name for p in all_profiles())
+    spec = CampaignSpec(
+        name=args.name,
+        workloads=workloads,
+        base_settings=settings,
+        baseline=args.baseline,
+        alternatives=tuple(args.schemes.split(",")),
+        sweep=_parse_sweep_arguments(args.sweep),
+    )
+    store = ResultStore(args.store)
+    print(
+        f"campaign {spec.name!r}: {spec.num_jobs} jobs "
+        f"({len(workloads)} workloads x {len(spec.points())} points), "
+        f"{spec.num_jobs - len(missing_jobs(spec, store))} already in {store.path}"
+    )
+
+    def progress(outcome) -> None:
+        status = "cached" if outcome.cached else f"ran in {outcome.elapsed_s:.2f}s"
+        print(f"  [{outcome.job.workload} @ {outcome.job.point_label}] {status}")
+
+    result = run_campaign(spec, store=store, jobs=args.jobs, progress=progress)
+    print()
+    print(render_campaign_summary(result))
+    if args.csv:
+        print(f"[wrote {campaign_summary_to_csv(result, args.csv)}]")
+    return 0
+
+
 def _cmd_workloads(_args: argparse.Namespace) -> int:
     rows = [
         [
@@ -188,6 +260,52 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser(
         "workloads", help="list the available SPEC-named workload profiles"
     ).set_defaults(handler=_cmd_workloads)
+
+    campaign = subparsers.add_parser(
+        "campaign",
+        help="run a resumable (workload x scheme x parameter) campaign",
+    )
+    _add_simulation_arguments(campaign)
+    campaign.add_argument(
+        "workloads", nargs="*", help="workloads (default: the full suite)"
+    )
+    campaign.add_argument(
+        "--name", type=str, default="cli-campaign", help="campaign name for reports"
+    )
+    campaign.add_argument(
+        "--store",
+        type=str,
+        default="campaign_store.jsonl",
+        help="JSONL result store; completed jobs are skipped on re-runs "
+        "(default: campaign_store.jsonl)",
+    )
+    campaign.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes to fan jobs out over (default: 1, serial)",
+    )
+    campaign.add_argument(
+        "--baseline",
+        type=str,
+        default="conventional",
+        help="baseline scheme (default: conventional)",
+    )
+    campaign.add_argument(
+        "--schemes",
+        type=str,
+        default="reap",
+        help="comma-separated alternative schemes (default: reap)",
+    )
+    campaign.add_argument(
+        "--sweep",
+        action="append",
+        default=[],
+        metavar="PARAM=V1,V2,...",
+        help="sweep an ExperimentSettings field over values (repeatable; "
+        "the campaign runs the cross-product of all sweeps)",
+    )
+    campaign.set_defaults(handler=_cmd_campaign)
 
     return parser
 

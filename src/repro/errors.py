@@ -61,3 +61,12 @@ class TraceError(ReproError):
 
 class AnalysisError(ReproError):
     """An analysis or figure builder received insufficient or bad data."""
+
+
+class CampaignError(ReproError):
+    """A campaign specification, result store, or runner is inconsistent.
+
+    Raised by :mod:`repro.campaign` for malformed job specifications, store
+    files that fail to parse, and conflicting store entries (two different
+    results recorded under the same content key).
+    """

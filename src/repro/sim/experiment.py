@@ -12,12 +12,12 @@ two workhorses here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from ..config import CacheLevelConfig, MTJConfig, SimulationConfig, paper_l2_config
 from ..core import DataValueProfile, ProtectionScheme, build_protected_cache
-from ..errors import AnalysisError
+from ..errors import AnalysisError, ReproError
 from ..workloads import SPECWorkloadProfile, generate_l2_trace, get_profile
 from ..workloads.trace import Trace
 from .engine import run_l2_trace
@@ -55,6 +55,48 @@ class ExperimentSettings:
                 self.ones_count, block_bits=self.l2_config.block_size_bits
             )
         return DataValueProfile(block_bits=self.l2_config.block_size_bits, seed=seed)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise to a plain dictionary (nested configs included)."""
+        return {
+            "l2_config": self.l2_config.to_dict(),
+            "mtj": self.mtj.to_dict(),
+            "p_cell": self.p_cell,
+            "num_accesses": self.num_accesses,
+            "ones_count": self.ones_count,
+            "seed": self.seed,
+            "track_accumulation": self.track_accumulation,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSettings":
+        """Build from a plain dictionary, ignoring unknown keys."""
+        payload = dict(data)
+        l2_data = payload.pop("l2_config", None)
+        mtj_data = payload.pop("mtj", None)
+        known = {f.name for f in fields(cls)} - {"l2_config", "mtj"}
+        return cls(
+            l2_config=(
+                CacheLevelConfig.from_dict(l2_data)
+                if l2_data is not None
+                else paper_l2_config()
+            ),
+            mtj=MTJConfig.from_dict(mtj_data) if mtj_data is not None else MTJConfig(),
+            **{k: v for k, v in payload.items() if k in known},
+        )
+
+
+def _is_registered(profile: SPECWorkloadProfile) -> bool:
+    """Whether the registry resolves the profile's name back to this profile.
+
+    Campaign jobs carry only the workload *name*; delegating an unregistered
+    (or locally modified) profile object would silently evaluate the
+    registry's version instead.
+    """
+    try:
+        return get_profile(profile.name) == profile
+    except ReproError:
+        return False
 
 
 def run_workload(
@@ -165,30 +207,58 @@ class ExperimentRunner:
         return self._settings
 
     def run(
-        self, progress: Callable[[str], None] | None = None
+        self,
+        progress: Callable[[str], None] | None = None,
+        jobs: int = 1,
+        store=None,
     ) -> list[WorkloadComparison]:
         """Run every workload and return the per-workload comparisons.
+
+        Delegates to :mod:`repro.campaign`: each workload becomes one
+        campaign job (seed strided by workload index, as before), so the
+        suite can fan out over worker processes and reuse a persistent
+        result store without changing this method's contract.  Campaign
+        jobs are identified by workload *name*, so profiles that are not in
+        the registry (custom or modified objects) run in-process instead,
+        without store caching or fan-out.
 
         Args:
             progress: Optional callback invoked with the workload name as
                 each comparison finishes.
+            jobs: Worker processes to fan the workloads out over (default
+                serial, the historical behaviour).
+            store: Optional :class:`repro.campaign.ResultStore` (or path)
+                used to cache and resume the runs.
         """
+        if not all(_is_registered(profile) for profile in self._workloads):
+            return self._run_direct(progress)
+
+        from ..campaign import CampaignSpec, run_campaign
+
+        spec = CampaignSpec(
+            name="experiment-runner",
+            workloads=tuple(profile.name for profile in self._workloads),
+            base_settings=self._settings,
+            baseline=self._baseline,
+            alternatives=self._alternatives,
+        )
+        job_progress = None
+        if progress is not None:
+            job_progress = lambda outcome: progress(outcome.job.workload)  # noqa: E731
+        result = run_campaign(spec, store=store, jobs=jobs, progress=job_progress)
+        return result.comparisons
+
+    def _run_direct(
+        self, progress: Callable[[str], None] | None = None
+    ) -> list[WorkloadComparison]:
+        """In-process fallback for unregistered workload profiles."""
         comparisons = []
         for index, profile in enumerate(self._workloads):
-            settings = ExperimentSettings(
-                l2_config=self._settings.l2_config,
-                mtj=self._settings.mtj,
-                p_cell=self._settings.p_cell,
-                num_accesses=self._settings.num_accesses,
-                ones_count=self._settings.ones_count,
-                seed=self._settings.seed + index,
-                track_accumulation=self._settings.track_accumulation,
-            )
             comparison = compare_schemes(
                 profile,
                 baseline=self._baseline,
                 alternatives=self._alternatives,
-                settings=settings,
+                settings=replace(self._settings, seed=self._settings.seed + index),
             )
             comparisons.append(comparison)
             if progress is not None:
@@ -202,8 +272,16 @@ def sweep(
     workload: SPECWorkloadProfile | str,
     baseline: ProtectionScheme | str = ProtectionScheme.CONVENTIONAL,
     alternatives: Sequence[ProtectionScheme | str] = (ProtectionScheme.REAP,),
+    jobs: int = 1,
+    store=None,
 ) -> list[tuple[object, WorkloadComparison]]:
     """Sweep one parameter and compare schemes at each point.
+
+    Each point becomes one :class:`repro.campaign.JobSpec`, so sweeps share
+    the campaign machinery: optional process fan-out and result-store
+    caching, with results returned in sweep order either way.  Campaign
+    jobs are identified by workload *name*; an unregistered (custom)
+    profile object sweeps in-process without caching or fan-out.
 
     Args:
         parameter_values: The values to sweep.
@@ -212,15 +290,45 @@ def sweep(
         workload: The workload evaluated at every point.
         baseline: Baseline scheme.
         alternatives: Alternative schemes.
+        jobs: Worker processes to fan the points out over (default serial).
+        store: Optional :class:`repro.campaign.ResultStore` (or path) used
+            to cache and resume the sweep.
 
     Returns:
         ``[(value, comparison), ...]`` in the order of ``parameter_values``.
     """
-    results = []
-    for value in parameter_values:
-        settings = build_settings(value)
-        comparison = compare_schemes(
-            workload, baseline=baseline, alternatives=alternatives, settings=settings
+    from ..campaign import JobSpec, run_campaign
+
+    if not parameter_values:
+        return []
+    profile = get_profile(workload) if isinstance(workload, str) else workload
+    if not _is_registered(profile):
+        return [
+            (
+                value,
+                compare_schemes(
+                    profile,
+                    baseline=baseline,
+                    alternatives=alternatives,
+                    settings=build_settings(value),
+                ),
+            )
+            for value in parameter_values
+        ]
+    job_specs = []
+    for index, value in enumerate(parameter_values):
+        point_value = value if isinstance(value, (bool, int, float, str)) else str(value)
+        job_specs.append(
+            JobSpec(
+                workload=profile.name,
+                settings=build_settings(value),
+                baseline=baseline,
+                alternatives=tuple(alternatives),
+                point=(("sweep_index", index), ("value", point_value)),
+            )
         )
-        results.append((value, comparison))
-    return results
+    result = run_campaign(job_specs, store=store, jobs=jobs)
+    return [
+        (value, outcome.comparison)
+        for value, outcome in zip(parameter_values, result.outcomes)
+    ]

@@ -59,10 +59,17 @@ class TraceRecord:
 
 @dataclass
 class Trace:
-    """An ordered sequence of memory references with a name."""
+    """An ordered sequence of memory references with a name.
+
+    Mutate the trace through :meth:`append` / :meth:`extend` (not by touching
+    ``records`` directly) so the read/write counters stay consistent.
+    """
 
     name: str
     records: list[TraceRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._write_count = sum(1 for r in self.records if r.is_write)
 
     def __len__(self) -> int:
         return len(self.records)
@@ -76,22 +83,26 @@ class Trace:
     def append(self, record: TraceRecord) -> None:
         """Append one record."""
         self.records.append(record)
+        if record.is_write:
+            self._write_count += 1
 
     def extend(self, records: Iterable[TraceRecord]) -> None:
         """Append many records."""
-        self.records.extend(records)
+        added = list(records)
+        self.records.extend(added)
+        self._write_count += sum(1 for r in added if r.is_write)
 
     # -- summaries ------------------------------------------------------------
 
     @property
     def read_count(self) -> int:
-        """Number of non-write references."""
-        return sum(1 for r in self.records if not r.is_write)
+        """Number of non-write references (maintained incrementally, O(1))."""
+        return len(self.records) - self._write_count
 
     @property
     def write_count(self) -> int:
-        """Number of write references."""
-        return sum(1 for r in self.records if r.is_write)
+        """Number of write references (maintained incrementally, O(1))."""
+        return self._write_count
 
     @property
     def read_fraction(self) -> float:

@@ -1,0 +1,30 @@
+"""Shared helper for campaign tests: small, fast experiment settings.
+
+Named uniquely (not ``conftest``) because the benchmarks directory already
+has a ``conftest`` module and both directories land on ``sys.path`` during
+a full-repo pytest run.
+"""
+
+from __future__ import annotations
+
+from repro.config import CacheLevelConfig
+from repro.sim import ExperimentSettings
+
+
+def fast_settings(num_accesses: int = 1_000, **overrides) -> ExperimentSettings:
+    """Small-L2, short-trace settings so campaign tests stay quick."""
+    params = dict(
+        l2_config=CacheLevelConfig(
+            name="L2",
+            size_bytes=256 * 1024,
+            associativity=8,
+            block_size_bytes=64,
+            technology="stt-mram",
+        ),
+        p_cell=1e-8,
+        num_accesses=num_accesses,
+        ones_count=100,
+        seed=1,
+    )
+    params.update(overrides)
+    return ExperimentSettings(**params)

@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.cli import build_parser, main
-from repro.errors import ConfigurationError
+from repro.cli import _parse_sweep_arguments, _parse_sweep_value, build_parser, main
+from repro.errors import CampaignError, ConfigurationError
 
 
 class TestParser:
@@ -62,3 +62,45 @@ class TestCommands:
     def test_unknown_workload_rejected(self):
         with pytest.raises(ConfigurationError):
             main(["fig5", "--accesses", "1000", "not-a-benchmark"])
+
+
+class TestCampaignCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.jobs == 1
+        assert args.store == "campaign_store.jsonl"
+        assert args.schemes == "reap"
+        assert args.sweep == []
+
+    def test_sweep_value_parsing(self):
+        assert _parse_sweep_value("3") == 3
+        assert _parse_sweep_value("1e-8") == 1e-8
+        assert _parse_sweep_value("true") is True
+        assert _parse_sweep_value("none") is None
+        assert _parse_sweep_value("lru") == "lru"
+
+    def test_sweep_argument_parsing(self):
+        sweep = _parse_sweep_arguments(["p_cell=1e-9,1e-8", "ones_count=50,100"])
+        assert sweep == (("p_cell", (1e-9, 1e-8)), ("ones_count", (50, 100)))
+
+    def test_malformed_sweep_argument_rejected(self):
+        with pytest.raises(CampaignError):
+            _parse_sweep_arguments(["p_cell"])
+
+    def test_campaign_run_and_resume(self, tmp_path, capsys):
+        store = tmp_path / "store.jsonl"
+        argv = [
+            "campaign", "gcc",
+            "--accesses", "1000",
+            "--store", str(store),
+            "--csv", str(tmp_path / "summary.csv"),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "1 jobs" in out and "ran in" in out and "1 executed" in out
+        assert store.exists()
+        assert (tmp_path / "summary.csv").exists()
+        # Second invocation: everything is served from the store.
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "0 executed" in out and "1 cached" in out

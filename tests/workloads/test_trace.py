@@ -53,6 +53,40 @@ class TestTraceContainer:
     def test_empty_trace_fractions(self):
         assert Trace(name="empty").read_fraction == 0.0
 
+    def test_counts_maintained_incrementally(self, trace):
+        """append/extend keep the O(1) counters in sync with the records."""
+        trace.append(TraceRecord(AccessKind.L2_WRITE, 0xC0))
+        assert trace.write_count == 2
+        assert trace.read_count == 3
+        trace.extend(
+            [
+                TraceRecord(AccessKind.L2_READ, 0x100),
+                TraceRecord(AccessKind.STORE, 0x140),
+            ]
+        )
+        assert trace.write_count == 3
+        assert trace.read_count == 4
+        # The counters always agree with a full rescan.
+        assert trace.write_count == sum(1 for r in trace if r.is_write)
+        assert trace.read_count == sum(1 for r in trace if not r.is_write)
+
+    def test_counts_for_records_passed_at_construction(self):
+        trace = Trace(
+            name="init",
+            records=[
+                TraceRecord(AccessKind.STORE, 0x0),
+                TraceRecord(AccessKind.LOAD, 0x40),
+            ],
+        )
+        assert trace.write_count == 1
+        assert trace.read_count == 1
+
+    def test_extend_accepts_generators(self):
+        trace = Trace(name="gen")
+        trace.extend(TraceRecord(AccessKind.L2_WRITE, a) for a in (0x0, 0x40))
+        assert len(trace) == 2
+        assert trace.write_count == 2
+
 
 class TestTraceIO:
     def test_save_and_load_roundtrip(self, tmp_path):
@@ -94,3 +128,36 @@ class TestTraceIO:
         path = tmp_path / "ok.txt"
         path.write_text("# header\n\nL 0x40\n")
         assert len(Trace.load(path)) == 1
+
+    def test_roundtrip_preserves_every_record_and_counters(self, tmp_path):
+        trace = Trace(name="full")
+        trace.extend(
+            TraceRecord(kind, address)
+            for address, kind in enumerate(
+                [
+                    AccessKind.IFETCH,
+                    AccessKind.LOAD,
+                    AccessKind.STORE,
+                    AccessKind.L2_READ,
+                    AccessKind.L2_WRITE,
+                ]
+            )
+        )
+        path = tmp_path / "full.txt"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.records == trace.records
+        assert loaded.read_count == trace.read_count
+        assert loaded.write_count == trace.write_count
+
+    def test_load_rejects_non_hex_address(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("L zzzz\n")
+        with pytest.raises(TraceError, match="bad.txt:1"):
+            Trace.load(path)
+
+    def test_load_rejects_missing_address_field(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("L\n")
+        with pytest.raises(TraceError, match="expected '<kind> <address>'"):
+            Trace.load(path)
