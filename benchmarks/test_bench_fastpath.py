@@ -1,0 +1,97 @@
+"""Bench: batched fast-path engine throughput vs. the reference loop.
+
+Times both engines replaying the same pre-generated traces over the default
+Fig. 5 workload mix (the paper's four Fig. 3 workloads: a churn-heavy, a
+balanced, and two reuse-heavy profiles) and reports accesses/second.  The
+acceptance bar for the fast path is a >= 3x throughput advantage on this
+mix; the assertion below uses a 2x floor so shared-CI timing noise cannot
+flake the suite while still catching any real regression of the batched
+engine back toward per-record dispatch.
+
+The numbers also feed the README's engine section.  Locally the fast path
+measures ~5-8x the reference loop depending on scheme (restore benefits
+most: its per-record loop touches every way twice).
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import bench_num_accesses, bench_settings
+from repro.core import build_protected_cache
+from repro.sim import run_l2_trace
+from repro.workloads import FIGURE3_WORKLOADS, generate_l2_trace, get_profile
+
+#: The default Fig. 5 workload mix used for the throughput comparison.
+MIX = tuple(FIGURE3_WORKLOADS)
+
+
+def _build_traces(num_accesses: int):
+    settings = bench_settings(num_accesses=num_accesses)
+    return settings, [
+        generate_l2_trace(
+            get_profile(name), settings.l2_config, num_accesses, seed=index + 1
+        )
+        for index, name in enumerate(MIX)
+    ]
+
+
+def _run_mix(settings, traces, engine: str, scheme: str = "reap") -> float:
+    """Replay the whole mix under one engine; returns elapsed seconds."""
+    start = time.perf_counter()
+    for index, trace in enumerate(traces):
+        cache = build_protected_cache(
+            scheme,
+            settings.l2_config,
+            p_cell=settings.p_cell,
+            data_profile=settings.data_profile(index + 1),
+            seed=index + 1,
+        )
+        run_l2_trace(cache, trace, engine=engine)
+    return time.perf_counter() - start
+
+
+def test_bench_fastpath_throughput(benchmark):
+    """Benchmark the fast engine and report both engines' accesses/sec."""
+    num_accesses = min(bench_num_accesses(), 20_000)
+    settings, traces = _build_traces(num_accesses)
+    total_accesses = num_accesses * len(traces)
+
+    reference_s = _run_mix(settings, traces, "reference")
+    fast_s = benchmark.pedantic(
+        lambda: _run_mix(settings, traces, "fast"), rounds=1, iterations=1
+    )
+
+    reference_rate = total_accesses / reference_s
+    fast_rate = total_accesses / fast_s
+    speedup = reference_s / fast_s
+    benchmark.extra_info["reference_accesses_per_s"] = round(reference_rate)
+    benchmark.extra_info["fast_accesses_per_s"] = round(fast_rate)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    print(
+        f"\n[fastpath] mix={'+'.join(MIX)} x {num_accesses} accesses: "
+        f"reference {reference_rate:,.0f} acc/s, fast {fast_rate:,.0f} acc/s, "
+        f"speedup {speedup:.1f}x"
+    )
+
+    assert speedup >= 2.0, (
+        f"fast path only {speedup:.2f}x over the reference loop "
+        f"(expected >= 3x nominally, 2x floor for CI noise)"
+    )
+
+
+def test_bench_fastpath_matches_reference_on_mix():
+    """The throughput claim only counts if the results are identical."""
+    settings, traces = _build_traces(2_000)
+    for index, trace in enumerate(traces):
+        results = {}
+        for engine in ("reference", "fast"):
+            cache = build_protected_cache(
+                "conventional",
+                settings.l2_config,
+                p_cell=settings.p_cell,
+                data_profile=settings.data_profile(index + 1),
+                seed=index + 1,
+            )
+            results[engine] = run_l2_trace(cache, trace, engine=engine)
+        assert results["reference"] == results["fast"], trace.name

@@ -71,7 +71,9 @@ from .sim import (
     compare_schemes,
     run_cpu_trace,
     run_l2_trace,
+    run_l2_trace_fast,
     run_workload,
+    supports_fast_path,
 )
 from .workloads import (
     SPEC_CPU2006_PROFILES,
@@ -122,6 +124,8 @@ __all__ = [
     "compare_schemes",
     "run_workload",
     "run_l2_trace",
+    "run_l2_trace_fast",
+    "supports_fast_path",
     "run_cpu_trace",
     # campaigns
     "CampaignSpec",

@@ -13,7 +13,7 @@ Public surface:
 * :class:`CacheStatistics`, :class:`ReliabilityStatistics`.
 """
 
-from .address import AddressMapper, DecomposedAddress
+from .address import AddressMapper, DecomposedAddress, DecomposedAddressBatch
 from .block import CacheBlock, ReadExposure
 from .cache import AccessResult, EvictedBlock, SetAssociativeCache
 from .cache_set import CacheSet
@@ -41,6 +41,7 @@ from .statistics import CacheStatistics, ReliabilityStatistics
 __all__ = [
     "AddressMapper",
     "DecomposedAddress",
+    "DecomposedAddressBatch",
     "CacheBlock",
     "ReadExposure",
     "CacheSet",

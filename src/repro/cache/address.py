@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..config import CacheLevelConfig
 from ..errors import AddressError
 
@@ -30,6 +32,26 @@ class DecomposedAddress:
     index: int
     offset: int
     block_address: int
+
+
+@dataclass(frozen=True)
+class DecomposedAddressBatch:
+    """Many addresses split into their cache-indexing fields, as arrays.
+
+    Attributes:
+        tags: Tag field of each address.
+        indices: Set index of each address.
+        offsets: Byte offset of each address.
+        block_addresses: Each address with the offset bits cleared.
+    """
+
+    tags: np.ndarray
+    indices: np.ndarray
+    offsets: np.ndarray
+    block_addresses: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.tags)
 
 
 class AddressMapper:
@@ -77,6 +99,42 @@ class AddressMapper:
         block_address = address & ~self._offset_mask
         return DecomposedAddress(
             tag=tag, index=index, offset=offset, block_address=block_address
+        )
+
+    def decompose_batch(self, addresses) -> DecomposedAddressBatch:
+        """Split many addresses into tag / index / offset arrays at once.
+
+        Accepts any integer sequence or array; all field extractions are
+        vectorised, and each output entry equals the corresponding
+        :meth:`decompose` result field-for-field.
+
+        Raises:
+            AddressError: if any address is negative or wider than the
+                configured address width (checked before any extraction, so
+                the batch either fully decomposes or fails as a whole).
+        """
+        try:
+            array = np.asarray(addresses, dtype=np.int64)
+        except OverflowError as exc:
+            raise AddressError(
+                f"address exceeds the {self._config.address_bits}-bit address space"
+            ) from exc
+        if array.size:
+            lowest = int(array.min())
+            if lowest < 0:
+                raise AddressError(f"address must be non-negative, got {lowest}")
+            highest = int(array.max())
+            if highest > self._max_address:
+                raise AddressError(
+                    f"address {highest:#x} exceeds the "
+                    f"{self._config.address_bits}-bit address space"
+                )
+        offsets = array & self._offset_mask
+        indices = (array >> self._offset_bits) & self._index_mask
+        tags = array >> (self._offset_bits + self._index_bits)
+        block_addresses = array & ~np.int64(self._offset_mask)
+        return DecomposedAddressBatch(
+            tags=tags, indices=indices, offsets=offsets, block_addresses=block_addresses
         )
 
     def compose(self, tag: int, index: int, offset: int = 0) -> int:

@@ -110,6 +110,11 @@ class SetAssociativeCache:
         return self._stats
 
     @property
+    def replacement(self) -> ReplacementPolicy:
+        """The replacement policy instance driving victim selection."""
+        return self._replacement
+
+    @property
     def num_sets(self) -> int:
         """Number of sets."""
         return self._config.num_sets

@@ -18,18 +18,20 @@ from pathlib import Path
 from typing import Any, Callable, Sequence
 
 from ..errors import CampaignError
+from ..sim.engine import ENGINE_CHOICES
 from ..sim.experiment import compare_schemes
 from ..sim.results import WorkloadComparison
 from .spec import CampaignSpec, JobSpec
 from .store import ResultStore, comparison_from_dict, comparison_to_dict
 
 
-def _run_comparison(job: JobSpec) -> WorkloadComparison:
+def _run_comparison(job: JobSpec, engine: str = "reference") -> WorkloadComparison:
     return compare_schemes(
         job.workload,
         baseline=job.baseline,
         alternatives=job.alternatives,
         settings=job.settings,
+        engine=engine,
     )
 
 
@@ -37,11 +39,13 @@ def _execute_job(payload: dict[str, Any]) -> tuple[str, dict[str, Any], float]:
     """Worker entry point: run one job from its dictionary form.
 
     Takes and returns plain dictionaries so the payload pickles identically
-    under any multiprocessing start method.
+    under any multiprocessing start method.  The engine choice rides along
+    outside the job spec — it selects how the job is simulated, never what
+    it computes, so it is not part of the job identity or store key.
     """
-    job = JobSpec.from_dict(payload)
+    job = JobSpec.from_dict(payload["job"])
     start = time.perf_counter()
-    comparison = _run_comparison(job)
+    comparison = _run_comparison(job, engine=payload.get("engine", "reference"))
     elapsed = time.perf_counter() - start
     return job.key, comparison_to_dict(comparison), elapsed
 
@@ -96,6 +100,10 @@ class CampaignRunner:
         store: Result store for caching/resumability; ``None`` disables
             persistence and every job executes.
         jobs: Worker processes; ``1`` (the default) runs serially in-process.
+        engine: Simulation engine every job runs under (``"reference"``,
+            ``"fast"`` or ``"auto"``).  Engines are numerically identical,
+            so store entries stay byte-identical across engine choices and
+            the engine is deliberately *not* part of the job key.
     """
 
     def __init__(
@@ -103,6 +111,7 @@ class CampaignRunner:
         spec: CampaignSpec | Sequence[JobSpec],
         store: ResultStore | None = None,
         jobs: int = 1,
+        engine: str = "reference",
     ) -> None:
         if isinstance(spec, CampaignSpec):
             self._jobs_list = spec.jobs()
@@ -114,8 +123,13 @@ class CampaignRunner:
             raise CampaignError("campaign expanded to zero jobs")
         if jobs < 1:
             raise CampaignError("jobs must be >= 1")
+        if engine not in ENGINE_CHOICES:
+            raise CampaignError(
+                f"unknown engine {engine!r}; choose one of {ENGINE_CHOICES}"
+            )
         self._store = store
         self._workers = jobs
+        self._engine = engine
 
     @property
     def jobs_list(self) -> list[JobSpec]:
@@ -192,7 +206,7 @@ class CampaignRunner:
     ) -> None:
         for job in pending.values():
             job_start = time.perf_counter()
-            comparison = _run_comparison(job)
+            comparison = _run_comparison(job, engine=self._engine)
             elapsed = time.perf_counter() - job_start
             self._record(job, comparison, elapsed, by_key, progress)
 
@@ -206,7 +220,9 @@ class CampaignRunner:
         # elsewhere fall back to the platform default start method.
         methods = multiprocessing.get_all_start_methods()
         context = multiprocessing.get_context("fork" if "fork" in methods else None)
-        payloads = [job.to_dict() for job in pending.values()]
+        payloads = [
+            {"job": job.to_dict(), "engine": self._engine} for job in pending.values()
+        ]
         with context.Pool(processes=min(self._workers, len(payloads))) as pool:
             for key, result, elapsed in pool.imap_unordered(_execute_job, payloads):
                 comparison = comparison_from_dict(result)
@@ -218,6 +234,7 @@ def run_campaign(
     store: ResultStore | str | Path | None = None,
     jobs: int = 1,
     progress: Callable[[JobOutcome], None] | None = None,
+    engine: str = "reference",
 ) -> CampaignResult:
     """One-shot convenience wrapper around :class:`CampaignRunner`.
 
@@ -227,7 +244,12 @@ def run_campaign(
             persistence.
         jobs: Worker processes.
         progress: Optional per-job completion callback.
+        engine: Simulation engine for every executed job; engines are
+            numerically identical, so the store stays consistent across
+            engine choices.
     """
     if isinstance(store, (str, Path)):
         store = ResultStore(store)
-    return CampaignRunner(spec, store=store, jobs=jobs).run(progress=progress)
+    return CampaignRunner(spec, store=store, jobs=jobs, engine=engine).run(
+        progress=progress
+    )

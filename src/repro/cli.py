@@ -194,7 +194,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         status = "cached" if outcome.cached else f"ran in {outcome.elapsed_s:.2f}s"
         print(f"  [{outcome.job.workload} @ {outcome.job.point_label}] {status}")
 
-    result = run_campaign(spec, store=store, jobs=args.jobs, progress=progress)
+    result = run_campaign(
+        spec, store=store, jobs=args.jobs, progress=progress, engine=args.engine
+    )
     print()
     print(render_campaign_summary(result))
     if args.csv:
@@ -296,6 +298,16 @@ def build_parser() -> argparse.ArgumentParser:
         type=str,
         default="reap",
         help="comma-separated alternative schemes (default: reap)",
+    )
+    campaign.add_argument(
+        "--engine",
+        type=str,
+        choices=["reference", "fast", "auto"],
+        default="auto",
+        help="simulation engine: the batched fast path ('auto', the default, "
+        "falls back to the reference loop for unsupported configurations), "
+        "'fast' (error on unsupported), or the per-record 'reference' loop; "
+        "engines are numerically identical",
     )
     campaign.add_argument(
         "--sweep",

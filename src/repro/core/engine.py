@@ -101,6 +101,11 @@ class ReliabilityEngine:
         return self._correctable
 
     @property
+    def interleaving_lanes(self) -> int:
+        """Number of independent codewords a block is interleaved into."""
+        return self._lanes
+
+    @property
     def stats(self) -> ReliabilityStatistics:
         """Aggregated reliability counters."""
         return self._stats
@@ -136,24 +141,24 @@ class ReliabilityEngine:
         """A demand read delivered a block whose exposure accumulated (Eq. 3)."""
         exposure = block.record_checked_read(demand=True, tick=tick)
         ones = block.ones_count
-        probability = self._accumulated_probability(ones, exposure.unchecked_window)
+        probability = self.accumulated_probability(ones, exposure.unchecked_window)
         return self._finish_delivery(exposure.unchecked_window, exposure, ones, probability)
 
     def on_serial_delivery(self, block: CacheBlock, tick: int = 0) -> DeliveryOutcome:
         """A demand read in a serial (tag-first) cache: no accumulation (Eq. 2)."""
         exposure = block.record_checked_read(demand=True, tick=tick)
         ones = block.ones_count
-        probability = self._single_probability(ones)
+        probability = self.single_probability(ones)
         return self._finish_delivery(exposure.unchecked_window, exposure, ones, probability)
 
     def on_reap_delivery(self, block: CacheBlock, tick: int = 0) -> DeliveryOutcome:
         """A demand read in REAP: every read in the window was checked (Eq. 6)."""
         exposure = block.record_checked_read(demand=True, tick=tick)
         ones = block.ones_count
-        probability = self._reap_probability(ones, exposure.demand_window)
+        probability = self.reap_probability(ones, exposure.demand_window)
         return self._finish_delivery(exposure.demand_window, exposure, ones, probability)
 
-    # -- memoised probability lookups ------------------------------------------------
+    # -- memoised probability lookups (public: the batched fast path reuses them) -----
 
     def _lane_adjusted(self, ones: int, window: int, accumulate: bool) -> float:
         """Block failure probability with interleaving-lane awareness.
@@ -176,7 +181,8 @@ class ReliabilityEngine:
             )
         return min(1.0, self._lanes * per_lane)
 
-    def _single_probability(self, ones: int) -> float:
+    def single_probability(self, ones: int) -> float:
+        """Eq. (2) failure probability of one checked read (memoised, lane-aware)."""
         if ones == 0:
             return 0.0
         cached = self._single_cache.get(ones)
@@ -185,7 +191,8 @@ class ReliabilityEngine:
             self._single_cache[ones] = cached
         return cached
 
-    def _accumulated_probability(self, ones: int, window: int) -> float:
+    def accumulated_probability(self, ones: int, window: int) -> float:
+        """Eq. (3) failure probability of an accumulated delivery (memoised, lane-aware)."""
         if ones == 0:
             return 0.0
         key = (ones, window)
@@ -195,7 +202,8 @@ class ReliabilityEngine:
             self._accumulated_cache[key] = cached
         return cached
 
-    def _reap_probability(self, ones: int, window: int) -> float:
+    def reap_probability(self, ones: int, window: int) -> float:
+        """Eq. (6) failure probability of a REAP delivery window (memoised, lane-aware)."""
         if ones == 0:
             return 0.0
         key = (ones, window)
@@ -206,7 +214,7 @@ class ReliabilityEngine:
                     self._p_cell, ones, window, self._correctable
                 )
             else:
-                single = self._single_probability(ones)
+                single = self.single_probability(ones)
                 cached = -math.expm1(window * math.log1p(-min(single, 1.0 - 1e-18)))
             self._reap_cache[key] = cached
         return cached

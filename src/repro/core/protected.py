@@ -148,6 +148,32 @@ class ProtectedCache(abc.ABC):
         return self._energy.totals
 
     @property
+    def energy_accountant(self) -> EnergyAccountant:
+        """The event-by-event energy accountant."""
+        return self._energy
+
+    @property
+    def data_profile(self) -> DataValueProfile:
+        """The ones-count sampler used for fills and overwrites."""
+        return self._data_profile
+
+    @property
+    def count_writeback_checks(self) -> bool:
+        """Whether dirty-eviction read-outs are charged to the reliability model."""
+        return self._count_writeback_checks
+
+    def add_leakage(self, seconds: float) -> None:
+        """Add leakage energy for ``seconds`` of simulated time.
+
+        Public hook used by the simulation engines after a trace has run, so
+        drivers never need to reach into the internal accountant.
+
+        Raises:
+            ConfigurationError: if ``seconds`` is negative.
+        """
+        self._energy.add_leakage(seconds)
+
+    @property
     def energy_model(self) -> NVSimLikeModel:
         """The per-event energy/area model."""
         return self._energy_model

@@ -77,6 +77,30 @@ class RestoreCache(ProtectedCache):
         return self._restore_expected_failures
 
     @property
+    def write_error_model(self):
+        """The MTJ write-error model costing each restore."""
+        return self._write_error_model
+
+    def record_restore_batch(self, failure_probabilities) -> None:
+        """Record many line restores at once (energy is charged separately).
+
+        Counter totals match per-read :meth:`_account_restore` accounting: one
+        restore per probability, with the expected-failure accumulator doing
+        the same sequential float additions.
+
+        Args:
+            failure_probabilities: Per-restore write-failure probabilities,
+                in restore order.
+        """
+        total = self._restore_expected_failures
+        count = 0
+        for probability in failure_probabilities:
+            total += probability
+            count += 1
+        self._restore_expected_failures = total
+        self._restore_count += count
+
+    @property
     def expected_failures(self) -> float:
         """Read-path failures plus restore write-failure exposure."""
         return self._engine.expected_failures + self._restore_expected_failures

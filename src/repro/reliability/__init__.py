@@ -17,13 +17,17 @@ from .accumulation import (
 )
 from .binomial import (
     accumulated_correct_probability,
+    accumulated_failure_probabilities,
     accumulated_failure_probability,
     accumulation_penalty,
     binomial_tail_ge,
+    binomial_tail_ge_array,
     block_correct_probability,
+    block_failure_probabilities,
     block_failure_probability,
     expected_disturbed_bits,
     reap_correct_probability,
+    reap_failure_probabilities,
     reap_failure_probability,
     reap_improvement_factor,
 )
@@ -45,6 +49,10 @@ __all__ = [
     "block_failure_probability",
     "accumulated_correct_probability",
     "accumulated_failure_probability",
+    "block_failure_probabilities",
+    "accumulated_failure_probabilities",
+    "reap_failure_probabilities",
+    "binomial_tail_ge_array",
     "reap_correct_probability",
     "reap_failure_probability",
     "accumulation_penalty",

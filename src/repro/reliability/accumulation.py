@@ -58,6 +58,31 @@ class AccumulationTracker:
             raise ConfigurationError("ones_count must be non-negative")
         self.samples.append(AccessSample(concealed_reads, ones_count))
 
+    def record_batch(self, concealed_reads, ones_counts) -> None:
+        """Record many demand reads at once (same samples as repeated :meth:`record`).
+
+        Args:
+            concealed_reads: Per-read concealed-read counts, in delivery order.
+            ones_counts: Per-read ones counts, aligned with ``concealed_reads``.
+
+        Raises:
+            ConfigurationError: if the sequences disagree in length or any
+                entry is negative.
+        """
+        concealed_list = list(concealed_reads)
+        ones_list = list(ones_counts)
+        if len(concealed_list) != len(ones_list):
+            raise ConfigurationError(
+                "concealed_reads and ones_counts must have the same length"
+            )
+        if any(c < 0 for c in concealed_list):
+            raise ConfigurationError("concealed_reads must be non-negative")
+        if any(o < 0 for o in ones_list):
+            raise ConfigurationError("ones_count must be non-negative")
+        self.samples.extend(
+            AccessSample(int(c), int(o)) for c, o in zip(concealed_list, ones_list)
+        )
+
     def __len__(self) -> int:
         return len(self.samples)
 

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
 from scipy import stats
 
 from ..errors import ConfigurationError
@@ -123,6 +124,91 @@ def reap_failure_probability(
     if single_failure >= 1.0:
         return 1.0
     return -math.expm1(num_reads * math.log1p(-single_failure))
+
+
+def _validate_arrays(p_cell: float, num_ones: np.ndarray, num_reads: np.ndarray) -> None:
+    if not 0.0 <= p_cell <= 1.0:
+        raise ConfigurationError("p_cell must be in [0, 1]")
+    if num_ones.size and int(num_ones.min()) < 0:
+        raise ConfigurationError("num_ones must be non-negative")
+    if num_reads.size and int(num_reads.min()) < 1:
+        raise ConfigurationError("num_reads must be >= 1 (the demand read itself)")
+
+
+def binomial_tail_ge_array(num_trials: np.ndarray, p: float, k: int) -> np.ndarray:
+    """Vectorised :func:`binomial_tail_ge` over an array of trial counts.
+
+    Element-for-element identical to the scalar function: the same
+    ``scipy.stats.binom.sf`` evaluation is applied to every entry, with the
+    same short-circuits for ``k <= 0`` and ``k > num_trials``.
+    """
+    trials = np.asarray(num_trials, dtype=np.int64)
+    if trials.size and int(trials.min()) < 0:
+        raise ConfigurationError("num_trials must be non-negative")
+    if not 0.0 <= p <= 1.0:
+        raise ConfigurationError("p must be in [0, 1]")
+    if k <= 0:
+        return np.ones(trials.shape, dtype=float)
+    tail = np.asarray(stats.binom.sf(k - 1, np.maximum(trials, k), p), dtype=float)
+    return np.where(k > trials, 0.0, tail)
+
+
+def block_failure_probabilities(
+    p_cell: float, num_ones: np.ndarray, correctable: int = 1
+) -> np.ndarray:
+    """Vectorised :func:`block_failure_probability` over an array of ones counts."""
+    ones = np.asarray(num_ones, dtype=np.int64)
+    _validate_arrays(p_cell, ones, np.ones(0, dtype=np.int64))
+    if correctable < 0:
+        raise ConfigurationError("correctable must be non-negative")
+    return binomial_tail_ge_array(ones, p_cell, correctable + 1)
+
+
+def accumulated_failure_probabilities(
+    p_cell: float, num_ones: np.ndarray, num_reads: np.ndarray, correctable: int = 1
+) -> np.ndarray:
+    """Vectorised :func:`accumulated_failure_probability` over aligned arrays.
+
+    ``num_ones`` and ``num_reads`` are broadcast against each other; each
+    output entry equals the scalar function evaluated at that entry.
+    """
+    ones = np.asarray(num_ones, dtype=np.int64)
+    reads = np.asarray(num_reads, dtype=np.int64)
+    _validate_arrays(p_cell, ones, reads)
+    if correctable < 0:
+        raise ConfigurationError("correctable must be non-negative")
+    return binomial_tail_ge_array(reads * ones, p_cell, correctable + 1)
+
+
+def reap_failure_probabilities(
+    p_cell: float, num_ones: np.ndarray, num_reads: np.ndarray, correctable: int = 1
+) -> np.ndarray:
+    """Vectorised :func:`reap_failure_probability` over aligned arrays.
+
+    The binomial tails are evaluated in one vectorised call; the final
+    ``-expm1(N * log1p(-tail))`` transform reuses the scalar ``math``
+    routines per entry so the results stay bit-identical to the scalar
+    function (the arrays here are typically small sets of unique
+    ``(ones, window)`` pairs).
+    """
+    ones = np.asarray(num_ones, dtype=np.int64)
+    reads = np.asarray(num_reads, dtype=np.int64)
+    _validate_arrays(p_cell, ones, reads)
+    if correctable < 0:
+        raise ConfigurationError("correctable must be non-negative")
+    ones, reads = np.broadcast_arrays(ones, reads)
+    single = binomial_tail_ge_array(ones, p_cell, correctable + 1)
+    out = np.empty(single.shape, dtype=float)
+    flat_single = single.ravel()
+    flat_reads = reads.ravel()
+    flat_out = out.ravel()
+    for i in range(flat_single.size):
+        tail = float(flat_single[i])
+        if tail >= 1.0:
+            flat_out[i] = 1.0
+        else:
+            flat_out[i] = -math.expm1(int(flat_reads[i]) * math.log1p(-tail))
+    return out
 
 
 def accumulation_penalty(

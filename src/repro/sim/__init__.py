@@ -3,14 +3,18 @@
 Public surface:
 
 * :func:`run_l2_trace` / :func:`run_cpu_trace` — drive a protected cache or
-  the full hierarchy with a trace.
+  the full hierarchy with a trace.  ``run_l2_trace`` accepts an ``engine``
+  argument selecting the per-record reference loop or the batched fast path
+  (:mod:`repro.sim.fastpath`); the two are numerically identical.
+* :func:`run_l2_trace_fast` / :func:`supports_fast_path` — the batched
+  engine and its capability probe.
 * :func:`compare_schemes`, :class:`ExperimentRunner`, :func:`sweep`,
   :class:`ExperimentSettings` — experiment orchestration.
 * :class:`SchemeRunResult`, :class:`WorkloadComparison`, :func:`format_table`
   — results and console tables.
 """
 
-from .engine import run_cpu_trace, run_l2_trace, simulated_time_for
+from .engine import ENGINE_CHOICES, run_cpu_trace, run_l2_trace, simulated_time_for
 from .experiment import (
     ExperimentRunner,
     ExperimentSettings,
@@ -18,12 +22,16 @@ from .experiment import (
     run_workload,
     sweep,
 )
+from .fastpath import run_l2_trace_fast, supports_fast_path
 from .results import SchemeRunResult, WorkloadComparison, format_table
 
 __all__ = [
     "run_l2_trace",
+    "run_l2_trace_fast",
+    "supports_fast_path",
     "run_cpu_trace",
     "simulated_time_for",
+    "ENGINE_CHOICES",
     "ExperimentRunner",
     "ExperimentSettings",
     "compare_schemes",

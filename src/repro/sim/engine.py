@@ -70,11 +70,16 @@ def _snapshot(
     )
 
 
+#: Engine names accepted by :func:`run_l2_trace` and the experiment layer.
+ENGINE_CHOICES = ("reference", "fast", "auto")
+
+
 def run_l2_trace(
     cache: ProtectedCache,
     trace: Trace,
     config: SimulationConfig | None = None,
     add_leakage: bool = True,
+    engine: str = "reference",
 ) -> SchemeRunResult:
     """Drive a protected L2 cache with an L2-level trace.
 
@@ -85,10 +90,26 @@ def run_l2_trace(
         config: Simulation configuration used for the time base; the default
             paper configuration is used when omitted.
         add_leakage: Whether to add leakage energy for the simulated time.
+        engine: ``"reference"`` for the per-record loop, ``"fast"`` for the
+            batched engine in :mod:`repro.sim.fastpath` (raises if the cache
+            is not fast-path capable), or ``"auto"`` to use the fast engine
+            whenever it supports the cache and fall back otherwise.  Both
+            engines produce numerically identical results.
 
     Returns:
         A :class:`SchemeRunResult` snapshot taken after the whole trace ran.
     """
+    if engine not in ENGINE_CHOICES:
+        raise SimulationError(
+            f"unknown engine {engine!r}; choose one of {ENGINE_CHOICES}"
+        )
+    if engine != "reference":
+        from .fastpath import run_l2_trace_fast, supports_fast_path
+
+        if engine == "fast" or supports_fast_path(cache)[0]:
+            return run_l2_trace_fast(
+                cache, trace, config=config, add_leakage=add_leakage
+            )
     config = config or SimulationConfig()
     for record in trace:
         if record.kind is AccessKind.L2_READ:
@@ -101,7 +122,7 @@ def run_l2_trace(
             )
     simulated_time = simulated_time_for(len(trace), config)
     if add_leakage:
-        cache._energy.add_leakage(simulated_time)  # noqa: SLF001 - deliberate hook
+        cache.add_leakage(simulated_time)
     return _snapshot(cache, trace.name, len(trace), simulated_time)
 
 

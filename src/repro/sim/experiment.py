@@ -105,6 +105,7 @@ def run_workload(
     settings: ExperimentSettings | None = None,
     trace: Trace | None = None,
     sim_config: SimulationConfig | None = None,
+    engine: str = "reference",
 ):
     """Run one (workload, scheme) pair and return (result, protected cache).
 
@@ -116,6 +117,10 @@ def run_workload(
             profile (always generate the trace once and pass it in when
             comparing schemes, so both see the identical access stream).
         sim_config: Simulation configuration for the time base.
+        engine: Simulation engine (``"reference"``, ``"fast"`` or
+            ``"auto"``); see :func:`repro.sim.run_l2_trace`.  Both engines
+            produce numerically identical results, so the choice never
+            affects experiment outcomes.
     """
     settings = settings or ExperimentSettings()
     profile = get_profile(workload) if isinstance(workload, str) else workload
@@ -132,7 +137,7 @@ def run_workload(
         seed=settings.seed,
         track_accumulation=settings.track_accumulation,
     )
-    result = run_l2_trace(cache, trace, config=sim_config)
+    result = run_l2_trace(cache, trace, config=sim_config, engine=engine)
     return result, cache
 
 
@@ -142,11 +147,14 @@ def compare_schemes(
     alternatives: Sequence[ProtectionScheme | str] = (ProtectionScheme.REAP,),
     settings: ExperimentSettings | None = None,
     sim_config: SimulationConfig | None = None,
+    engine: str = "reference",
 ) -> WorkloadComparison:
     """Run one workload through a baseline and alternative schemes.
 
     The trace is generated once and replayed identically for every scheme so
-    the comparison isolates the protection mechanism.
+    the comparison isolates the protection mechanism.  ``engine`` selects
+    the simulation engine per :func:`repro.sim.run_l2_trace`; results are
+    numerically identical either way.
     """
     settings = settings or ExperimentSettings()
     profile = get_profile(workload) if isinstance(workload, str) else workload
@@ -154,12 +162,22 @@ def compare_schemes(
         profile, settings.l2_config, settings.num_accesses, seed=settings.seed
     )
     baseline_result, _ = run_workload(
-        profile, baseline, settings=settings, trace=trace, sim_config=sim_config
+        profile,
+        baseline,
+        settings=settings,
+        trace=trace,
+        sim_config=sim_config,
+        engine=engine,
     )
     alternative_results = []
     for scheme in alternatives:
         result, _ = run_workload(
-            profile, scheme, settings=settings, trace=trace, sim_config=sim_config
+            profile,
+            scheme,
+            settings=settings,
+            trace=trace,
+            sim_config=sim_config,
+            engine=engine,
         )
         alternative_results.append(result)
     return WorkloadComparison(
@@ -178,6 +196,7 @@ class ExperimentRunner:
         settings: ExperimentSettings | None = None,
         baseline: ProtectionScheme | str = ProtectionScheme.CONVENTIONAL,
         alternatives: Sequence[ProtectionScheme | str] = (ProtectionScheme.REAP,),
+        engine: str = "reference",
     ) -> None:
         """Create a runner.
 
@@ -186,6 +205,9 @@ class ExperimentRunner:
             settings: Shared experiment settings.
             baseline: Scheme every alternative is normalised against.
             alternatives: Schemes to evaluate against the baseline.
+            engine: Simulation engine used for every run (``"reference"``,
+                ``"fast"`` or ``"auto"``); results are numerically identical
+                either way, so the engine is not part of any job identity.
         """
         self._workloads = [
             get_profile(w) if isinstance(w, str) else w for w in workloads
@@ -195,6 +217,7 @@ class ExperimentRunner:
         self._settings = settings or ExperimentSettings()
         self._baseline = baseline
         self._alternatives = tuple(alternatives)
+        self._engine = engine
 
     @property
     def workloads(self) -> list[SPECWorkloadProfile]:
@@ -245,7 +268,9 @@ class ExperimentRunner:
         job_progress = None
         if progress is not None:
             job_progress = lambda outcome: progress(outcome.job.workload)  # noqa: E731
-        result = run_campaign(spec, store=store, jobs=jobs, progress=job_progress)
+        result = run_campaign(
+            spec, store=store, jobs=jobs, progress=job_progress, engine=self._engine
+        )
         return result.comparisons
 
     def _run_direct(
@@ -259,6 +284,7 @@ class ExperimentRunner:
                 baseline=self._baseline,
                 alternatives=self._alternatives,
                 settings=replace(self._settings, seed=self._settings.seed + index),
+                engine=self._engine,
             )
             comparisons.append(comparison)
             if progress is not None:
@@ -274,6 +300,7 @@ def sweep(
     alternatives: Sequence[ProtectionScheme | str] = (ProtectionScheme.REAP,),
     jobs: int = 1,
     store=None,
+    engine: str = "reference",
 ) -> list[tuple[object, WorkloadComparison]]:
     """Sweep one parameter and compare schemes at each point.
 
@@ -293,6 +320,8 @@ def sweep(
         jobs: Worker processes to fan the points out over (default serial).
         store: Optional :class:`repro.campaign.ResultStore` (or path) used
             to cache and resume the sweep.
+        engine: Simulation engine used at every point (results are
+            numerically identical across engines).
 
     Returns:
         ``[(value, comparison), ...]`` in the order of ``parameter_values``.
@@ -311,6 +340,7 @@ def sweep(
                     baseline=baseline,
                     alternatives=alternatives,
                     settings=build_settings(value),
+                    engine=engine,
                 ),
             )
             for value in parameter_values
@@ -327,7 +357,7 @@ def sweep(
                 point=(("sweep_index", index), ("value", point_value)),
             )
         )
-    result = run_campaign(job_specs, store=store, jobs=jobs)
+    result = run_campaign(job_specs, store=store, jobs=jobs, engine=engine)
     return [
         (value, outcome.comparison)
         for value, outcome in zip(parameter_values, result.outcomes)

@@ -1,0 +1,609 @@
+"""Batched fast-path execution of L2-level traces.
+
+:func:`run_l2_trace_fast` replays an L2 trace against a protected cache and
+produces the *same* end state as the reference per-record loop in
+:mod:`repro.sim.engine` — same :class:`~repro.sim.results.SchemeRunResult`
+snapshot, same :class:`~repro.reliability.AccumulationTracker` samples, same
+cache/reliability/energy statistics, same per-block state — while running
+several times faster.  It gets there in three phases:
+
+1. **Decode** — the whole trace is pre-decoded into NumPy arrays (access
+   kind, set index, tag) with one vectorised
+   :meth:`repro.cache.AddressMapper.decompose_batch` call, and consecutive
+   accesses to the same set are grouped so per-set state is bound once per
+   run instead of once per record.
+2. **Replay** — an allocation-free loop over the grouped records updates
+   compact per-set state (plain Python lists, lazily materialised for
+   touched sets only) and defers every failure-probability evaluation by
+   recording its integer key ``(delivery kind, ones count, window)``.
+3. **Resolve** — the recorded keys are reduced to their unique values and
+   evaluated with the vectorised binomial-tail math of
+   :mod:`repro.reliability.binomial`, then scattered back and folded into
+   the reliability statistics in trace order.
+
+Numerical equivalence is by construction, not by tolerance: every floating
+point accumulator (energy components, expected failures) receives the same
+addends in the same order as the reference loop, and the vectorised
+binomial functions are element-for-element identical to the scalar ones the
+:class:`~repro.core.engine.ReliabilityEngine` memoises.  The differential
+harness in ``tests/sim/test_engine_equivalence.py`` asserts this field by
+field for every scheme.
+
+The fast path intentionally supports the configurations the paper's
+evaluation uses — the conventional, REAP, serial and restore schemes over
+an LRU-replaced cache.  :func:`supports_fast_path` reports whether a cache
+qualifies; :func:`repro.sim.run_l2_trace` with ``engine="auto"`` falls back
+to the reference loop when it does not.
+
+One deliberate behavioural difference: the reference loop validates records
+as it consumes them, so a malformed trace leaves the cache partially
+mutated; the fast path validates the whole trace during decode and raises
+*before* touching any state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cache.replacement import LRUPolicy
+from ..config import SimulationConfig
+from ..core.conventional import ConventionalCache
+from ..core.protected import ProtectedCache
+from ..core.reap import REAPCache
+from ..core.restore import RestoreCache
+from ..core.serial import SerialAccessCache
+from ..errors import SimulationError
+from ..reliability.binomial import (
+    accumulated_failure_probabilities,
+    block_failure_probabilities,
+    reap_failure_probabilities,
+)
+from ..workloads.trace import AccessKind, Trace
+from .results import SchemeRunResult
+
+#: Delivery-kind codes used by the deferred probability records.
+_CONVENTIONAL, _REAP, _SERIAL, _WRITEBACK = 0, 1, 2, 3
+
+#: Scheme classes the fast path replays (exact types: a subclass may change
+#: behaviour the batched loop does not know about).
+_SCHEME_MODES = {
+    ConventionalCache: _CONVENTIONAL,
+    REAPCache: _REAP,
+    SerialAccessCache: _SERIAL,
+    RestoreCache: _CONVENTIONAL,  # restore delivers through the Eq. (3) path
+}
+
+
+def supports_fast_path(cache: ProtectedCache) -> tuple[bool, str]:
+    """Whether the batched engine can replay traces for ``cache``.
+
+    Returns:
+        ``(supported, reason)``; ``reason`` is empty when supported and
+        names the unsupported feature otherwise.
+    """
+    if type(cache) not in _SCHEME_MODES:
+        return False, f"scheme {cache.scheme_name()!r} ({type(cache).__name__})"
+    if type(cache.cache.replacement) is not LRUPolicy:
+        return False, f"replacement policy {type(cache.cache.replacement).__name__}"
+    return True, ""
+
+
+def run_l2_trace_fast(
+    cache: ProtectedCache,
+    trace: Trace,
+    config: SimulationConfig | None = None,
+    add_leakage: bool = True,
+) -> SchemeRunResult:
+    """Batched equivalent of the reference :func:`repro.sim.run_l2_trace`.
+
+    Args:
+        cache: The protected cache to drive (mutated in place, exactly as
+            the reference loop would mutate it).
+        trace: L2-level trace (``L2_READ`` / ``L2_WRITE`` records).
+        config: Simulation configuration for the time base.
+        add_leakage: Whether to add leakage energy for the simulated time.
+
+    Returns:
+        A :class:`SchemeRunResult` snapshot taken after the whole trace ran.
+
+    Raises:
+        SimulationError: if the cache is not fast-path capable or the trace
+            contains CPU-level records (checked before any state mutation).
+    """
+    from .engine import _snapshot, simulated_time_for
+
+    supported, reason = supports_fast_path(cache)
+    if not supported:
+        raise SimulationError(f"fast path does not support {reason}")
+    config = config or SimulationConfig()
+    codes, set_indices, tags = _decode(cache, trace)
+    _replay(cache, codes, set_indices, tags)
+    simulated_time = simulated_time_for(len(trace), config)
+    if add_leakage:
+        cache.add_leakage(simulated_time)
+    return _snapshot(cache, trace.name, len(trace), simulated_time)
+
+
+def _decode(
+    cache: ProtectedCache, trace: Trace
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Pre-decode a trace into (kind code, set index, tag) arrays."""
+    records = trace.records
+    count = len(records)
+    kind_codes = {AccessKind.L2_READ: 0, AccessKind.L2_WRITE: 1}
+    codes = np.fromiter(
+        (kind_codes.get(record.kind, 2) for record in records),
+        dtype=np.int8,
+        count=count,
+    )
+    bad = np.flatnonzero(codes == 2)
+    if bad.size:
+        raise SimulationError(
+            f"run_l2_trace expects L2-level records, got {records[bad[0]].kind}"
+        )
+    addresses = np.fromiter(
+        (record.address for record in records), dtype=np.int64, count=count
+    )
+    batch = cache.cache.mapper.decompose_batch(addresses)
+    return codes, batch.indices, batch.tags
+
+
+def _replay(
+    cache: ProtectedCache,
+    codes: np.ndarray,
+    set_indices: np.ndarray,
+    tags: np.ndarray,
+) -> None:
+    """Drive the cache state through the decoded access stream."""
+    count = len(codes)
+    if count == 0:
+        return
+
+    mode = _SCHEME_MODES[type(cache)]
+    restore = type(cache) is RestoreCache
+    substrate = cache.cache
+    assoc = substrate.associativity
+    policy = substrate.replacement
+    engine = cache.engine
+    rel_stats = engine.stats
+    stats = substrate.stats
+    totals = cache.energy
+    model = cache.energy_model
+    sample = cache.data_profile.sample
+    count_writebacks = cache.count_writeback_checks
+
+    # Per-event energies, computed once; the reference accountant recomputes
+    # them per event but they are pure functions of the model, so every
+    # addend below is bit-identical to the reference sequence.
+    tag_e = model.tag_lookup_energy_pj()
+    way_e = model.way_read_energy_pj()
+    dec_e = model.ecc_decode_energy_pj()
+    mux_e = model.mux_energy_pj()
+    write_breakdown = model.write_access_energy()
+    wtag_e = write_breakdown.tag_pj
+    wdata_e = write_breakdown.data_array_pj
+    wecc_e = write_breakdown.ecc_pj
+    way_write_e = model.way_write_energy_pj()
+    enc_e = model.ecc_encode_energy_pj()
+
+    # Energy accumulators, continued from the cache's current totals.
+    e_tag = totals.tag_pj
+    e_dread = totals.data_read_pj
+    e_dwrite = totals.data_write_pj
+    e_dec = totals.ecc_decode_pj
+    e_enc = totals.ecc_encode_pj
+    e_mux = totals.mux_pj
+
+    # Tick counters (scheme-level and substrate-level both advance once per
+    # access; they are tracked separately in case the cache was pre-driven).
+    scheme_tick = cache._tick  # noqa: SLF001 - engine-internal state sync
+    substrate_tick = substrate._tick  # noqa: SLF001 - engine-internal state sync
+    lru_tick = policy._tick  # noqa: SLF001 - engine-internal state sync
+    lru_rows = policy._last_use  # noqa: SLF001 - engine-internal state sync
+
+    # Functional counters, folded into the statistics objects at the end.
+    demand_reads = demand_writes = 0
+    read_hits = read_misses = write_hits = write_misses = 0
+    fills = evictions = dirty_evictions = 0
+    data_way_reads = data_way_writes = ecc_decodes = 0
+    concealed_events = scrub_events = 0
+
+    # Deferred reliability events: one entry per expected-failure addend, in
+    # trace order.  ``conc`` is the tracker's concealed-read sample for
+    # deliveries and -1 for write-back checks (which record no sample).
+    ef_kind: list[int] = []
+    ef_ones: list[int] = []
+    ef_pwin: list[int] = []
+    ef_cwin: list[int] = []
+    ef_conc: list[int] = []
+    restore_ones: list[int] = []
+
+    # Lazily materialised per-set state: 13 parallel per-way structures plus
+    # the tag->way map, unpacked into locals once per same-set group.
+    set_states: dict[int, list] = {}
+
+    def materialise(set_index: int) -> list:
+        blocks = substrate.cache_set(set_index).blocks
+        tag_map = {}
+        nvalid = 0
+        for way, block in enumerate(blocks):
+            if block.valid:
+                tag_map[block.tag] = way
+                nvalid += 1
+        state = [
+            [b.tag for b in blocks],
+            [b.valid for b in blocks],
+            [b.dirty for b in blocks],
+            [b.ones_count for b in blocks],
+            [b.unchecked_reads for b in blocks],
+            [b.reads_since_demand for b in blocks],
+            [b.total_reads for b in blocks],
+            [b.total_concealed_reads for b in blocks],
+            [b.total_checks for b in blocks],
+            [b.fills for b in blocks],
+            [b.last_access_tick for b in blocks],
+            tag_map,
+            lru_rows[set_index].tolist(),
+            nvalid,
+        ]
+        set_states[set_index] = state
+        return state
+
+    # Group consecutive same-set accesses so the per-set state is bound once
+    # per run of records rather than once per record.
+    boundaries = np.flatnonzero(np.diff(set_indices)) + 1
+    group_starts = np.concatenate(([0], boundaries)).tolist()
+    group_ends = np.concatenate((boundaries, [count])).tolist()
+    group_sets = set_indices[np.concatenate(([0], boundaries))].tolist()
+
+    code_list = codes.tolist()
+    tag_list = tags.tolist()
+    way_range = range(assoc)
+
+    for set_index, start, end in zip(group_sets, group_starts, group_ends):
+        state = set_states.get(set_index)
+        if state is None:
+            state = materialise(set_index)
+        (
+            blk_tag,
+            blk_valid,
+            blk_dirty,
+            blk_ones,
+            blk_unchecked,
+            blk_rsd,
+            blk_reads,
+            blk_concealed,
+            blk_checks,
+            blk_fills,
+            blk_tick,
+            tag_map,
+            last_use,
+            nvalid,
+        ) = state
+
+        for i in range(start, end):
+            tag = tag_list[i]
+            fill_ones = sample()
+            scheme_tick += 1
+            substrate_tick += 1
+            hit_way = tag_map.get(tag)
+
+            if code_list[i] == 0:  # demand read
+                # -- read-path reliability events --------------------------------
+                if mode == _CONVENTIONAL and not restore:
+                    if hit_way is not None:
+                        for way in way_range:
+                            if blk_valid[way] and way != hit_way:
+                                blk_unchecked[way] += 1
+                                blk_rsd[way] += 1
+                                blk_reads[way] += 1
+                                blk_concealed[way] += 1
+                        concealed_events += nvalid - 1
+                        blk_reads[hit_way] += 1
+                        window = blk_unchecked[hit_way] + 1
+                        blk_unchecked[hit_way] = 0
+                        blk_rsd[hit_way] = 0
+                        blk_checks[hit_way] += 1
+                        blk_tick[hit_way] = scheme_tick
+                        ef_kind.append(_CONVENTIONAL)
+                        ef_ones.append(blk_ones[hit_way])
+                        ef_pwin.append(window)
+                        ef_cwin.append(window)
+                        ef_conc.append(window - 1)
+                        ways_read, decodes = nvalid, 1
+                    else:
+                        for way in way_range:
+                            if blk_valid[way]:
+                                blk_unchecked[way] += 1
+                                blk_rsd[way] += 1
+                                blk_reads[way] += 1
+                                blk_concealed[way] += 1
+                        concealed_events += nvalid
+                        ways_read, decodes = nvalid, 0
+                elif mode == _REAP:
+                    for way in way_range:
+                        if not blk_valid[way]:
+                            continue
+                        blk_reads[way] += 1
+                        blk_rsd[way] += 1
+                        blk_checks[way] += 1
+                        blk_tick[way] = scheme_tick
+                        if way == hit_way:
+                            window = blk_rsd[way]
+                            conc = blk_unchecked[way]
+                            blk_unchecked[way] = 0
+                            blk_rsd[way] = 0
+                            ef_kind.append(_REAP)
+                            ef_ones.append(blk_ones[way])
+                            ef_pwin.append(window)
+                            ef_cwin.append(window)
+                            ef_conc.append(conc)
+                        else:
+                            blk_unchecked[way] = 0
+                            scrub_events += 1
+                    ways_read = decodes = nvalid
+                elif mode == _SERIAL:
+                    if hit_way is not None:
+                        blk_reads[hit_way] += 1
+                        window = blk_unchecked[hit_way] + 1
+                        blk_unchecked[hit_way] = 0
+                        blk_rsd[hit_way] = 0
+                        blk_checks[hit_way] += 1
+                        blk_tick[hit_way] = scheme_tick
+                        ef_kind.append(_SERIAL)
+                        ef_ones.append(blk_ones[hit_way])
+                        ef_pwin.append(1)
+                        ef_cwin.append(window)
+                        ef_conc.append(window - 1)
+                        ways_read, decodes = 1, 1
+                    else:
+                        ways_read, decodes = 0, 0
+                else:  # restore: every touched way is scrubbed and rewritten
+                    for way in way_range:
+                        if not blk_valid[way] or way == hit_way:
+                            continue
+                        blk_reads[way] += 1
+                        blk_rsd[way] += 1
+                        blk_unchecked[way] = 0
+                        blk_checks[way] += 1
+                        blk_tick[way] = scheme_tick
+                        scrub_events += 1
+                        restore_ones.append(blk_ones[way])
+                        e_dwrite += way_write_e
+                        e_enc += enc_e
+                    if hit_way is not None:
+                        blk_reads[hit_way] += 1
+                        window = blk_unchecked[hit_way] + 1
+                        blk_unchecked[hit_way] = 0
+                        blk_rsd[hit_way] = 0
+                        blk_checks[hit_way] += 1
+                        blk_tick[hit_way] = scheme_tick
+                        ef_kind.append(_CONVENTIONAL)
+                        ef_ones.append(blk_ones[hit_way])
+                        ef_pwin.append(window)
+                        ef_cwin.append(window)
+                        ef_conc.append(window - 1)
+                        restore_ones.append(blk_ones[hit_way])
+                        e_dwrite += way_write_e
+                        e_enc += enc_e
+                        ways_read, decodes = nvalid, 1
+                    else:
+                        ways_read, decodes = nvalid, 0
+
+                # -- read-access energy and event statistics ---------------------
+                e_tag += tag_e
+                e_dread += ways_read * way_e
+                e_dec += decodes * dec_e
+                e_mux += mux_e
+                data_way_reads += ways_read
+                ecc_decodes += decodes
+
+                # -- functional access -------------------------------------------
+                demand_reads += 1
+                if hit_way is not None:
+                    read_hits += 1
+                    lru_tick += 1
+                    last_use[hit_way] = lru_tick
+                    continue
+                read_misses += 1
+            else:  # demand write
+                demand_writes += 1
+                if hit_way is not None:
+                    write_hits += 1
+                    blk_dirty[hit_way] = True
+                    blk_ones[hit_way] = fill_ones
+                    blk_unchecked[hit_way] = 0
+                    blk_rsd[hit_way] = 0
+                    blk_tick[hit_way] = substrate_tick
+                    data_way_writes += 1
+                    lru_tick += 1
+                    last_use[hit_way] = lru_tick
+                    e_tag += wtag_e
+                    e_dwrite += wdata_e
+                    e_enc += wecc_e
+                    continue
+                write_misses += 1
+
+            # -- shared miss path: victim selection, fill, eviction --------------
+            victim = -1
+            for way in way_range:
+                if not blk_valid[way]:
+                    victim = way
+                    break
+            if victim < 0:
+                victim = min(way_range, key=last_use.__getitem__)
+                evicted_dirty = blk_dirty[victim]
+                evicted_ones = blk_ones[victim]
+                evicted_unchecked = blk_unchecked[victim]
+                evictions += 1
+                if evicted_dirty:
+                    dirty_evictions += 1
+                del tag_map[blk_tag[victim]]
+            else:
+                evicted_dirty = False
+                blk_valid[victim] = True
+                nvalid += 1
+
+            blk_tag[victim] = tag
+            blk_ones[victim] = fill_ones
+            blk_unchecked[victim] = 0
+            blk_rsd[victim] = 0
+            blk_fills[victim] += 1
+            blk_tick[victim] = substrate_tick
+            tag_map[tag] = victim
+            fills += 1
+            data_way_writes += 1
+            lru_tick += 1
+            last_use[victim] = lru_tick
+
+            # Write-allocate: a store dirties the fresh line; a read fill
+            # does not.  Either way one write-access energy triple is
+            # charged (the fill on a read, the demand store on a write).
+            blk_dirty[victim] = code_list[i] != 0
+            e_tag += wtag_e
+            e_dwrite += wdata_e
+            e_enc += wecc_e
+
+            if evicted_dirty:
+                # Write-back read-out of the dirty victim: energy only.
+                e_tag += tag_e
+                e_dread += 1 * way_e
+                e_dec += 1 * dec_e
+                e_mux += mux_e
+                if count_writebacks and evicted_ones > 0:
+                    ef_kind.append(_WRITEBACK)
+                    ef_ones.append(evicted_ones)
+                    ef_pwin.append(evicted_unchecked + 1)
+                    ef_cwin.append(evicted_unchecked + 1)
+                    ef_conc.append(-1)
+
+        state[13] = nvalid
+
+    # -- resolve deferred probabilities and fold everything back --------------
+    probabilities = _resolve_probabilities(engine, ef_kind, ef_ones, ef_pwin)
+    rel_stats.record_check_batch(ef_cwin, probabilities)
+    rel_stats.record_concealed(concealed_events)
+    rel_stats.scrub_events += scrub_events
+    tracker = engine.tracker
+    if tracker is not None and ef_conc:
+        tracker.record_batch(
+            [conc for conc in ef_conc if conc >= 0],
+            [ones for ones, conc in zip(ef_ones, ef_conc) if conc >= 0],
+        )
+    if restore and restore_ones:
+        failure_by_ones: dict[int, float] = {}
+        write_model = cache.write_error_model
+        for ones in set(restore_ones):
+            failure_by_ones[ones] = write_model.block_write_failure_probability(ones)
+        cache.record_restore_batch([failure_by_ones[ones] for ones in restore_ones])
+
+    stats.demand_reads += demand_reads
+    stats.demand_writes += demand_writes
+    stats.read_hits += read_hits
+    stats.read_misses += read_misses
+    stats.write_hits += write_hits
+    stats.write_misses += write_misses
+    stats.fills += fills
+    stats.evictions += evictions
+    stats.dirty_evictions += dirty_evictions
+    stats.data_way_reads += data_way_reads
+    stats.data_way_writes += data_way_writes
+    stats.ecc_decodes += ecc_decodes
+    stats.tag_comparisons += count * assoc
+
+    totals.tag_pj = e_tag
+    totals.data_read_pj = e_dread
+    totals.data_write_pj = e_dwrite
+    totals.ecc_decode_pj = e_dec
+    totals.ecc_encode_pj = e_enc
+    totals.mux_pj = e_mux
+
+    for set_index, state in set_states.items():
+        blocks = substrate.cache_set(set_index).blocks
+        for way, block in enumerate(blocks):
+            block.tag = state[0][way]
+            block.valid = state[1][way]
+            block.dirty = state[2][way]
+            block.ones_count = state[3][way]
+            block.unchecked_reads = state[4][way]
+            block.reads_since_demand = state[5][way]
+            block.total_reads = state[6][way]
+            block.total_concealed_reads = state[7][way]
+            block.total_checks = state[8][way]
+            block.fills = state[9][way]
+            block.last_access_tick = state[10][way]
+        lru_rows[set_index] = state[12]
+
+    policy._tick = lru_tick  # noqa: SLF001 - engine-internal state sync
+    cache._tick = scheme_tick  # noqa: SLF001 - engine-internal state sync
+    substrate._tick = substrate_tick  # noqa: SLF001 - engine-internal state sync
+
+
+def _resolve_probabilities(
+    engine, ef_kind: list[int], ef_ones: list[int], ef_pwin: list[int]
+) -> list[float]:
+    """Evaluate the deferred failure probabilities, in trace order.
+
+    The unique ``(kind, ones, window)`` keys are evaluated once each with
+    the vectorised binomial math (falling back to the engine's memoised
+    scalar lookups for interleaved multi-lane codes, whose REAP expression
+    differs) and scattered back over the per-event records.
+    """
+    if not ef_kind:
+        return []
+    keys = np.array([ef_kind, ef_ones, ef_pwin], dtype=np.int64).T
+    unique_keys, inverse = np.unique(keys, axis=0, return_inverse=True)
+    inverse = inverse.reshape(-1)  # numpy >= 2.1 keeps the axis shape
+    kinds = unique_keys[:, 0]
+    ones = unique_keys[:, 1]
+    windows = unique_keys[:, 2]
+    p_cell = engine.p_cell
+    correctable = engine.correctable_errors
+    lanes = engine.interleaving_lanes
+    unique_probs = np.zeros(len(unique_keys), dtype=float)
+
+    nonzero = ones > 0
+    if lanes > 1:
+        lane_ones = np.maximum(1, np.round(ones / lanes)).astype(np.int64)
+    else:
+        lane_ones = ones
+
+    for kind_code in (_CONVENTIONAL, _SERIAL, _WRITEBACK):
+        mask = (kinds == kind_code) & nonzero
+        if not mask.any():
+            continue
+        if kind_code == _WRITEBACK:
+            # Write-back checks use the raw Eq. (3) tail, with no lane
+            # adjustment (mirroring ProtectedCache._handle_eviction).
+            unique_probs[mask] = accumulated_failure_probabilities(
+                p_cell, ones[mask], windows[mask], correctable
+            )
+        else:
+            if kind_code == _CONVENTIONAL:
+                per_lane = accumulated_failure_probabilities(
+                    p_cell, lane_ones[mask], windows[mask], correctable
+                )
+            else:
+                per_lane = block_failure_probabilities(
+                    p_cell, lane_ones[mask], correctable
+                )
+            unique_probs[mask] = (
+                np.minimum(1.0, lanes * per_lane) if lanes > 1 else per_lane
+            )
+
+    reap_mask = (kinds == _REAP) & nonzero
+    if reap_mask.any():
+        if lanes == 1:
+            unique_probs[reap_mask] = reap_failure_probabilities(
+                p_cell, ones[reap_mask], windows[reap_mask], correctable
+            )
+        else:
+            # The multi-lane REAP expression goes through the engine's
+            # memoised per-key scalar path; unique keys keep this cheap.
+            indices = np.flatnonzero(reap_mask)
+            for index in indices:
+                unique_probs[index] = engine.reap_probability(
+                    int(ones[index]), int(windows[index])
+                )
+
+    return unique_probs[inverse].tolist()

@@ -92,3 +92,38 @@ class TestRoundTripProperty:
         address = mapper.compose(tag, index, offset)
         decomposed = mapper.decompose(address)
         assert (decomposed.tag, decomposed.index, decomposed.offset) == (tag, index, offset)
+
+
+class TestDecomposeBatch:
+    def test_matches_scalar_decompose(self, mapper):
+        rng = __import__("random").Random(5)
+        addresses = [rng.randrange(0, 1 << 48) for _ in range(500)]
+        batch = mapper.decompose_batch(addresses)
+        assert len(batch) == 500
+        for i, address in enumerate(addresses):
+            scalar = mapper.decompose(address)
+            assert batch.tags[i] == scalar.tag
+            assert batch.indices[i] == scalar.index
+            assert batch.offsets[i] == scalar.offset
+            assert batch.block_addresses[i] == scalar.block_address
+
+    def test_empty_batch(self, mapper):
+        batch = mapper.decompose_batch([])
+        assert len(batch) == 0
+
+    def test_rejects_negative_address(self, mapper):
+        with pytest.raises(AddressError):
+            mapper.decompose_batch([0x1000, -1])
+
+    def test_rejects_oversized_address(self, mapper):
+        limit = (1 << mapper.config.address_bits) - 1
+        with pytest.raises(AddressError):
+            mapper.decompose_batch([0, limit + 1])
+        # The boundary itself is fine.
+        assert mapper.decompose_batch([limit]).tags[0] == mapper.decompose(limit).tag
+
+    def test_huge_python_int_raises_address_error(self, mapper):
+        # An address beyond int64 must fail like the scalar path, not with
+        # numpy's OverflowError.
+        with pytest.raises(AddressError):
+            mapper.decompose_batch([1 << 63])

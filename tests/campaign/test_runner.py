@@ -196,3 +196,42 @@ class TestDelegation:
             [1e-8], lambda p: fast_settings(num_accesses=600, p_cell=p), workload=custom
         )
         assert results[0][1].workload == "my-custom"
+
+
+class TestEngineSwitch:
+    def test_fast_engine_store_entries_byte_identical(self, tmp_path):
+        reference_store = ResultStore(tmp_path / "reference.jsonl")
+        fast_store = ResultStore(tmp_path / "fast.jsonl")
+        run_campaign(small_spec(), store=reference_store, engine="reference")
+        run_campaign(small_spec(), store=fast_store, engine="fast")
+        reference_lines = (tmp_path / "reference.jsonl").read_text().splitlines()
+        fast_lines = (tmp_path / "fast.jsonl").read_text().splitlines()
+        assert sorted(reference_lines) == sorted(fast_lines)
+
+    def test_fast_engine_results_match_reference(self):
+        reference = run_campaign(small_spec(), engine="reference")
+        fast = run_campaign(small_spec(), engine="fast")
+        assert reference.comparisons == fast.comparisons
+
+    def test_auto_engine_parallel_matches_serial_reference(self, tmp_path):
+        serial = run_campaign(small_spec(), engine="reference")
+        parallel = run_campaign(small_spec(), jobs=2, engine="auto")
+        assert serial.comparisons == parallel.comparisons
+
+    def test_engine_not_part_of_job_identity(self, tmp_path):
+        store = ResultStore(tmp_path / "store.jsonl")
+        first = run_campaign(small_spec(), store=store, engine="fast")
+        second = run_campaign(small_spec(), store=store, engine="reference")
+        assert first.executed == 2
+        assert second.executed == 0
+        assert second.cached == 2
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(CampaignError, match="unknown engine"):
+            CampaignRunner(small_spec(), engine="warp")
+
+    def test_experiment_runner_fast_engine_matches(self):
+        settings = fast_settings(num_accesses=600)
+        reference = ExperimentRunner(["gcc"], settings=settings).run()
+        fast = ExperimentRunner(["gcc"], settings=settings, engine="fast").run()
+        assert reference == fast

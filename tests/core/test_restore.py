@@ -88,3 +88,36 @@ class TestRestoreBehaviour:
                 cache.read(aggressor)
             cache.read(victim)
         assert restore.engine.expected_failures <= reap.engine.expected_failures * (1 + 1e-9)
+
+
+class TestRecordRestoreBatch:
+    def test_matches_sequential_accounting(self):
+        cache = build_protected_cache(
+            ProtectionScheme.RESTORE,
+            small_l2(),
+            p_cell=1e-8,
+            data_profile=DataValueProfile.constant(100),
+        )
+        probabilities = [
+            cache.write_error_model.block_write_failure_probability(ones)
+            for ones in (100, 90, 100)
+        ]
+        before_count = cache.restore_count
+        before_failures = cache.restore_expected_failures
+        cache.record_restore_batch(probabilities)
+        assert cache.restore_count == before_count + 3
+        expected = before_failures
+        for probability in probabilities:
+            expected += probability
+        assert cache.restore_expected_failures == expected
+
+    def test_empty_batch_is_a_no_op(self):
+        cache = build_protected_cache(
+            ProtectionScheme.RESTORE,
+            small_l2(),
+            p_cell=1e-8,
+            data_profile=DataValueProfile.constant(100),
+        )
+        cache.record_restore_batch([])
+        assert cache.restore_count == 0
+        assert cache.restore_expected_failures == 0.0

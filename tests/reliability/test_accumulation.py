@@ -93,3 +93,31 @@ class TestConcealedReadHistogram:
             ConcealedReadHistogram(tracker, p_cell=1e-8, num_bins=0)
         with pytest.raises(ConfigurationError):
             ConcealedReadHistogram(tracker, p_cell=1e-8).tail_dominance_ratio(1.5)
+
+
+class TestRecordBatch:
+    def test_matches_sequential_record(self):
+        events = [(0, 100), (5, 90), (0, 110), (49, 100)]
+        sequential = AccumulationTracker()
+        for concealed, ones in events:
+            sequential.record(concealed, ones)
+        batched = AccumulationTracker()
+        batched.record_batch(
+            [concealed for concealed, _ in events], [ones for _, ones in events]
+        )
+        assert batched.samples == sequential.samples
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ConfigurationError):
+            AccumulationTracker().record_batch([1, 2], [100])
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(ConfigurationError):
+            AccumulationTracker().record_batch([-1], [100])
+        with pytest.raises(ConfigurationError):
+            AccumulationTracker().record_batch([1], [-100])
+
+    def test_empty_batch_is_a_no_op(self):
+        tracker = AccumulationTracker()
+        tracker.record_batch([], [])
+        assert len(tracker) == 0

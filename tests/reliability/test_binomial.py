@@ -2,6 +2,7 @@
 
 import math
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -192,3 +193,69 @@ class TestProperties:
         assert accumulated_failure_probability(p, ones, reads + 1) >= accumulated_failure_probability(
             p, ones, reads
         )
+
+
+class TestVectorisedProbabilities:
+    """The array functions must be element-for-element identical to scalar."""
+
+    ONES = [0, 1, 2, 50, 100, 137, 512]
+    READS = [1, 1, 2, 5, 50, 101, 400]
+
+    @pytest.mark.parametrize("correctable", [0, 1, 2])
+    def test_block_failure_matches_scalar(self, correctable):
+        from repro.reliability import block_failure_probabilities
+
+        array = block_failure_probabilities(1e-8, np.array(self.ONES), correctable)
+        for value, ones in zip(array, self.ONES):
+            assert value == block_failure_probability(1e-8, ones, correctable)
+
+    @pytest.mark.parametrize("correctable", [0, 1, 2])
+    @pytest.mark.parametrize("p_cell", [1e-10, 1e-8, 1e-4, 0.2])
+    def test_accumulated_failure_matches_scalar(self, correctable, p_cell):
+        from repro.reliability import accumulated_failure_probabilities
+
+        array = accumulated_failure_probabilities(
+            p_cell, np.array(self.ONES), np.array(self.READS), correctable
+        )
+        for value, ones, reads in zip(array, self.ONES, self.READS):
+            assert value == accumulated_failure_probability(
+                p_cell, ones, reads, correctable
+            )
+
+    @pytest.mark.parametrize("correctable", [0, 1, 2])
+    @pytest.mark.parametrize("p_cell", [1e-10, 1e-8, 1e-4, 0.2])
+    def test_reap_failure_matches_scalar(self, correctable, p_cell):
+        from repro.reliability import reap_failure_probabilities
+
+        array = reap_failure_probabilities(
+            p_cell, np.array(self.ONES), np.array(self.READS), correctable
+        )
+        for value, ones, reads in zip(array, self.ONES, self.READS):
+            assert value == reap_failure_probability(p_cell, ones, reads, correctable)
+
+    def test_tail_matches_scalar_including_short_circuits(self):
+        from repro.reliability import binomial_tail_ge_array
+
+        trials = np.array([0, 1, 2, 5, 100])
+        for k in (0, 1, 2, 6):
+            array = binomial_tail_ge_array(trials, 1e-3, k)
+            for value, n in zip(array, trials):
+                assert value == binomial_tail_ge(int(n), 1e-3, k)
+
+    def test_array_validation(self):
+        from repro.reliability import (
+            accumulated_failure_probabilities,
+            binomial_tail_ge_array,
+            block_failure_probabilities,
+        )
+
+        with pytest.raises(ConfigurationError):
+            block_failure_probabilities(1.5, np.array([1]))
+        with pytest.raises(ConfigurationError):
+            block_failure_probabilities(1e-8, np.array([-1]))
+        with pytest.raises(ConfigurationError):
+            accumulated_failure_probabilities(1e-8, np.array([1]), np.array([0]))
+        with pytest.raises(ConfigurationError):
+            block_failure_probabilities(1e-8, np.array([1]), correctable=-1)
+        with pytest.raises(ConfigurationError):
+            binomial_tail_ge_array(np.array([-1]), 0.5, 1)

@@ -1,0 +1,142 @@
+"""Shared helpers and assertions for the engine-equivalence test suites.
+
+The differential-equivalence harness and the randomized property tests both
+need the same machinery: build two identically-seeded caches, run the same
+trace through the reference and fast engines, and assert that every
+observable — the :class:`~repro.sim.SchemeRunResult` snapshot, the
+accumulation-tracker samples, the cache/reliability/energy statistics, and
+the per-block state — matches field by field.  Integers must match exactly;
+floats must agree to 1e-12 relative (in practice the fast path is
+bit-identical by construction, so the tolerance is pure headroom).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.config import CacheLevelConfig, ECCConfig, ECCKind
+from repro.core import DataValueProfile, build_protected_cache
+from repro.sim import run_l2_trace
+
+#: Relative tolerance for float fields (acceptance criterion; the engines
+#: are bit-identical by construction, so this is headroom, not slack).
+FLOAT_RTOL = 1e-12
+
+#: The schemes the fast path replays, exercised by the differential harness.
+EQUIVALENCE_SCHEMES = ("conventional", "reap", "serial", "restore")
+
+
+def small_l2(**overrides) -> CacheLevelConfig:
+    """A small L2 geometry that keeps the harness quick but conflict-rich."""
+    params = dict(
+        name="L2",
+        size_bytes=64 * 1024,
+        associativity=8,
+        block_size_bytes=64,
+        technology="stt-mram",
+    )
+    params.update(overrides)
+    return CacheLevelConfig(**params)
+
+
+def interleaved_l2() -> CacheLevelConfig:
+    """A geometry using a multi-lane interleaved code (lanes > 1 math)."""
+    return small_l2(
+        ecc=ECCConfig(kind=ECCKind.INTERLEAVED_SECDED, interleaving_degree=4)
+    )
+
+
+def build_cache(
+    scheme: str,
+    config: CacheLevelConfig | None = None,
+    seed: int = 1,
+    ones_count: int | None = 100,
+    **kwargs,
+):
+    """Build a protected cache with deterministic defaults for the harness."""
+    config = config or small_l2()
+    if ones_count is not None:
+        profile = DataValueProfile.constant(
+            ones_count, block_bits=config.block_size_bits
+        )
+    else:
+        profile = DataValueProfile(block_bits=config.block_size_bits, seed=seed)
+    return build_protected_cache(
+        scheme, config, p_cell=1e-8, data_profile=profile, seed=seed, **kwargs
+    )
+
+
+def run_both_engines(scheme, trace, config=None, seed=1, ones_count=100, **kwargs):
+    """Run one trace through both engines on identically-built caches.
+
+    Returns:
+        ``(reference_result, fast_result, reference_cache, fast_cache)``.
+    """
+    reference_cache = build_cache(
+        scheme, config=config, seed=seed, ones_count=ones_count, **kwargs
+    )
+    fast_cache = build_cache(
+        scheme, config=config, seed=seed, ones_count=ones_count, **kwargs
+    )
+    reference_result = run_l2_trace(reference_cache, trace, engine="reference")
+    fast_result = run_l2_trace(fast_cache, trace, engine="fast")
+    return reference_result, fast_result, reference_cache, fast_cache
+
+
+def assert_float_close(label: str, reference: float, fast: float) -> None:
+    """Assert two floats agree to the harness tolerance."""
+    if reference == fast:
+        return
+    assert math.isclose(reference, fast, rel_tol=FLOAT_RTOL, abs_tol=0.0), (
+        f"{label}: reference={reference!r} fast={fast!r} "
+        f"(relative error {abs(reference - fast) / max(abs(reference), abs(fast)):.3e})"
+    )
+
+
+def assert_mapping_equivalent(label: str, reference: dict, fast: dict) -> None:
+    """Field-by-field comparison: exact ints, tolerance floats."""
+    assert reference.keys() == fast.keys(), f"{label}: field sets differ"
+    for key in reference:
+        ref_value, fast_value = reference[key], fast[key]
+        if isinstance(ref_value, float):
+            assert_float_close(f"{label}.{key}", ref_value, fast_value)
+        else:
+            assert ref_value == fast_value, (
+                f"{label}.{key}: reference={ref_value!r} fast={fast_value!r}"
+            )
+
+
+def assert_results_equivalent(reference, fast) -> None:
+    """Field-by-field :class:`SchemeRunResult` equivalence."""
+    assert_mapping_equivalent(
+        "SchemeRunResult",
+        dataclasses.asdict(reference),
+        dataclasses.asdict(fast),
+    )
+
+
+def assert_caches_equivalent(reference, fast) -> None:
+    """Deep post-run cache-state equivalence (beyond the result snapshot)."""
+    assert_mapping_equivalent("stats", vars(reference.stats), vars(fast.stats))
+    assert_mapping_equivalent(
+        "reliability", vars(reference.reliability), vars(fast.reliability)
+    )
+    assert_mapping_equivalent("energy", vars(reference.energy), vars(fast.energy))
+
+    ref_tracker, fast_tracker = reference.tracker, fast.tracker
+    assert (ref_tracker is None) == (fast_tracker is None), "tracker presence differs"
+    if ref_tracker is not None:
+        assert ref_tracker.samples == fast_tracker.samples, "tracker samples differ"
+
+    for set_index in range(reference.cache.num_sets):
+        ref_blocks = reference.cache.blocks_in_set(set_index)
+        fast_blocks = fast.cache.blocks_in_set(set_index)
+        for way, (ref_block, fast_block) in enumerate(zip(ref_blocks, fast_blocks)):
+            assert ref_block == fast_block, (
+                f"block state differs at set {set_index} way {way}: "
+                f"{ref_block} != {fast_block}"
+            )
+            assert ref_block.last_access_tick == fast_block.last_access_tick, (
+                f"last_access_tick differs at set {set_index} way {way}"
+            )

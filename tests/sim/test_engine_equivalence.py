@@ -1,0 +1,230 @@
+"""Differential-equivalence harness: batched fast path vs. reference loop.
+
+The fast engine in :mod:`repro.sim.fastpath` is only allowed to exist
+because it is *numerically indistinguishable* from the per-record reference
+loop.  This module is the contract: it sweeps every fast-path scheme across
+SPEC-profile and synthetic workloads and multiple seeds, and asserts
+field-by-field equality of
+
+* the :class:`~repro.sim.SchemeRunResult` snapshot (ints exact, floats to
+  1e-12 relative),
+* the :class:`~repro.reliability.AccumulationTracker` samples,
+* the cache / reliability / energy statistics, and
+* the per-block cache state (tags, dirty bits, exposure counters, ticks).
+
+Any drift between the engines — a re-ordered float addition, a missed
+counter, an off-by-one exposure window — fails here before it can bias the
+paper's figures.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sim import run_l2_trace, supports_fast_path
+from repro.workloads import AccessKind, Trace, TraceRecord, generate_l2_trace, get_profile
+
+from equivalence_utils import (
+    EQUIVALENCE_SCHEMES,
+    assert_caches_equivalent,
+    assert_results_equivalent,
+    build_cache,
+    interleaved_l2,
+    run_both_engines,
+    small_l2,
+)
+
+WORKLOADS = ("gcc", "mcf", "namd")
+SEEDS = (1, 7)
+TRACE_LENGTH = 3_000
+
+
+def profile_trace(workload: str, seed: int, config=None, length=TRACE_LENGTH) -> Trace:
+    return generate_l2_trace(
+        get_profile(workload), config or small_l2(), num_accesses=length, seed=seed
+    )
+
+
+class TestSchemeWorkloadSeedSweep:
+    """The headline sweep: schemes x workloads x seeds, fully compared."""
+
+    @pytest.mark.parametrize("scheme", EQUIVALENCE_SCHEMES)
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_engines_match(self, scheme, workload, seed):
+        trace = profile_trace(workload, seed)
+        reference, fast, ref_cache, fast_cache = run_both_engines(
+            scheme, trace, seed=seed
+        )
+        assert_results_equivalent(reference, fast)
+        assert_caches_equivalent(ref_cache, fast_cache)
+
+    @pytest.mark.parametrize("scheme", EQUIVALENCE_SCHEMES)
+    def test_restore_and_scheme_extras(self, scheme):
+        trace = profile_trace("h264ref", 3)
+        _, _, ref_cache, fast_cache = run_both_engines(scheme, trace, seed=3)
+        if scheme == "restore":
+            assert ref_cache.restore_count == fast_cache.restore_count
+            assert (
+                ref_cache.restore_expected_failures
+                == fast_cache.restore_expected_failures
+            )
+        assert ref_cache.expected_failures == pytest.approx(
+            fast_cache.expected_failures, rel=1e-12
+        )
+
+
+class TestConfigurationVariants:
+    """Non-default configurations exercise every fast-path branch."""
+
+    @pytest.mark.parametrize("scheme", EQUIVALENCE_SCHEMES)
+    def test_interleaved_multi_lane_ecc(self, scheme):
+        config = interleaved_l2()
+        trace = profile_trace("namd", 2, config=config)
+        reference, fast, ref_cache, fast_cache = run_both_engines(
+            scheme, trace, config=config, seed=2
+        )
+        assert_results_equivalent(reference, fast)
+        assert_caches_equivalent(ref_cache, fast_cache)
+
+    @pytest.mark.parametrize("scheme", EQUIVALENCE_SCHEMES)
+    def test_writeback_checks_counted(self, scheme):
+        trace = profile_trace("xalancbmk", 4)
+        reference, fast, ref_cache, fast_cache = run_both_engines(
+            scheme, trace, seed=4, count_writeback_checks=True
+        )
+        assert_results_equivalent(reference, fast)
+        assert_caches_equivalent(ref_cache, fast_cache)
+
+    def test_stochastic_data_profile(self):
+        trace = profile_trace("gcc", 5)
+        reference, fast, ref_cache, fast_cache = run_both_engines(
+            "reap", trace, seed=5, ones_count=None
+        )
+        assert_results_equivalent(reference, fast)
+        assert_caches_equivalent(ref_cache, fast_cache)
+
+    def test_tracking_disabled(self):
+        trace = profile_trace("mcf", 6)
+        reference, fast, ref_cache, fast_cache = run_both_engines(
+            "conventional", trace, seed=6, track_accumulation=False
+        )
+        assert ref_cache.tracker is None and fast_cache.tracker is None
+        assert_results_equivalent(reference, fast)
+        assert_caches_equivalent(ref_cache, fast_cache)
+
+    def test_empty_trace(self):
+        trace = Trace(name="empty")
+        reference, fast, ref_cache, fast_cache = run_both_engines("reap", trace)
+        assert_results_equivalent(reference, fast)
+        assert_caches_equivalent(ref_cache, fast_cache)
+        assert fast.num_accesses == 0
+
+    def test_sequential_runs_on_warm_cache(self):
+        """A second trace on an already-driven cache continues identically."""
+        first = profile_trace("gcc", 8, length=1_500)
+        second = profile_trace("mcf", 9, length=1_500)
+        ref_cache = build_cache("reap", seed=8)
+        fast_cache = build_cache("reap", seed=8)
+        run_l2_trace(ref_cache, first, engine="reference")
+        run_l2_trace(fast_cache, first, engine="fast")
+        reference = run_l2_trace(ref_cache, second, engine="reference")
+        fast = run_l2_trace(fast_cache, second, engine="fast")
+        assert_results_equivalent(reference, fast)
+        assert_caches_equivalent(ref_cache, fast_cache)
+
+    def test_engines_interchangeable_mid_stream(self):
+        """Fast and reference segments can be freely mixed on one cache."""
+        first = profile_trace("namd", 10, length=1_500)
+        second = profile_trace("namd", 11, length=1_500)
+        mixed_cache = build_cache("conventional", seed=10)
+        reference_cache = build_cache("conventional", seed=10)
+        run_l2_trace(mixed_cache, first, engine="fast")
+        mixed = run_l2_trace(mixed_cache, second, engine="reference")
+        run_l2_trace(reference_cache, first, engine="reference")
+        pure = run_l2_trace(reference_cache, second, engine="reference")
+        assert_results_equivalent(pure, mixed)
+        assert_caches_equivalent(reference_cache, mixed_cache)
+
+
+class TestAutoEngine:
+    """``engine="auto"`` uses the fast path when it can, falls back when not."""
+
+    def test_auto_matches_reference_for_supported_scheme(self):
+        trace = profile_trace("gcc", 1)
+        ref_cache = build_cache("reap", seed=1)
+        auto_cache = build_cache("reap", seed=1)
+        reference = run_l2_trace(ref_cache, trace, engine="reference")
+        auto = run_l2_trace(auto_cache, trace, engine="auto")
+        assert_results_equivalent(reference, auto)
+
+    def test_auto_falls_back_for_scrubbing(self):
+        trace = profile_trace("gcc", 1, length=500)
+        scrubbing = build_cache("scrubbing", seed=1)
+        assert supports_fast_path(scrubbing)[0] is False
+        result = run_l2_trace(scrubbing, trace, engine="auto")
+        assert result.scheme == "scrubbing"
+        assert result.num_accesses == 500
+
+
+class TestRandomizedTraces:
+    """Seeded property-style tests over short random traces.
+
+    Random address streams hit corner cases the structured generators do
+    not: repeated read-write interleavings of one block, immediate
+    re-eviction, full-set thrash, reads of never-written addresses.
+    """
+
+    @pytest.mark.parametrize("scheme", EQUIVALENCE_SCHEMES)
+    @pytest.mark.parametrize("seed", (11, 12, 13))
+    def test_random_trace_equivalence(self, scheme, seed):
+        rng = random.Random(seed)
+        config = small_l2()
+        # A tight footprint (few sets, few tags) maximises conflicts.
+        num_sets = config.num_sets
+        records = []
+        for _ in range(2_000):
+            kind = AccessKind.L2_WRITE if rng.random() < 0.3 else AccessKind.L2_READ
+            set_index = rng.randrange(min(num_sets, 8))
+            tag = rng.randrange(12)
+            address = (tag << (config.offset_bits + config.index_bits)) | (
+                set_index << config.offset_bits
+            )
+            records.append(TraceRecord(kind, address))
+        trace = Trace(name=f"random-{seed}", records=records)
+
+        reference, fast, ref_cache, fast_cache = run_both_engines(
+            scheme, trace, seed=seed
+        )
+        assert_results_equivalent(reference, fast)
+        assert_caches_equivalent(ref_cache, fast_cache)
+        # The satellite contract spelled out explicitly:
+        assert reference.hit_rate == fast.hit_rate
+        assert reference.checked_reads == fast.checked_reads
+        assert reference.concealed_reads == fast.concealed_reads
+        assert reference.dynamic_energy_pj == pytest.approx(
+            fast.dynamic_energy_pj, rel=1e-12
+        )
+        assert reference.leakage_energy_pj == pytest.approx(
+            fast.leakage_energy_pj, rel=1e-12
+        )
+
+    @pytest.mark.parametrize("seed", (21, 22))
+    def test_random_wide_address_space(self, seed):
+        """Sparse random addresses (mostly misses) stay equivalent too."""
+        rng = random.Random(seed)
+        records = [
+            TraceRecord(
+                AccessKind.L2_WRITE if rng.random() < 0.5 else AccessKind.L2_READ,
+                rng.randrange(1 << 32),
+            )
+            for _ in range(1_500)
+        ]
+        trace = Trace(name=f"sparse-{seed}", records=records)
+        reference, fast, ref_cache, fast_cache = run_both_engines(
+            "conventional", trace, seed=seed
+        )
+        assert_results_equivalent(reference, fast)
+        assert_caches_equivalent(ref_cache, fast_cache)

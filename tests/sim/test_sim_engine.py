@@ -40,6 +40,20 @@ class TestSimulatedTime:
         with pytest.raises(SimulationError):
             simulated_time_for(-1, SimulationConfig())
 
+    def test_zero_accesses_is_zero_time(self):
+        assert simulated_time_for(0, SimulationConfig()) == 0.0
+
+    @pytest.mark.parametrize("rate", [0.0, -0.05])
+    def test_rejects_non_positive_access_rate(self, rate):
+        with pytest.raises(SimulationError):
+            simulated_time_for(1_000, SimulationConfig(), accesses_per_cycle=rate)
+
+    def test_custom_access_rate_scales_inversely(self):
+        config = SimulationConfig()
+        assert simulated_time_for(1_000, config, accesses_per_cycle=0.1) == (
+            pytest.approx(0.5 * simulated_time_for(1_000, config, accesses_per_cycle=0.05))
+        )
+
 
 class TestRunL2Trace:
     def test_runs_generated_trace(self):
@@ -59,10 +73,41 @@ class TestRunL2Trace:
         assert with_leakage.leakage_energy_pj > 0
         assert without.leakage_energy_pj == 0
 
-    def test_rejects_cpu_level_records(self):
-        trace = Trace(name="cpu", records=[TraceRecord(AccessKind.LOAD, 0x0)])
+    @pytest.mark.parametrize("kind", [AccessKind.LOAD, AccessKind.STORE, AccessKind.IFETCH])
+    @pytest.mark.parametrize("engine", ["reference", "fast", "auto"])
+    def test_rejects_cpu_level_records(self, kind, engine):
+        trace = Trace(name="cpu", records=[TraceRecord(kind, 0x0)])
+        with pytest.raises(SimulationError, match="expects L2-level records"):
+            run_l2_trace(make_cache(), trace, engine=engine)
+
+    def test_rejects_unknown_engine(self):
+        trace = Trace(name="l2", records=[TraceRecord(AccessKind.L2_READ, 0x0)])
+        with pytest.raises(SimulationError, match="unknown engine"):
+            run_l2_trace(make_cache(), trace, engine="warp")
+
+    def test_fast_engine_rejects_unsupported_scheme(self):
+        trace = Trace(name="l2", records=[TraceRecord(AccessKind.L2_READ, 0x0)])
+        scrubbing = build_protected_cache(
+            ProtectionScheme.SCRUBBING, small_l2(), p_cell=1e-8,
+            data_profile=DataValueProfile.constant(100),
+        )
+        with pytest.raises(SimulationError, match="fast path does not support"):
+            run_l2_trace(scrubbing, trace, engine="fast")
+
+    def test_fast_engine_validates_before_mutating(self):
+        """The fast path rejects a malformed trace before touching the cache."""
+        trace = Trace(
+            name="mixed",
+            records=[
+                TraceRecord(AccessKind.L2_READ, 0x1000),
+                TraceRecord(AccessKind.LOAD, 0x2000),
+            ],
+        )
+        cache = make_cache()
         with pytest.raises(SimulationError):
-            run_l2_trace(make_cache(), trace)
+            run_l2_trace(cache, trace, engine="fast")
+        assert cache.stats.accesses == 0
+        assert cache.energy.dynamic_pj == 0.0
 
     def test_mttf_property_consistent(self):
         trace = generate_l2_trace(get_profile("gcc"), small_l2(), num_accesses=2_000, seed=1)
@@ -86,12 +131,48 @@ class TestRunCpuTrace:
         assert result.num_accesses < 5_000
         assert result.num_accesses == hierarchy.stats.l2_reads + hierarchy.stats.l2_writebacks
 
-    def test_rejects_l2_level_records(self):
-        trace = Trace(name="l2", records=[TraceRecord(AccessKind.L2_READ, 0x0)])
+    @pytest.mark.parametrize("kind", [AccessKind.L2_READ, AccessKind.L2_WRITE])
+    def test_rejects_l2_level_records(self, kind):
+        trace = Trace(name="l2", records=[TraceRecord(kind, 0x0)])
         cache = build_protected_cache(
             ProtectionScheme.CONVENTIONAL,
             SimulationConfig().hierarchy.l2,
             p_cell=1e-8,
         )
-        with pytest.raises(SimulationError):
+        with pytest.raises(SimulationError, match="expects CPU-level records"):
             run_cpu_trace(cache, trace)
+
+
+class TestAddLeakage:
+    def test_public_hook_adds_leakage_energy(self):
+        cache = make_cache()
+        assert cache.energy.leakage_pj == 0.0
+        cache.add_leakage(1e-3)
+        expected = cache.energy_model.leakage_power_mw() * 1e-3 * 1e-3 * 1e12
+        assert cache.energy.leakage_pj == pytest.approx(expected)
+        cache.add_leakage(1e-3)
+        assert cache.energy.leakage_pj == pytest.approx(2 * expected)
+
+    def test_zero_interval_is_a_no_op(self):
+        cache = make_cache()
+        cache.add_leakage(0.0)
+        assert cache.energy.leakage_pj == 0.0
+
+    def test_negative_interval_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            make_cache().add_leakage(-1.0)
+
+    def test_run_l2_trace_uses_the_hook(self):
+        trace = generate_l2_trace(get_profile("gcc"), small_l2(), num_accesses=500, seed=1)
+        config = SimulationConfig()
+        cache = make_cache()
+        result = run_l2_trace(cache, trace, config=config)
+        expected = (
+            cache.energy_model.leakage_power_mw()
+            * 1e-3
+            * simulated_time_for(500, config)
+            * 1e12
+        )
+        assert result.leakage_energy_pj == pytest.approx(expected)
