@@ -70,6 +70,7 @@ from .sim import (
     ExperimentSettings,
     compare_schemes,
     run_cpu_trace,
+    run_cpu_trace_fast,
     run_l2_trace,
     run_l2_trace_fast,
     run_workload,
@@ -125,6 +126,7 @@ __all__ = [
     "run_workload",
     "run_l2_trace",
     "run_l2_trace_fast",
+    "run_cpu_trace_fast",
     "supports_fast_path",
     "run_cpu_trace",
     # campaigns

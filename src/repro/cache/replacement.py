@@ -12,8 +12,29 @@ extra policies here serve the ablation benches:
   reference [13]: prefer evicting the block with the largest accumulated
   unchecked-read exposure, so the most error-prone data leaves the cache.
 
-All policies are driven through the same three hooks (`on_fill`, `on_access`,
-`victim`) and keep their own per-set metadata, indexed by (set index, way).
+Every policy is expressed through a *compact state* protocol that is the
+single source of truth for its behaviour:
+
+* per-set state is a small array (one row per set) exported and imported as
+  a plain list (:meth:`ReplacementPolicy.export_set_state` /
+  :meth:`ReplacementPolicy.import_set_state`);
+* policy-global scalars (the recency tick, the random generator) live in a
+  small mutable list returned by
+  :meth:`ReplacementPolicy.compact_globals`, and can be snapshotted and
+  restored with :meth:`ReplacementPolicy.export_global_state` /
+  :meth:`ReplacementPolicy.import_global_state`;
+* all transitions are the three pure-compact hooks
+  :meth:`ReplacementPolicy.compact_on_access`,
+  :meth:`ReplacementPolicy.compact_on_fill` and
+  :meth:`ReplacementPolicy.compact_victim`, which operate on (globals,
+  set state) and nothing else.
+
+The classic object hooks (`on_fill`, `on_access`, `victim`) are implemented
+*in terms of* the compact transitions by the base class, so the
+:class:`~repro.cache.cache.SetAssociativeCache` object path and the batched
+engine in :mod:`repro.sim.fastpath` (which replays the compact state
+directly) can never disagree.  A subclass that overrides the object hooks
+directly opts out of that guarantee and is rejected by the fast path.
 """
 
 from __future__ import annotations
@@ -28,13 +49,21 @@ from .block import CacheBlock
 
 
 class ReplacementPolicy(abc.ABC):
-    """Interface shared by all replacement policies."""
+    """Interface shared by all replacement policies.
+
+    Concrete policies implement the compact-state protocol (`_set_row`,
+    `compact_on_access`, `compact_on_fill`, `compact_victim`); the object
+    hooks below delegate to it.
+    """
 
     def __init__(self, num_sets: int, associativity: int) -> None:
         if num_sets <= 0 or associativity <= 0:
             raise ReplacementError("num_sets and associativity must be positive")
         self._num_sets = num_sets
         self._associativity = associativity
+        #: Live policy-global state shared by the object path and the batched
+        #: engine; mutated in place by the compact transition functions.
+        self._globals: list = []
 
     @property
     def num_sets(self) -> int:
@@ -52,17 +81,94 @@ class ReplacementPolicy(abc.ABC):
         if way is not None and not 0 <= way < self._associativity:
             raise ReplacementError(f"way {way} out of range")
 
+    # -- compact-state protocol ------------------------------------------------
+
     @abc.abstractmethod
+    def _set_row(self, set_index: int):
+        """The mutable per-set state row backing ``set_index``."""
+
+    def compact_globals(self) -> list:
+        """The live policy-global state list (mutated in place by transitions).
+
+        The batched engine passes this list to the compact transition
+        functions; because it is the policy's own backing store, no
+        write-back step is needed after a batched run.
+        """
+        return self._globals
+
+    def export_global_state(self) -> list:
+        """Snapshot the policy-global state as a plain list."""
+        return list(self._globals)
+
+    def import_global_state(self, state: list) -> None:
+        """Restore a policy-global snapshot taken by :meth:`export_global_state`."""
+        self._globals[:] = list(state)
+
+    def export_set_state(self, set_index: int) -> list:
+        """Snapshot one set's compact state as a plain list.
+
+        The returned list is detached from the policy: the batched engine
+        mutates it through the compact transitions and writes it back with
+        :meth:`import_set_state` when the run finishes.
+        """
+        self._check(set_index)
+        row = self._set_row(set_index)
+        return row.tolist() if hasattr(row, "tolist") else list(row)
+
+    def import_set_state(self, set_index: int, state: list) -> None:
+        """Write one set's compact state back into the policy's backing store."""
+        self._check(set_index)
+        row = self._set_row(set_index)
+        if len(state) != len(row):
+            raise ReplacementError(
+                f"set state length {len(state)} != expected {len(row)}"
+            )
+        row[:] = state
+
+    @abc.abstractmethod
+    def compact_on_access(self, global_state: list, set_state, way: int) -> None:
+        """Transition for a hit on ``way``, on compact state only."""
+
+    @abc.abstractmethod
+    def compact_on_fill(self, global_state: list, set_state, way: int) -> None:
+        """Transition for a fill into ``way``, on compact state only."""
+
+    @abc.abstractmethod
+    def compact_victim(self, global_state: list, set_state, unchecked_reads) -> int:
+        """Choose a victim among all-valid ways, on compact state only.
+
+        Args:
+            global_state: The policy-global state list.
+            set_state: The set's compact state row.
+            unchecked_reads: Per-way accumulated unchecked-read exposure
+                (used by exposure-aware policies such as LER).
+        """
+
+    # -- object hooks (driven by SetAssociativeCache) --------------------------
+
     def on_access(self, set_index: int, way: int) -> None:
         """A block was accessed (hit)."""
+        self._check(set_index, way)
+        self.compact_on_access(self._globals, self._set_row(set_index), way)
 
-    @abc.abstractmethod
     def on_fill(self, set_index: int, way: int) -> None:
         """A block was filled (miss handling installed a new line)."""
+        self._check(set_index, way)
+        self.compact_on_fill(self._globals, self._set_row(set_index), way)
 
-    @abc.abstractmethod
     def victim(self, set_index: int, blocks: list[CacheBlock]) -> int:
-        """Choose the way to evict; invalid ways must be preferred."""
+        """Choose the way to evict; invalid ways are preferred."""
+        self._check(set_index)
+        invalid = self._first_invalid(blocks)
+        if invalid is not None:
+            return invalid
+        return int(
+            self.compact_victim(
+                self._globals,
+                self._set_row(set_index),
+                [block.unchecked_reads for block in blocks],
+            )
+        )
 
     def _first_invalid(self, blocks: list[CacheBlock]) -> int | None:
         for way, block in enumerate(blocks):
@@ -72,89 +178,104 @@ class ReplacementPolicy(abc.ABC):
 
 
 class LRUPolicy(ReplacementPolicy):
-    """True least-recently-used replacement."""
+    """True least-recently-used replacement.
+
+    Compact state: per-set last-use timestamps; global state ``[tick]``.
+    """
 
     def __init__(self, num_sets: int, associativity: int) -> None:
         super().__init__(num_sets, associativity)
-        self._tick = 0
+        self._globals = [0]
         self._last_use = np.zeros((num_sets, associativity), dtype=np.int64)
 
-    def on_access(self, set_index: int, way: int) -> None:
+    def _set_row(self, set_index: int):
+        return self._last_use[set_index]
+
+    def compact_on_access(self, global_state: list, set_state, way: int) -> None:
         """Record a use timestamp."""
-        self._check(set_index, way)
-        self._tick += 1
-        self._last_use[set_index, way] = self._tick
+        tick = global_state[0] + 1
+        global_state[0] = tick
+        set_state[way] = tick
 
-    def on_fill(self, set_index: int, way: int) -> None:
+    def compact_on_fill(self, global_state: list, set_state, way: int) -> None:
         """A fill counts as a use."""
-        self.on_access(set_index, way)
+        self.compact_on_access(global_state, set_state, way)
 
-    def victim(self, set_index: int, blocks: list[CacheBlock]) -> int:
-        """Evict an invalid way if any, otherwise the least recently used."""
-        self._check(set_index)
-        invalid = self._first_invalid(blocks)
-        if invalid is not None:
-            return invalid
-        return int(np.argmin(self._last_use[set_index]))
+    def compact_victim(self, global_state: list, set_state, unchecked_reads) -> int:
+        """The least recently used way (first one on timestamp ties)."""
+        return min(range(len(set_state)), key=set_state.__getitem__)
 
 
 class FIFOPolicy(ReplacementPolicy):
-    """First-in-first-out replacement: evict the oldest fill."""
+    """First-in-first-out replacement: evict the oldest fill.
+
+    Compact state: per-set fill timestamps; global state ``[tick]``.
+    """
 
     def __init__(self, num_sets: int, associativity: int) -> None:
         super().__init__(num_sets, associativity)
-        self._tick = 0
+        self._globals = [0]
         self._fill_time = np.zeros((num_sets, associativity), dtype=np.int64)
 
-    def on_access(self, set_index: int, way: int) -> None:
+    def _set_row(self, set_index: int):
+        return self._fill_time[set_index]
+
+    def compact_on_access(self, global_state: list, set_state, way: int) -> None:
         """Accesses do not affect FIFO order."""
-        self._check(set_index, way)
 
-    def on_fill(self, set_index: int, way: int) -> None:
+    def compact_on_fill(self, global_state: list, set_state, way: int) -> None:
         """Record the fill timestamp."""
-        self._check(set_index, way)
-        self._tick += 1
-        self._fill_time[set_index, way] = self._tick
+        tick = global_state[0] + 1
+        global_state[0] = tick
+        set_state[way] = tick
 
-    def victim(self, set_index: int, blocks: list[CacheBlock]) -> int:
-        """Evict an invalid way if any, otherwise the oldest fill."""
-        self._check(set_index)
-        invalid = self._first_invalid(blocks)
-        if invalid is not None:
-            return invalid
-        return int(np.argmin(self._fill_time[set_index]))
+    def compact_victim(self, global_state: list, set_state, unchecked_reads) -> int:
+        """The oldest fill (first one on timestamp ties)."""
+        return min(range(len(set_state)), key=set_state.__getitem__)
 
 
 class RandomPolicy(ReplacementPolicy):
-    """Uniform random victim selection."""
+    """Uniform random victim selection.
+
+    Compact state: none per set; the global state carries the live random
+    generator (snapshotted/restored through its bit-generator state, so an
+    export → import round-trip detaches the copy from the original stream).
+    """
 
     def __init__(self, num_sets: int, associativity: int, seed: int = 1) -> None:
         super().__init__(num_sets, associativity)
-        self._rng = np.random.default_rng(seed)
+        self._globals = [np.random.default_rng(seed)]
+        self._empty_row: list = []
 
-    def on_access(self, set_index: int, way: int) -> None:
+    def _set_row(self, set_index: int):
+        return self._empty_row
+
+    def export_global_state(self) -> list:
+        """Snapshot the generator's bit-generator state (a plain dict)."""
+        return [self._globals[0].bit_generator.state]
+
+    def import_global_state(self, state: list) -> None:
+        """Restore a generator snapshot without sharing the stream."""
+        self._globals[0].bit_generator.state = state[0]
+
+    def compact_on_access(self, global_state: list, set_state, way: int) -> None:
         """Random replacement keeps no access state."""
-        self._check(set_index, way)
 
-    def on_fill(self, set_index: int, way: int) -> None:
+    def compact_on_fill(self, global_state: list, set_state, way: int) -> None:
         """Random replacement keeps no fill state."""
-        self._check(set_index, way)
 
-    def victim(self, set_index: int, blocks: list[CacheBlock]) -> int:
-        """Evict an invalid way if any, otherwise a uniformly random way."""
-        self._check(set_index)
-        invalid = self._first_invalid(blocks)
-        if invalid is not None:
-            return invalid
-        return int(self._rng.integers(0, self._associativity))
+    def compact_victim(self, global_state: list, set_state, unchecked_reads) -> int:
+        """A uniformly random way."""
+        return int(global_state[0].integers(0, len(unchecked_reads)))
 
 
 class TreePLRUPolicy(ReplacementPolicy):
     """Binary-tree pseudo-LRU (the common hardware approximation).
 
     Requires a power-of-two associativity; each set keeps ``ways - 1`` tree
-    bits.  On an access the bits along the path to the accessed way are set
-    to point *away* from it; the victim is found by following the bits.
+    bits (its compact state).  On an access the bits along the path to the
+    accessed way are set to point *away* from it; the victim is found by
+    following the bits.
     """
 
     def __init__(self, num_sets: int, associativity: int) -> None:
@@ -163,43 +284,41 @@ class TreePLRUPolicy(ReplacementPolicy):
             raise ReplacementError("tree PLRU requires a power-of-two associativity")
         self._tree = np.zeros((num_sets, max(associativity - 1, 1)), dtype=np.int8)
 
-    def _update_path(self, set_index: int, way: int) -> None:
+    def _set_row(self, set_index: int):
+        return self._tree[set_index]
+
+    def compact_on_access(self, global_state: list, set_state, way: int) -> None:
+        """Flip the tree bits along the accessed way's path."""
+        associativity = self._associativity
+        if associativity <= 1:
+            return
         node = 0
-        low, high = 0, self._associativity
+        low, high = 0, associativity
         while high - low > 1:
             mid = (low + high) // 2
             if way < mid:
-                self._tree[set_index, node] = 1  # point to the upper half
+                set_state[node] = 1  # point to the upper half
                 node = 2 * node + 1
                 high = mid
             else:
-                self._tree[set_index, node] = 0  # point to the lower half
+                set_state[node] = 0  # point to the lower half
                 node = 2 * node + 2
                 low = mid
 
-    def on_access(self, set_index: int, way: int) -> None:
-        """Flip the tree bits along the accessed way's path."""
-        self._check(set_index, way)
-        if self._associativity > 1:
-            self._update_path(set_index, way)
-
-    def on_fill(self, set_index: int, way: int) -> None:
+    def compact_on_fill(self, global_state: list, set_state, way: int) -> None:
         """A fill counts as a use."""
-        self.on_access(set_index, way)
+        self.compact_on_access(global_state, set_state, way)
 
-    def victim(self, set_index: int, blocks: list[CacheBlock]) -> int:
+    def compact_victim(self, global_state: list, set_state, unchecked_reads) -> int:
         """Follow the tree bits to the pseudo-LRU way."""
-        self._check(set_index)
-        invalid = self._first_invalid(blocks)
-        if invalid is not None:
-            return invalid
-        if self._associativity == 1:
+        associativity = self._associativity
+        if associativity == 1:
             return 0
         node = 0
-        low, high = 0, self._associativity
+        low, high = 0, associativity
         while high - low > 1:
             mid = (low + high) // 2
-            if self._tree[set_index, node]:
+            if set_state[node]:
                 # The bit points away from the lower half: victim is above.
                 node = 2 * node + 2
                 low = mid
@@ -219,30 +338,29 @@ class LERPolicy(ReplacementPolicy):
 
     def __init__(self, num_sets: int, associativity: int) -> None:
         super().__init__(num_sets, associativity)
-        self._tick = 0
+        self._globals = [0]
         self._last_use = np.zeros((num_sets, associativity), dtype=np.int64)
 
-    def on_access(self, set_index: int, way: int) -> None:
+    def _set_row(self, set_index: int):
+        return self._last_use[set_index]
+
+    def compact_on_access(self, global_state: list, set_state, way: int) -> None:
         """Record a use timestamp for tie-breaking."""
-        self._check(set_index, way)
-        self._tick += 1
-        self._last_use[set_index, way] = self._tick
+        tick = global_state[0] + 1
+        global_state[0] = tick
+        set_state[way] = tick
 
-    def on_fill(self, set_index: int, way: int) -> None:
+    def compact_on_fill(self, global_state: list, set_state, way: int) -> None:
         """A fill counts as a use."""
-        self.on_access(set_index, way)
+        self.compact_on_access(global_state, set_state, way)
 
-    def victim(self, set_index: int, blocks: list[CacheBlock]) -> int:
-        """Evict an invalid way, else the most disturbance-exposed block."""
-        self._check(set_index)
-        invalid = self._first_invalid(blocks)
-        if invalid is not None:
-            return invalid
+    def compact_victim(self, global_state: list, set_state, unchecked_reads) -> int:
+        """The most disturbance-exposed way; older last use breaks ties."""
         best_way = 0
         best_key: tuple[int, int] | None = None
-        for way, block in enumerate(blocks):
+        for way, exposure in enumerate(unchecked_reads):
             # Higher exposure first; older (smaller timestamp) breaks ties.
-            key = (block.unchecked_reads, -int(self._last_use[set_index, way]))
+            key = (exposure, -int(set_state[way]))
             if best_key is None or key > best_key:
                 best_key = key
                 best_way = way

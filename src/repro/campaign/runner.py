@@ -25,7 +25,7 @@ from .spec import CampaignSpec, JobSpec
 from .store import ResultStore, comparison_from_dict, comparison_to_dict
 
 
-def _run_comparison(job: JobSpec, engine: str = "reference") -> WorkloadComparison:
+def _run_comparison(job: JobSpec, engine: str = "auto") -> WorkloadComparison:
     return compare_schemes(
         job.workload,
         baseline=job.baseline,
@@ -45,7 +45,7 @@ def _execute_job(payload: dict[str, Any]) -> tuple[str, dict[str, Any], float]:
     """
     job = JobSpec.from_dict(payload["job"])
     start = time.perf_counter()
-    comparison = _run_comparison(job, engine=payload.get("engine", "reference"))
+    comparison = _run_comparison(job, engine=payload.get("engine", "auto"))
     elapsed = time.perf_counter() - start
     return job.key, comparison_to_dict(comparison), elapsed
 
@@ -101,7 +101,8 @@ class CampaignRunner:
             persistence and every job executes.
         jobs: Worker processes; ``1`` (the default) runs serially in-process.
         engine: Simulation engine every job runs under (``"reference"``,
-            ``"fast"`` or ``"auto"``).  Engines are numerically identical,
+            ``"fast"`` or ``"auto"``, the default).  Engines are numerically
+            identical,
             so store entries stay byte-identical across engine choices and
             the engine is deliberately *not* part of the job key.
     """
@@ -111,7 +112,7 @@ class CampaignRunner:
         spec: CampaignSpec | Sequence[JobSpec],
         store: ResultStore | None = None,
         jobs: int = 1,
-        engine: str = "reference",
+        engine: str = "auto",
     ) -> None:
         if isinstance(spec, CampaignSpec):
             self._jobs_list = spec.jobs()
@@ -234,7 +235,7 @@ def run_campaign(
     store: ResultStore | str | Path | None = None,
     jobs: int = 1,
     progress: Callable[[JobOutcome], None] | None = None,
-    engine: str = "reference",
+    engine: str = "auto",
 ) -> CampaignResult:
     """One-shot convenience wrapper around :class:`CampaignRunner`.
 

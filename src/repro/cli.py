@@ -305,9 +305,10 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["reference", "fast", "auto"],
         default="auto",
         help="simulation engine: the batched fast path ('auto', the default, "
-        "falls back to the reference loop for unsupported configurations), "
-        "'fast' (error on unsupported), or the per-record 'reference' loop; "
-        "engines are numerically identical",
+        "covers every scheme and replacement policy and warns before falling "
+        "back to the reference loop on custom caches), 'fast' (error on "
+        "unsupported), or the per-record 'reference' loop; engines are "
+        "numerically identical",
     )
     campaign.add_argument(
         "--sweep",

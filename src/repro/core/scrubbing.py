@@ -85,6 +85,34 @@ class ScrubbingCache(ProtectedCache):
         """Total patrol-scrub visits performed."""
         return self._scrubbed_lines
 
+    def export_scrub_state(self) -> tuple[float, int, int]:
+        """Snapshot the patrol state as ``(credit, cursor, scrubbed_lines)``.
+
+        Public hook for the batched engine in :mod:`repro.sim.fastpath`,
+        which advances the patrol scrubber inside its grouped replay loop
+        and hands the state back with :meth:`import_scrub_state`.
+        """
+        return self._scrub_credit, self._scrub_cursor, self._scrubbed_lines
+
+    def import_scrub_state(
+        self, credit: float, cursor: int, scrubbed_lines: int
+    ) -> None:
+        """Restore a patrol-state snapshot taken by :meth:`export_scrub_state`.
+
+        Raises:
+            ConfigurationError: if any component is out of range.
+        """
+        total_frames = self._cache.num_sets * self._cache.associativity
+        if credit < 0:
+            raise ConfigurationError("scrub credit must be non-negative")
+        if not 0 <= cursor < total_frames:
+            raise ConfigurationError(f"scrub cursor {cursor} out of range")
+        if scrubbed_lines < 0:
+            raise ConfigurationError("scrubbed_lines must be non-negative")
+        self._scrub_credit = credit
+        self._scrub_cursor = cursor
+        self._scrubbed_lines = scrubbed_lines
+
     def _deliver(self, block) -> DeliveryOutcome:
         """Deliveries pay for whatever accumulation survived between scrubs."""
         return self._engine.on_conventional_delivery(block, tick=self._tick)

@@ -3,11 +3,12 @@
 Public surface:
 
 * :func:`run_l2_trace` / :func:`run_cpu_trace` — drive a protected cache or
-  the full hierarchy with a trace.  ``run_l2_trace`` accepts an ``engine``
-  argument selecting the per-record reference loop or the batched fast path
+  the full hierarchy with a trace.  Both accept an ``engine`` argument
+  selecting the per-record reference loop or the batched fast path
   (:mod:`repro.sim.fastpath`); the two are numerically identical.
-* :func:`run_l2_trace_fast` / :func:`supports_fast_path` — the batched
-  engine and its capability probe.
+* :func:`run_l2_trace_fast` / :func:`run_cpu_trace_fast` /
+  :func:`supports_fast_path` — the batched engines and their capability
+  probe.
 * :func:`compare_schemes`, :class:`ExperimentRunner`, :func:`sweep`,
   :class:`ExperimentSettings` — experiment orchestration.
 * :class:`SchemeRunResult`, :class:`WorkloadComparison`, :func:`format_table`
@@ -22,7 +23,7 @@ from .experiment import (
     run_workload,
     sweep,
 )
-from .fastpath import run_l2_trace_fast, supports_fast_path
+from .fastpath import run_cpu_trace_fast, run_l2_trace_fast, supports_fast_path
 from .results import SchemeRunResult, WorkloadComparison, format_table
 
 __all__ = [
@@ -30,6 +31,7 @@ __all__ = [
     "run_l2_trace_fast",
     "supports_fast_path",
     "run_cpu_trace",
+    "run_cpu_trace_fast",
     "simulated_time_for",
     "ENGINE_CHOICES",
     "ExperimentRunner",

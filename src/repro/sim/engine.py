@@ -15,6 +15,8 @@ protected cache object itself remains available for deeper inspection
 
 from __future__ import annotations
 
+import warnings
+
 from ..cache import CacheHierarchy
 from ..config import SimulationConfig
 from ..core.protected import ProtectedCache
@@ -74,6 +76,24 @@ def _snapshot(
 ENGINE_CHOICES = ("reference", "fast", "auto")
 
 
+def _check_engine(engine: str) -> None:
+    if engine not in ENGINE_CHOICES:
+        raise SimulationError(
+            f"unknown engine {engine!r}; choose one of {ENGINE_CHOICES}"
+        )
+
+
+def _warn_auto_fallback(reason: str) -> None:
+    """One-line warning naming why ``engine="auto"`` took the slow loop."""
+    # stacklevel 3: warnings.warn <- this helper <- run_*_trace <- API caller.
+    warnings.warn(
+        f"engine='auto' fell back to the reference loop: "
+        f"fast path does not support {reason}",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
 def run_l2_trace(
     cache: ProtectedCache,
     trace: Trace,
@@ -99,17 +119,16 @@ def run_l2_trace(
     Returns:
         A :class:`SchemeRunResult` snapshot taken after the whole trace ran.
     """
-    if engine not in ENGINE_CHOICES:
-        raise SimulationError(
-            f"unknown engine {engine!r}; choose one of {ENGINE_CHOICES}"
-        )
+    _check_engine(engine)
     if engine != "reference":
         from .fastpath import run_l2_trace_fast, supports_fast_path
 
-        if engine == "fast" or supports_fast_path(cache)[0]:
+        supported, reason = supports_fast_path(cache)
+        if engine == "fast" or supported:
             return run_l2_trace_fast(
                 cache, trace, config=config, add_leakage=add_leakage
             )
+        _warn_auto_fallback(reason)
     config = config or SimulationConfig()
     for record in trace:
         if record.kind is AccessKind.L2_READ:
@@ -131,6 +150,8 @@ def run_cpu_trace(
     trace: Trace,
     config: SimulationConfig | None = None,
     seed: int = 1,
+    add_leakage: bool = True,
+    engine: str = "reference",
 ) -> tuple[SchemeRunResult, CacheHierarchy]:
     """Drive the full two-level hierarchy with a CPU-level trace.
 
@@ -139,11 +160,34 @@ def run_cpu_trace(
         trace: CPU-level trace (``IFETCH`` / ``LOAD`` / ``STORE`` records).
         config: Simulation configuration (hierarchy geometry and time base).
         seed: Seed for the L1 replacement policies.
+        add_leakage: Whether to add L2 leakage energy for the simulated
+            time, matching :func:`run_l2_trace` (hierarchy energy results
+            include the leakage term by default).
+        engine: ``"reference"`` for the per-record loop, ``"fast"`` for the
+            batched engine in :mod:`repro.sim.fastpath` (raises if the L2 is
+            not fast-path capable), or ``"auto"`` to use the fast engine
+            whenever it supports the L2 and fall back otherwise.  Both
+            engines produce numerically identical results, including the L1
+            contents and hierarchy statistics.
 
     Returns:
         A (result, hierarchy) pair; the hierarchy gives access to L1
         statistics and the realised L2 request counts.
     """
+    _check_engine(engine)
+    if engine != "reference":
+        from .fastpath import run_cpu_trace_fast, supports_fast_path
+
+        supported, reason = supports_fast_path(l2_cache)
+        if engine == "fast" or supported:
+            return run_cpu_trace_fast(
+                l2_cache,
+                trace,
+                config=config,
+                seed=seed,
+                add_leakage=add_leakage,
+            )
+        _warn_auto_fallback(reason)
     config = config or SimulationConfig()
     hierarchy = CacheHierarchy(config.hierarchy, l2_cache, seed=seed)
     for record in trace:
@@ -160,6 +204,8 @@ def run_cpu_trace(
     # Time base: one CPU reference per cycle is a serviceable approximation
     # for an in-order front end feeding two levels of cache.
     simulated_time = len(trace) * config.cycle_time_s
+    if add_leakage:
+        l2_cache.add_leakage(simulated_time)
     l2_accesses = hierarchy.stats.l2_reads + hierarchy.stats.l2_writebacks
     result = _snapshot(l2_cache, trace.name, l2_accesses, simulated_time)
     return result, hierarchy

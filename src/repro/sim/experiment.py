@@ -105,7 +105,7 @@ def run_workload(
     settings: ExperimentSettings | None = None,
     trace: Trace | None = None,
     sim_config: SimulationConfig | None = None,
-    engine: str = "reference",
+    engine: str = "auto",
 ):
     """Run one (workload, scheme) pair and return (result, protected cache).
 
@@ -118,9 +118,10 @@ def run_workload(
             comparing schemes, so both see the identical access stream).
         sim_config: Simulation configuration for the time base.
         engine: Simulation engine (``"reference"``, ``"fast"`` or
-            ``"auto"``); see :func:`repro.sim.run_l2_trace`.  Both engines
-            produce numerically identical results, so the choice never
-            affects experiment outcomes.
+            ``"auto"``, the default); see :func:`repro.sim.run_l2_trace`.
+            Both engines produce numerically identical results, so the
+            choice never affects experiment outcomes; ``"auto"`` warns and
+            falls back to the reference loop for unsupported caches.
     """
     settings = settings or ExperimentSettings()
     profile = get_profile(workload) if isinstance(workload, str) else workload
@@ -147,7 +148,7 @@ def compare_schemes(
     alternatives: Sequence[ProtectionScheme | str] = (ProtectionScheme.REAP,),
     settings: ExperimentSettings | None = None,
     sim_config: SimulationConfig | None = None,
-    engine: str = "reference",
+    engine: str = "auto",
 ) -> WorkloadComparison:
     """Run one workload through a baseline and alternative schemes.
 
@@ -196,7 +197,7 @@ class ExperimentRunner:
         settings: ExperimentSettings | None = None,
         baseline: ProtectionScheme | str = ProtectionScheme.CONVENTIONAL,
         alternatives: Sequence[ProtectionScheme | str] = (ProtectionScheme.REAP,),
-        engine: str = "reference",
+        engine: str = "auto",
     ) -> None:
         """Create a runner.
 
@@ -206,8 +207,9 @@ class ExperimentRunner:
             baseline: Scheme every alternative is normalised against.
             alternatives: Schemes to evaluate against the baseline.
             engine: Simulation engine used for every run (``"reference"``,
-                ``"fast"`` or ``"auto"``); results are numerically identical
-                either way, so the engine is not part of any job identity.
+                ``"fast"`` or ``"auto"``, the default); results are
+                numerically identical either way, so the engine is not part
+                of any job identity.
         """
         self._workloads = [
             get_profile(w) if isinstance(w, str) else w for w in workloads
@@ -300,7 +302,7 @@ def sweep(
     alternatives: Sequence[ProtectionScheme | str] = (ProtectionScheme.REAP,),
     jobs: int = 1,
     store=None,
-    engine: str = "reference",
+    engine: str = "auto",
 ) -> list[tuple[object, WorkloadComparison]]:
     """Sweep one parameter and compare schemes at each point.
 
@@ -320,8 +322,8 @@ def sweep(
         jobs: Worker processes to fan the points out over (default serial).
         store: Optional :class:`repro.campaign.ResultStore` (or path) used
             to cache and resume the sweep.
-        engine: Simulation engine used at every point (results are
-            numerically identical across engines).
+        engine: Simulation engine used at every point (default ``"auto"``;
+            results are numerically identical across engines).
 
     Returns:
         ``[(value, comparison), ...]`` in the order of ``parameter_values``.

@@ -1,11 +1,11 @@
-"""Batched fast-path execution of L2-level traces.
+"""Batched fast-path execution of L2-level and CPU-level traces.
 
 :func:`run_l2_trace_fast` replays an L2 trace against a protected cache and
 produces the *same* end state as the reference per-record loop in
 :mod:`repro.sim.engine` — same :class:`~repro.sim.results.SchemeRunResult`
 snapshot, same :class:`~repro.reliability.AccumulationTracker` samples, same
-cache/reliability/energy statistics, same per-block state — while running
-several times faster.  It gets there in three phases:
+cache/reliability/energy statistics, same per-block and per-set policy state
+— while running several times faster.  It gets there in three phases:
 
 1. **Decode** — the whole trace is pre-decoded into NumPy arrays (access
    kind, set index, tag) with one vectorised
@@ -16,10 +16,23 @@ several times faster.  It gets there in three phases:
    compact per-set state (plain Python lists, lazily materialised for
    touched sets only) and defers every failure-probability evaluation by
    recording its integer key ``(delivery kind, ones count, window)``.
+   Replacement decisions go through the policy's *compact-state protocol*
+   (:meth:`~repro.cache.replacement.ReplacementPolicy.compact_on_access` /
+   ``compact_on_fill`` / ``compact_victim`` over exported per-set rows) —
+   the same transition functions the object path delegates to, so there is
+   no second implementation of any policy here.
 3. **Resolve** — the recorded keys are reduced to their unique values and
    evaluated with the vectorised binomial-tail math of
    :mod:`repro.reliability.binomial`, then scattered back and folded into
    the reliability statistics in trace order.
+
+:func:`run_cpu_trace_fast` extends the same treatment to the full two-level
+hierarchy: the CPU stream is pre-decoded once, filtered through compact
+L1I/L1D models (the same :class:`~repro.cache.SetAssociativeCache` state and
+replacement transitions, minus the reliability machinery the SRAM L1s do
+not have), and the realised L2 read/write-back stream is handed to the L2
+replay above.  The returned :class:`~repro.cache.CacheHierarchy` carries the
+same L1 contents and statistics as the reference loop.
 
 Numerical equivalence is by construction, not by tolerance: every floating
 point accumulator (energy components, expected failures) receives the same
@@ -27,13 +40,17 @@ addends in the same order as the reference loop, and the vectorised
 binomial functions are element-for-element identical to the scalar ones the
 :class:`~repro.core.engine.ReliabilityEngine` memoises.  The differential
 harness in ``tests/sim/test_engine_equivalence.py`` asserts this field by
-field for every scheme.
+field for every scheme x replacement policy x trace level.
 
-The fast path intentionally supports the configurations the paper's
-evaluation uses — the conventional, REAP, serial and restore schemes over
-an LRU-replaced cache.  :func:`supports_fast_path` reports whether a cache
-qualifies; :func:`repro.sim.run_l2_trace` with ``engine="auto"`` falls back
-to the reference loop when it does not.
+The fast path supports every protection scheme (conventional, REAP, serial,
+restore, and the patrol-scrubbing baseline, whose deterministic line cursor
+is advanced inside the grouped loop) over every built-in replacement policy.
+:func:`supports_fast_path` reports whether a cache qualifies — the remaining
+exclusions are custom :class:`~repro.core.ProtectedCache` subclasses and
+replacement policies that override the object hooks instead of the
+compact-state transitions; :func:`repro.sim.run_l2_trace` with
+``engine="auto"`` falls back to the reference loop (with a one-line warning)
+when they appear.
 
 One deliberate behavioural difference: the reference loop validates records
 as it consumes them, so a malformed trace leaves the cache partially
@@ -45,12 +62,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..cache.replacement import LRUPolicy
+from ..cache import CacheHierarchy
+from ..cache.cache import SetAssociativeCache
+from ..cache.replacement import ReplacementPolicy
 from ..config import SimulationConfig
 from ..core.conventional import ConventionalCache
 from ..core.protected import ProtectedCache
 from ..core.reap import REAPCache
 from ..core.restore import RestoreCache
+from ..core.scrubbing import ScrubbingCache
 from ..core.serial import SerialAccessCache
 from ..errors import SimulationError
 from ..reliability.binomial import (
@@ -71,7 +91,25 @@ _SCHEME_MODES = {
     REAPCache: _REAP,
     SerialAccessCache: _SERIAL,
     RestoreCache: _CONVENTIONAL,  # restore delivers through the Eq. (3) path
+    ScrubbingCache: _CONVENTIONAL,  # scrubbing adds a patrol pass per access
 }
+
+#: Replacement-policy object hooks that must route through the compact-state
+#: transitions for the fast path to be equivalent by construction.
+_POLICY_HOOKS = ("on_access", "on_fill", "victim")
+
+
+def _policy_reason(policy) -> str:
+    """Why a replacement policy is not fast-path capable ('' if it is)."""
+    if not isinstance(policy, ReplacementPolicy):
+        return f"replacement policy {type(policy).__name__}"
+    for hook in _POLICY_HOOKS:
+        if getattr(type(policy), hook) is not getattr(ReplacementPolicy, hook):
+            return (
+                f"replacement policy {type(policy).__name__} (overrides "
+                f"{hook}() instead of the compact-state transitions)"
+            )
+    return ""
 
 
 def supports_fast_path(cache: ProtectedCache) -> tuple[bool, str]:
@@ -83,8 +121,9 @@ def supports_fast_path(cache: ProtectedCache) -> tuple[bool, str]:
     """
     if type(cache) not in _SCHEME_MODES:
         return False, f"scheme {cache.scheme_name()!r} ({type(cache).__name__})"
-    if type(cache.cache.replacement) is not LRUPolicy:
-        return False, f"replacement policy {type(cache.cache.replacement).__name__}"
+    reason = _policy_reason(cache.cache.replacement)
+    if reason:
+        return False, reason
     return True, ""
 
 
@@ -124,6 +163,59 @@ def run_l2_trace_fast(
     return _snapshot(cache, trace.name, len(trace), simulated_time)
 
 
+def run_cpu_trace_fast(
+    l2_cache: ProtectedCache,
+    trace: Trace,
+    config: SimulationConfig | None = None,
+    seed: int = 1,
+    add_leakage: bool = True,
+) -> tuple[SchemeRunResult, CacheHierarchy]:
+    """Batched equivalent of the reference :func:`repro.sim.run_cpu_trace`.
+
+    The CPU stream is pre-decoded once, filtered through compact L1I/L1D
+    replays, and the realised L2 read/write-back stream is replayed with the
+    same grouped engine :func:`run_l2_trace_fast` uses.  The returned
+    hierarchy holds L1 caches whose contents, statistics and replacement
+    state match the reference loop's field for field.
+
+    Args:
+        l2_cache: The protected L2 placed under the L1s (mutated in place).
+        trace: CPU-level trace (``IFETCH`` / ``LOAD`` / ``STORE`` records).
+        config: Simulation configuration (hierarchy geometry and time base).
+        seed: Seed for the L1 replacement policies.
+        add_leakage: Whether to add L2 leakage energy for the simulated time.
+
+    Returns:
+        A (result, hierarchy) pair, as from :func:`repro.sim.run_cpu_trace`.
+
+    Raises:
+        SimulationError: if the L2 is not fast-path capable or the trace
+            contains L2-level records (checked before any state mutation).
+    """
+    from .engine import _snapshot
+
+    supported, reason = supports_fast_path(l2_cache)
+    if not supported:
+        raise SimulationError(f"fast path does not support {reason}")
+    config = config or SimulationConfig()
+    hierarchy = CacheHierarchy(config.hierarchy, l2_cache, seed=seed)
+    l2_codes, l2_addresses = _filter_through_l1(hierarchy, trace)
+
+    l2_count = len(l2_codes)
+    codes = np.fromiter(l2_codes, dtype=np.int8, count=l2_count)
+    addresses = np.fromiter(l2_addresses, dtype=np.int64, count=l2_count)
+    batch = l2_cache.cache.mapper.decompose_batch(addresses)
+    _replay(l2_cache, codes, batch.indices, batch.tags)
+
+    # Time base: one CPU reference per cycle, as in the reference loop.
+    simulated_time = len(trace) * config.cycle_time_s
+    if add_leakage:
+        l2_cache.add_leakage(simulated_time)
+    l2_accesses = hierarchy.stats.l2_reads + hierarchy.stats.l2_writebacks
+    result = _snapshot(l2_cache, trace.name, l2_accesses, simulated_time)
+    return result, hierarchy
+
+
 def _decode(
     cache: ProtectedCache, trace: Trace
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -148,6 +240,254 @@ def _decode(
     return codes, batch.indices, batch.tags
 
 
+class _L1Replay:
+    """Compact-state replay of one functional (SRAM) L1 cache.
+
+    Mirrors :meth:`repro.cache.SetAssociativeCache.access` exactly for the
+    hierarchy's usage (``fill_ones_count=0``): same statistics counters,
+    same block fields, same replacement transitions — via the policy's
+    compact-state protocol, so any built-in policy is supported.
+    """
+
+    __slots__ = (
+        "cache",
+        "assoc",
+        "policy",
+        "pol_globals",
+        "pol_access",
+        "pol_fill",
+        "pol_victim",
+        "states",
+        "zeros",
+        "tick",
+        "demand_reads",
+        "demand_writes",
+        "read_hits",
+        "read_misses",
+        "write_hits",
+        "write_misses",
+        "fills",
+        "evictions",
+        "dirty_evictions",
+        "data_way_writes",
+        "accesses",
+    )
+
+    def __init__(self, cache: SetAssociativeCache) -> None:
+        self.cache = cache
+        self.assoc = cache.associativity
+        self.policy = cache.replacement
+        self.pol_globals = self.policy.compact_globals()
+        self.pol_access = self.policy.compact_on_access
+        self.pol_fill = self.policy.compact_on_fill
+        self.pol_victim = self.policy.compact_victim
+        self.states: dict[int, list] = {}
+        # The L1s never record reads on their blocks, so the per-way
+        # unchecked-read exposure seen by victim selection is always zero.
+        self.zeros = [0] * self.assoc
+        self.tick = cache._tick  # noqa: SLF001 - engine-internal state sync
+        self.demand_reads = self.demand_writes = 0
+        self.read_hits = self.read_misses = 0
+        self.write_hits = self.write_misses = 0
+        self.fills = self.evictions = self.dirty_evictions = 0
+        self.data_way_writes = 0
+        self.accesses = 0
+
+    def _materialise(self, set_index: int) -> list:
+        blocks = self.cache.cache_set(set_index).blocks
+        tag_map = {}
+        for way, block in enumerate(blocks):
+            if block.valid:
+                tag_map[block.tag] = way
+        state = [
+            [b.tag for b in blocks],
+            [b.valid for b in blocks],
+            [b.dirty for b in blocks],
+            [b.fills for b in blocks],
+            [b.last_access_tick for b in blocks],
+            tag_map,
+            self.policy.export_set_state(set_index),
+        ]
+        self.states[set_index] = state
+        return state
+
+    def access(self, set_index: int, tag: int, is_write: bool) -> int | None:
+        """One demand access; ``None`` on a hit, else the dirty-victim tag
+        (or ``-1`` when the miss evicted nothing dirty)."""
+        state = self.states.get(set_index)
+        if state is None:
+            state = self._materialise(set_index)
+        blk_tag, blk_valid, blk_dirty, blk_fills, blk_tick, tag_map, pstate = state
+        self.tick += 1
+        tick = self.tick
+        self.accesses += 1
+        if is_write:
+            self.demand_writes += 1
+        else:
+            self.demand_reads += 1
+        hit_way = tag_map.get(tag)
+        if hit_way is not None:
+            if is_write:
+                self.write_hits += 1
+                blk_dirty[hit_way] = True
+                blk_tick[hit_way] = tick
+                self.data_way_writes += 1
+            else:
+                self.read_hits += 1
+            self.pol_access(self.pol_globals, pstate, hit_way)
+            return None
+
+        if is_write:
+            self.write_misses += 1
+        else:
+            self.read_misses += 1
+        victim = -1
+        for way in range(self.assoc):
+            if not blk_valid[way]:
+                victim = way
+                break
+        evicted_dirty_tag = -1
+        if victim < 0:
+            victim = self.pol_victim(self.pol_globals, pstate, self.zeros)
+            self.evictions += 1
+            if blk_dirty[victim]:
+                self.dirty_evictions += 1
+                evicted_dirty_tag = blk_tag[victim]
+            del tag_map[blk_tag[victim]]
+        else:
+            blk_valid[victim] = True
+
+        blk_tag[victim] = tag
+        blk_fills[victim] += 1
+        blk_tick[victim] = tick
+        tag_map[tag] = victim
+        self.fills += 1
+        self.data_way_writes += 1
+        # Write-allocate: the incoming store dirties the freshly filled line.
+        blk_dirty[victim] = is_write
+        self.pol_fill(self.pol_globals, pstate, victim)
+        return evicted_dirty_tag
+
+    def finalize(self) -> None:
+        """Fold counters and state back into the substrate cache."""
+        stats = self.cache.stats
+        stats.demand_reads += self.demand_reads
+        stats.demand_writes += self.demand_writes
+        stats.read_hits += self.read_hits
+        stats.read_misses += self.read_misses
+        stats.write_hits += self.write_hits
+        stats.write_misses += self.write_misses
+        stats.fills += self.fills
+        stats.evictions += self.evictions
+        stats.dirty_evictions += self.dirty_evictions
+        stats.data_way_writes += self.data_way_writes
+        stats.tag_comparisons += self.accesses * self.assoc
+        for set_index, state in self.states.items():
+            blocks = self.cache.cache_set(set_index).blocks
+            for way, block in enumerate(blocks):
+                block.tag = state[0][way]
+                block.valid = state[1][way]
+                block.dirty = state[2][way]
+                block.fills = state[3][way]
+                block.last_access_tick = state[4][way]
+            self.policy.import_set_state(set_index, state[6])
+        self.cache._tick = self.tick  # noqa: SLF001 - engine-internal state sync
+
+
+def _filter_through_l1(
+    hierarchy: CacheHierarchy, trace: Trace
+) -> tuple[list[int], list[int]]:
+    """Run the CPU stream through compact L1 models; return the L2 stream.
+
+    Returns:
+        ``(l2_codes, l2_addresses)`` where code 0 is a demand read and 1 a
+        write-back, in the exact order the reference hierarchy would issue
+        them to the L2.
+    """
+    records = trace.records
+    count = len(records)
+    kind_codes = {AccessKind.IFETCH: 0, AccessKind.LOAD: 1, AccessKind.STORE: 2}
+    codes = np.fromiter(
+        (kind_codes.get(record.kind, 3) for record in records),
+        dtype=np.int8,
+        count=count,
+    )
+    bad = np.flatnonzero(codes == 3)
+    if bad.size:
+        raise SimulationError(
+            f"run_cpu_trace expects CPU-level records, got {records[bad[0]].kind}"
+        )
+    addresses = np.fromiter(
+        (record.address for record in records), dtype=np.int64, count=count
+    )
+    l1i, l1d = hierarchy.l1i, hierarchy.l1d
+    is_ifetch = codes == 0
+    i_batch = l1i.mapper.decompose_batch(addresses[is_ifetch])
+    d_batch = l1d.mapper.decompose_batch(addresses[~is_ifetch])
+    set_indices = np.empty(count, dtype=np.int64)
+    tags = np.empty(count, dtype=np.int64)
+    set_indices[is_ifetch] = i_batch.indices
+    set_indices[~is_ifetch] = d_batch.indices
+    tags[is_ifetch] = i_batch.tags
+    tags[~is_ifetch] = d_batch.tags
+
+    i_replay = _L1Replay(l1i)
+    d_replay = _L1Replay(l1d)
+    i_access = i_replay.access
+    d_access = d_replay.access
+    d_config = l1d.config
+    d_offset_bits = d_config.offset_bits
+    d_tag_shift = d_offset_bits + d_config.index_bits
+
+    code_list = codes.tolist()
+    set_list = set_indices.tolist()
+    tag_list = tags.tolist()
+    address_list = addresses.tolist()
+
+    instruction_fetches = data_reads = data_writes = 0
+    l2_reads = l2_writebacks = 0
+    l2_codes: list[int] = []
+    l2_addresses: list[int] = []
+
+    for i in range(count):
+        code = code_list[i]
+        if code == 0:
+            instruction_fetches += 1
+            if i_access(set_list[i], tag_list[i], False) is not None:
+                # L1I victims are never dirty; nothing to write back.
+                l2_reads += 1
+                l2_codes.append(0)
+                l2_addresses.append(address_list[i])
+            continue
+        if code == 1:
+            data_reads += 1
+            writeback = d_access(set_list[i], tag_list[i], False)
+        else:
+            data_writes += 1
+            # Fetch-on-write: the block is read from the L2 before the store.
+            writeback = d_access(set_list[i], tag_list[i], True)
+        if writeback is not None:
+            l2_reads += 1
+            l2_codes.append(0)
+            l2_addresses.append(address_list[i])
+            if writeback >= 0:
+                l2_writebacks += 1
+                l2_codes.append(1)
+                l2_addresses.append(
+                    (writeback << d_tag_shift) | (set_list[i] << d_offset_bits)
+                )
+
+    i_replay.finalize()
+    d_replay.finalize()
+    stats = hierarchy.stats
+    stats.instruction_fetches += instruction_fetches
+    stats.data_reads += data_reads
+    stats.data_writes += data_writes
+    stats.l2_reads += l2_reads
+    stats.l2_writebacks += l2_writebacks
+    return l2_codes, l2_addresses
+
+
 def _replay(
     cache: ProtectedCache,
     codes: np.ndarray,
@@ -161,6 +501,7 @@ def _replay(
 
     mode = _SCHEME_MODES[type(cache)]
     restore = type(cache) is RestoreCache
+    scrubbing = type(cache) is ScrubbingCache
     substrate = cache.cache
     assoc = substrate.associativity
     policy = substrate.replacement
@@ -198,8 +539,21 @@ def _replay(
     # access; they are tracked separately in case the cache was pre-driven).
     scheme_tick = cache._tick  # noqa: SLF001 - engine-internal state sync
     substrate_tick = substrate._tick  # noqa: SLF001 - engine-internal state sync
-    lru_tick = policy._tick  # noqa: SLF001 - engine-internal state sync
-    lru_rows = policy._last_use  # noqa: SLF001 - engine-internal state sync
+
+    # Replacement transitions: the policy's compact-state protocol, bound to
+    # locals.  The globals list is the policy's own live store, so no
+    # write-back is needed for it; per-set rows are exported on materialise
+    # and imported at the end.
+    pol_globals = policy.compact_globals()
+    pol_access = policy.compact_on_access
+    pol_fill = policy.compact_on_fill
+    pol_victim = policy.compact_victim
+
+    # Patrol-scrubber state (scrubbing scheme only).
+    if scrubbing:
+        scrub_rate = cache.scrub_rate
+        scrub_credit, scrub_cursor, scrubbed_lines = cache.export_scrub_state()
+        total_frames = substrate.num_sets * assoc
 
     # Functional counters, folded into the statistics objects at the end.
     demand_reads = demand_writes = 0
@@ -243,7 +597,7 @@ def _replay(
             [b.fills for b in blocks],
             [b.last_access_tick for b in blocks],
             tag_map,
-            lru_rows[set_index].tolist(),
+            policy.export_set_state(set_index),
             nvalid,
         ]
         set_states[set_index] = state
@@ -277,7 +631,7 @@ def _replay(
             blk_fills,
             blk_tick,
             tag_map,
-            last_use,
+            pol_state,
             nvalid,
         ) = state
 
@@ -287,6 +641,7 @@ def _replay(
             scheme_tick += 1
             substrate_tick += 1
             hit_way = tag_map.get(tag)
+            miss = True
 
             if code_list[i] == 0:  # demand read
                 # -- read-path reliability events --------------------------------
@@ -402,10 +757,10 @@ def _replay(
                 demand_reads += 1
                 if hit_way is not None:
                     read_hits += 1
-                    lru_tick += 1
-                    last_use[hit_way] = lru_tick
-                    continue
-                read_misses += 1
+                    pol_access(pol_globals, pol_state, hit_way)
+                    miss = False
+                else:
+                    read_misses += 1
             else:  # demand write
                 demand_writes += 1
                 if hit_way is not None:
@@ -416,66 +771,104 @@ def _replay(
                     blk_rsd[hit_way] = 0
                     blk_tick[hit_way] = substrate_tick
                     data_way_writes += 1
-                    lru_tick += 1
-                    last_use[hit_way] = lru_tick
+                    pol_access(pol_globals, pol_state, hit_way)
                     e_tag += wtag_e
                     e_dwrite += wdata_e
                     e_enc += wecc_e
-                    continue
-                write_misses += 1
+                    miss = False
+                else:
+                    write_misses += 1
 
-            # -- shared miss path: victim selection, fill, eviction --------------
-            victim = -1
-            for way in way_range:
-                if not blk_valid[way]:
-                    victim = way
-                    break
-            if victim < 0:
-                victim = min(way_range, key=last_use.__getitem__)
-                evicted_dirty = blk_dirty[victim]
-                evicted_ones = blk_ones[victim]
-                evicted_unchecked = blk_unchecked[victim]
-                evictions += 1
+            if miss:
+                # -- shared miss path: victim selection, fill, eviction ----------
+                victim = -1
+                for way in way_range:
+                    if not blk_valid[way]:
+                        victim = way
+                        break
+                if victim < 0:
+                    victim = pol_victim(pol_globals, pol_state, blk_unchecked)
+                    evicted_dirty = blk_dirty[victim]
+                    evicted_ones = blk_ones[victim]
+                    evicted_unchecked = blk_unchecked[victim]
+                    evictions += 1
+                    if evicted_dirty:
+                        dirty_evictions += 1
+                    del tag_map[blk_tag[victim]]
+                else:
+                    evicted_dirty = False
+                    blk_valid[victim] = True
+                    nvalid += 1
+
+                blk_tag[victim] = tag
+                blk_ones[victim] = fill_ones
+                blk_unchecked[victim] = 0
+                blk_rsd[victim] = 0
+                blk_fills[victim] += 1
+                blk_tick[victim] = substrate_tick
+                tag_map[tag] = victim
+                fills += 1
+                data_way_writes += 1
+                pol_fill(pol_globals, pol_state, victim)
+
+                # Write-allocate: a store dirties the fresh line; a read fill
+                # does not.  Either way one write-access energy triple is
+                # charged (the fill on a read, the demand store on a write).
+                blk_dirty[victim] = code_list[i] != 0
+                e_tag += wtag_e
+                e_dwrite += wdata_e
+                e_enc += wecc_e
+
                 if evicted_dirty:
-                    dirty_evictions += 1
-                del tag_map[blk_tag[victim]]
-            else:
-                evicted_dirty = False
-                blk_valid[victim] = True
-                nvalid += 1
+                    # Write-back read-out of the dirty victim: energy only.
+                    e_tag += tag_e
+                    e_dread += 1 * way_e
+                    e_dec += 1 * dec_e
+                    e_mux += mux_e
+                    if count_writebacks and evicted_ones > 0:
+                        ef_kind.append(_WRITEBACK)
+                        ef_ones.append(evicted_ones)
+                        ef_pwin.append(evicted_unchecked + 1)
+                        ef_cwin.append(evicted_unchecked + 1)
+                        ef_conc.append(-1)
 
-            blk_tag[victim] = tag
-            blk_ones[victim] = fill_ones
-            blk_unchecked[victim] = 0
-            blk_rsd[victim] = 0
-            blk_fills[victim] += 1
-            blk_tick[victim] = substrate_tick
-            tag_map[tag] = victim
-            fills += 1
-            data_way_writes += 1
-            lru_tick += 1
-            last_use[victim] = lru_tick
-
-            # Write-allocate: a store dirties the fresh line; a read fill
-            # does not.  Either way one write-access energy triple is
-            # charged (the fill on a read, the demand store on a write).
-            blk_dirty[victim] = code_list[i] != 0
-            e_tag += wtag_e
-            e_dwrite += wdata_e
-            e_enc += wecc_e
-
-            if evicted_dirty:
-                # Write-back read-out of the dirty victim: energy only.
-                e_tag += tag_e
-                e_dread += 1 * way_e
-                e_dec += 1 * dec_e
-                e_mux += mux_e
-                if count_writebacks and evicted_ones > 0:
-                    ef_kind.append(_WRITEBACK)
-                    ef_ones.append(evicted_ones)
-                    ef_pwin.append(evicted_unchecked + 1)
-                    ef_cwin.append(evicted_unchecked + 1)
-                    ef_conc.append(-1)
+            if scrubbing:
+                # The patrol scrubber's share of work after each demand
+                # access, mirroring ScrubbingCache._advance_scrubber: visit
+                # the next resident line (any set) in round-robin frame
+                # order.  Scrubs never change validity or replacement state,
+                # so the current group's unpacked locals stay coherent even
+                # when the scrubbed line is in the active set (the state
+                # lists are aliased, not copied).
+                scrub_credit += scrub_rate
+                while scrub_credit >= 1.0:
+                    scrub_credit -= 1.0
+                    for _ in range(total_frames):
+                        frame = scrub_cursor
+                        scrub_cursor = (scrub_cursor + 1) % total_frames
+                        s_set, s_way = divmod(frame, assoc)
+                        target = set_states.get(s_set)
+                        if target is not None:
+                            s_valid = target[1][s_way]
+                        else:
+                            s_valid = substrate.cache_set(s_set).blocks[s_way].valid
+                        if not s_valid:
+                            continue
+                        if target is None:
+                            target = materialise(s_set)
+                        # on_scrub_read: a checked, non-demand read.
+                        target[4][s_way] = 0  # unchecked_reads
+                        target[5][s_way] += 1  # reads_since_demand
+                        target[6][s_way] += 1  # total_reads
+                        target[8][s_way] += 1  # total_checks
+                        target[10][s_way] = scheme_tick
+                        scrub_events += 1
+                        e_tag += tag_e
+                        e_dread += 1 * way_e
+                        e_dec += 1 * dec_e
+                        e_mux += mux_e
+                        scrubbed_lines += 1
+                        break
 
         state[13] = nvalid
 
@@ -496,6 +889,8 @@ def _replay(
         for ones in set(restore_ones):
             failure_by_ones[ones] = write_model.block_write_failure_probability(ones)
         cache.record_restore_batch([failure_by_ones[ones] for ones in restore_ones])
+    if scrubbing:
+        cache.import_scrub_state(scrub_credit, scrub_cursor, scrubbed_lines)
 
     stats.demand_reads += demand_reads
     stats.demand_writes += demand_writes
@@ -532,9 +927,8 @@ def _replay(
             block.total_checks = state[8][way]
             block.fills = state[9][way]
             block.last_access_tick = state[10][way]
-        lru_rows[set_index] = state[12]
+        policy.import_set_state(set_index, state[12])
 
-    policy._tick = lru_tick  # noqa: SLF001 - engine-internal state sync
     cache._tick = scheme_tick  # noqa: SLF001 - engine-internal state sync
     substrate._tick = substrate_tick  # noqa: SLF001 - engine-internal state sync
 

@@ -1,0 +1,231 @@
+"""Property-style tests for the compact replacement-state protocol.
+
+The compact per-set representation (export/import plus the
+``compact_on_access`` / ``compact_on_fill`` / ``compact_victim`` transition
+functions) is the single source of truth for every replacement policy: the
+object hooks (`on_access`, `on_fill`, `victim`) delegate to it, and the
+batched engine in :mod:`repro.sim.fastpath` replays it directly over
+exported rows.  These tests drive an object-path policy and a compact-path
+twin through identical randomized access sequences — including export →
+import round-trips mid-sequence — and assert that every victim decision and
+every piece of exported state agrees at every step, for all five policies.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cache.block import CacheBlock
+from repro.cache.replacement import ReplacementPolicy, build_replacement_policy
+from repro.config import ReplacementPolicyName
+from repro.errors import ReplacementError
+
+POLICIES = tuple(ReplacementPolicyName)
+
+NUM_SETS = 8
+ASSOC = 4
+
+
+def build(policy_name, seed=7, num_sets=NUM_SETS, assoc=ASSOC):
+    return build_replacement_policy(policy_name, num_sets, assoc, seed=seed)
+
+
+def assert_same_state(label, left: ReplacementPolicy, right: ReplacementPolicy):
+    assert left.export_global_state() == right.export_global_state(), (
+        f"{label}: global state diverged"
+    )
+    for set_index in range(left.num_sets):
+        assert left.export_set_state(set_index) == right.export_set_state(set_index), (
+            f"{label}: set {set_index} state diverged"
+        )
+
+
+class _Scenario:
+    """A randomized access/fill/victim sequence shared by both drivers.
+
+    Maintains the per-set block objects (for the object path) whose
+    valid/unchecked fields double as the compact path's inputs.
+    """
+
+    def __init__(self, seed: int, num_sets=NUM_SETS, assoc=ASSOC) -> None:
+        self.rng = random.Random(seed)
+        self.num_sets = num_sets
+        self.assoc = assoc
+        self.blocks = {
+            s: [CacheBlock() for _ in range(assoc)] for s in range(num_sets)
+        }
+
+    def steps(self, count: int):
+        """Yield (op, set_index, way) tuples; op in {access, fill, victim}."""
+        for _ in range(count):
+            set_index = self.rng.randrange(self.num_sets)
+            blocks = self.blocks[set_index]
+            roll = self.rng.random()
+            valid_ways = [w for w, b in enumerate(blocks) if b.valid]
+            if roll < 0.45 and valid_ways:
+                yield "access", set_index, self.rng.choice(valid_ways)
+            elif roll < 0.85:
+                yield "fill", set_index, None
+            elif valid_ways:
+                # Perturb exposure so LER's victim choice is exercised.
+                way = self.rng.choice(valid_ways)
+                blocks[way].unchecked_reads += self.rng.randrange(1, 5)
+                yield "access", set_index, way
+            else:
+                yield "fill", set_index, None
+
+
+def drive_object_and_compact(policy_name, seed, steps=400, round_trip_every=None):
+    """Drive an object-path policy and a compact-path twin in lockstep.
+
+    The compact twin holds exported per-set rows and mutates them purely
+    through the compact transition functions; the object twin goes through
+    `on_access` / `on_fill` / `victim`.  Victim decisions are asserted equal
+    at every miss; final states are asserted equal after importing the
+    compact rows back.
+    """
+    obj = build(policy_name, seed=11)
+    twin = build(policy_name, seed=11)
+    scenario = _Scenario(seed)
+    globals_ = twin.compact_globals()
+    rows = {s: twin.export_set_state(s) for s in range(NUM_SETS)}
+
+    for step_index, (op, set_index, way) in enumerate(scenario.steps(steps)):
+        blocks = scenario.blocks[set_index]
+        if op == "access":
+            obj.on_access(set_index, way)
+            twin.compact_on_access(globals_, rows[set_index], way)
+        else:  # fill: pick a victim exactly the way the cache substrate does
+            object_victim = obj.victim(set_index, blocks)
+            invalid = next((w for w, b in enumerate(blocks) if not b.valid), None)
+            if invalid is not None:
+                compact_victim = invalid
+            else:
+                compact_victim = twin.compact_victim(
+                    globals_, rows[set_index], [b.unchecked_reads for b in blocks]
+                )
+            assert object_victim == compact_victim, (
+                f"{policy_name}: victim diverged at step {step_index} "
+                f"(object {object_victim}, compact {compact_victim})"
+            )
+            blocks[object_victim].fill(
+                tag=step_index, ones_count=1, tick=step_index
+            )
+            obj.on_fill(set_index, object_victim)
+            twin.compact_on_fill(globals_, rows[set_index], object_victim)
+
+        if round_trip_every and (step_index + 1) % round_trip_every == 0:
+            # Export → import round trip mid-sequence must be lossless.
+            twin.import_set_state(set_index, rows[set_index])
+            rows[set_index] = twin.export_set_state(set_index)
+            snapshot = twin.export_global_state()
+            twin.import_global_state(snapshot)
+
+    for set_index, row in rows.items():
+        twin.import_set_state(set_index, row)
+    assert_same_state(policy_name, obj, twin)
+
+
+class TestObjectCompactEquivalence:
+    """Object hooks and compact transitions agree on randomized sequences."""
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize("seed", (1, 2, 3))
+    def test_lockstep_equivalence(self, policy, seed):
+        drive_object_and_compact(policy, seed)
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_lockstep_with_mid_sequence_round_trips(self, policy):
+        drive_object_and_compact(policy, seed=5, round_trip_every=17)
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_single_way_cache(self, policy):
+        policy_obj = build_replacement_policy(policy, 4, 1)
+        blocks = [CacheBlock()]
+        blocks[0].fill(tag=1, ones_count=1)
+        policy_obj.on_access(0, 0)
+        assert policy_obj.victim(0, blocks) == 0
+
+
+class TestExportImportRoundTrips:
+    """Snapshot/restore semantics of the compact representation."""
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_set_state_round_trip_is_lossless(self, policy):
+        obj = build(policy)
+        blocks = [CacheBlock() for _ in range(ASSOC)]
+        for way in range(ASSOC):
+            blocks[way].fill(tag=way, ones_count=1, tick=way)
+            obj.on_fill(2, way)
+        obj.on_access(2, 1)
+        state = obj.export_set_state(2)
+        assert isinstance(state, list)
+        obj.import_set_state(2, state)
+        assert obj.export_set_state(2) == state
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_clone_via_exported_state_behaves_identically(self, policy):
+        """A policy rebuilt from exported state continues identically."""
+        original = build(policy, seed=13)
+        scenario = _Scenario(21)
+        for op, set_index, way in scenario.steps(150):
+            blocks = scenario.blocks[set_index]
+            if op == "access":
+                original.on_access(set_index, way)
+            else:
+                victim = original.victim(set_index, blocks)
+                blocks[victim].fill(tag=1, ones_count=1)
+                original.on_fill(set_index, victim)
+
+        clone = build(policy, seed=99)  # deliberately different seed
+        clone.import_global_state(original.export_global_state())
+        for set_index in range(NUM_SETS):
+            clone.import_set_state(set_index, original.export_set_state(set_index))
+        assert_same_state(policy, original, clone)
+
+        # Drive both onward through the same tail and compare every victim.
+        tail = _Scenario(22)
+        tail.blocks = scenario.blocks
+        for op, set_index, way in tail.steps(100):
+            blocks = tail.blocks[set_index]
+            if op == "access":
+                original.on_access(set_index, way)
+                clone.on_access(set_index, way)
+            else:
+                original_victim = original.victim(set_index, blocks)
+                clone_victim = clone.victim(set_index, blocks)
+                assert original_victim == clone_victim, policy
+                blocks[original_victim].fill(tag=2, ones_count=1)
+                original.on_fill(set_index, original_victim)
+                clone.on_fill(set_index, original_victim)
+        assert_same_state(policy, original, clone)
+
+    def test_random_round_trip_detaches_the_stream(self):
+        """Restoring a random policy's snapshot must not share the stream."""
+        source = build(ReplacementPolicyName.RANDOM, seed=3)
+        clone = build(ReplacementPolicyName.RANDOM, seed=4)
+        clone.import_global_state(source.export_global_state())
+        blocks = [CacheBlock() for _ in range(ASSOC)]
+        for way in range(ASSOC):
+            blocks[way].fill(tag=way, ones_count=1)
+        source_victims = [source.victim(0, blocks) for _ in range(20)]
+        clone_victims = [clone.victim(0, blocks) for _ in range(20)]
+        # Both consumed 20 draws from *independent* streams with equal state.
+        assert source_victims == clone_victims
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_import_rejects_wrong_length(self, policy):
+        obj = build(policy)
+        expected_length = len(obj.export_set_state(0))
+        with pytest.raises(ReplacementError):
+            obj.import_set_state(0, [0] * (expected_length + 1))
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_export_rejects_bad_set_index(self, policy):
+        obj = build(policy)
+        with pytest.raises(ReplacementError):
+            obj.export_set_state(NUM_SETS)
+        with pytest.raises(ReplacementError):
+            obj.import_set_state(-1, [])

@@ -124,3 +124,44 @@ class TestScrubberBehaviour:
         for _ in range(10):
             cache.write(victim)
         assert cache.scrubbed_lines >= 10
+
+
+class TestScrubStateHooks:
+    """Public patrol-state snapshot/restore used by the batched engine."""
+
+    def test_round_trip_preserves_patrol_progress(self, addresses):
+        victim, aggressor = addresses
+        cache = make(scrub_rate=0.7)
+        cache.read(victim)
+        for _ in range(5):
+            cache.read(aggressor)
+        credit, cursor, scrubbed = cache.export_scrub_state()
+        assert scrubbed == cache.scrubbed_lines
+        cache.import_scrub_state(credit, cursor, scrubbed)
+        assert cache.export_scrub_state() == (credit, cursor, scrubbed)
+
+    def test_restored_state_continues_identically(self, addresses):
+        victim, aggressor = addresses
+        driven = make(scrub_rate=0.7)
+        driven.read(victim)
+        for _ in range(7):
+            driven.read(aggressor)
+        clone = make(scrub_rate=0.7)
+        clone.read(victim)
+        for _ in range(7):
+            clone.read(aggressor)
+        clone.import_scrub_state(*driven.export_scrub_state())
+        for cache in (driven, clone):
+            for _ in range(9):
+                cache.read(aggressor)
+        assert driven.export_scrub_state() == clone.export_scrub_state()
+
+    def test_import_validates_components(self):
+        cache = make()
+        total_frames = cache.cache.num_sets * cache.cache.associativity
+        with pytest.raises(ConfigurationError):
+            cache.import_scrub_state(-0.1, 0, 0)
+        with pytest.raises(ConfigurationError):
+            cache.import_scrub_state(0.0, total_frames, 0)
+        with pytest.raises(ConfigurationError):
+            cache.import_scrub_state(0.0, 0, -1)

@@ -3,18 +3,22 @@
 The fast engine in :mod:`repro.sim.fastpath` is only allowed to exist
 because it is *numerically indistinguishable* from the per-record reference
 loop.  This module is the contract: it sweeps every fast-path scheme across
-SPEC-profile and synthetic workloads and multiple seeds, and asserts
+SPEC-profile and synthetic workloads, every built-in replacement policy,
+both trace levels (L2 and CPU/hierarchy) and multiple seeds, and asserts
 field-by-field equality of
 
 * the :class:`~repro.sim.SchemeRunResult` snapshot (ints exact, floats to
   1e-12 relative),
 * the :class:`~repro.reliability.AccumulationTracker` samples,
-* the cache / reliability / energy statistics, and
-* the per-block cache state (tags, dirty bits, exposure counters, ticks).
+* the cache / reliability / energy statistics,
+* the per-block cache state (tags, dirty bits, exposure counters, ticks),
+* the per-set replacement-policy state (compact exports) and, for the
+  hierarchy runs, the :class:`~repro.cache.hierarchy.HierarchyStatistics`
+  and the full L1I/L1D contents.
 
 Any drift between the engines — a re-ordered float addition, a missed
-counter, an off-by-one exposure window — fails here before it can bias the
-paper's figures.
+counter, an off-by-one exposure window, a diverged patrol cursor — fails
+here before it can bias the paper's figures.
 """
 
 from __future__ import annotations
@@ -23,16 +27,32 @@ import random
 
 import pytest
 
-from repro.sim import run_l2_trace, supports_fast_path
-from repro.workloads import AccessKind, Trace, TraceRecord, generate_l2_trace, get_profile
+from repro.config import ReadPathMode
+from repro.core import ConventionalCache
+from repro.sim import run_cpu_trace, run_l2_trace, supports_fast_path
+from repro.workloads import (
+    AccessKind,
+    Trace,
+    TraceRecord,
+    generate_l2_trace,
+    get_profile,
+    hot_loop_trace,
+    mixed_trace,
+    pointer_chase_trace,
+    sequential_trace,
+)
 
 from equivalence_utils import (
+    EQUIVALENCE_POLICIES,
     EQUIVALENCE_SCHEMES,
     assert_caches_equivalent,
+    assert_hierarchies_equivalent,
     assert_results_equivalent,
     build_cache,
     interleaved_l2,
+    run_both_cpu_engines,
     run_both_engines,
+    small_hierarchy_config,
     small_l2,
 )
 
@@ -44,6 +64,25 @@ TRACE_LENGTH = 3_000
 def profile_trace(workload: str, seed: int, config=None, length=TRACE_LENGTH) -> Trace:
     return generate_l2_trace(
         get_profile(workload), config or small_l2(), num_accesses=length, seed=seed
+    )
+
+
+def cpu_trace(seed: int, length: int = 4_000) -> Trace:
+    """A phase-mixed CPU-level workload with stores and reuse."""
+    return mixed_trace(
+        f"cpu-mix-{seed}",
+        [
+            hot_loop_trace(
+                num_accesses=length // 2, data_bytes=8 * 1024, seed=seed
+            ),
+            pointer_chase_trace(
+                num_accesses=length // 4, num_nodes=96, seed=seed + 1
+            ),
+            sequential_trace(
+                num_accesses=length // 4, store_fraction=0.3, seed=seed + 2
+            ),
+        ],
+        seed=seed + 3,
     )
 
 
@@ -71,9 +110,160 @@ class TestSchemeWorkloadSeedSweep:
                 ref_cache.restore_expected_failures
                 == fast_cache.restore_expected_failures
             )
+        if scheme == "scrubbing":
+            assert ref_cache.scrubbed_lines == fast_cache.scrubbed_lines
         assert ref_cache.expected_failures == pytest.approx(
             fast_cache.expected_failures, rel=1e-12
         )
+
+
+class TestReplacementPolicyMatrix:
+    """Scheme x replacement-policy coverage over the compact-state protocol."""
+
+    @pytest.mark.parametrize("policy", EQUIVALENCE_POLICIES)
+    @pytest.mark.parametrize("scheme", EQUIVALENCE_SCHEMES)
+    def test_all_schemes_all_policies(self, scheme, policy):
+        config = small_l2(replacement=policy)
+        trace = profile_trace("mcf", 5, config=config)
+        reference, fast, ref_cache, fast_cache = run_both_engines(
+            scheme, trace, config=config, seed=5
+        )
+        assert_results_equivalent(reference, fast)
+        assert_caches_equivalent(ref_cache, fast_cache)
+
+    @pytest.mark.parametrize("policy", EQUIVALENCE_POLICIES)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_policies_across_seeds(self, policy, seed):
+        config = small_l2(replacement=policy)
+        trace = profile_trace("gcc", seed, config=config)
+        reference, fast, ref_cache, fast_cache = run_both_engines(
+            "reap", trace, config=config, seed=seed
+        )
+        assert_results_equivalent(reference, fast)
+        assert_caches_equivalent(ref_cache, fast_cache)
+
+    @pytest.mark.parametrize("policy", ("random", "ler"))
+    def test_stateful_policies_on_warm_cache(self, policy):
+        """Sequential runs continue the policy stream/tick identically."""
+        config = small_l2(replacement=policy)
+        first = profile_trace("gcc", 8, config=config, length=1_500)
+        second = profile_trace("mcf", 9, config=config, length=1_500)
+        ref_cache = build_cache("conventional", config=config, seed=8)
+        fast_cache = build_cache("conventional", config=config, seed=8)
+        run_l2_trace(ref_cache, first, engine="reference")
+        run_l2_trace(fast_cache, first, engine="fast")
+        reference = run_l2_trace(ref_cache, second, engine="reference")
+        fast = run_l2_trace(fast_cache, second, engine="fast")
+        assert_results_equivalent(reference, fast)
+        assert_caches_equivalent(ref_cache, fast_cache)
+
+
+class TestScrubbingScheme:
+    """The patrol scrubber's cursor/credit replay, across rates."""
+
+    @pytest.mark.parametrize("rate", (0.25, 1.0, 2.5))
+    def test_scrub_rates(self, rate):
+        trace = profile_trace("xalancbmk", 6)
+        reference, fast, ref_cache, fast_cache = run_both_engines(
+            "scrubbing", trace, seed=6, scrub_lines_per_access=rate
+        )
+        assert_results_equivalent(reference, fast)
+        assert_caches_equivalent(ref_cache, fast_cache)
+        assert ref_cache.scrubbed_lines > 0
+
+    def test_zero_rate_never_scrubs(self):
+        trace = profile_trace("gcc", 2, length=1_000)
+        reference, fast, ref_cache, fast_cache = run_both_engines(
+            "scrubbing", trace, seed=2, scrub_lines_per_access=0.0
+        )
+        assert_results_equivalent(reference, fast)
+        assert_caches_equivalent(ref_cache, fast_cache)
+        assert fast_cache.scrubbed_lines == 0
+
+    def test_warm_cache_continues_patrol(self):
+        """The cursor and fractional credit survive across segments."""
+        first = profile_trace("gcc", 10, length=1_200)
+        second = profile_trace("namd", 11, length=1_200)
+        ref_cache = build_cache("scrubbing", seed=10, scrub_lines_per_access=0.7)
+        fast_cache = build_cache("scrubbing", seed=10, scrub_lines_per_access=0.7)
+        run_l2_trace(ref_cache, first, engine="reference")
+        run_l2_trace(fast_cache, first, engine="fast")
+        reference = run_l2_trace(ref_cache, second, engine="reference")
+        fast = run_l2_trace(fast_cache, second, engine="fast")
+        assert_results_equivalent(reference, fast)
+        assert_caches_equivalent(ref_cache, fast_cache)
+
+
+class TestHierarchyTraces:
+    """run_cpu_trace equivalence: HierarchyStatistics and L1 contents too."""
+
+    @pytest.mark.parametrize("scheme", EQUIVALENCE_SCHEMES)
+    def test_cpu_traces_all_schemes(self, scheme):
+        trace = cpu_trace(seed=1)
+        reference, fast, ref_h, fast_h, ref_cache, fast_cache = run_both_cpu_engines(
+            scheme, trace, seed=1
+        )
+        assert_results_equivalent(reference, fast)
+        assert_hierarchies_equivalent(ref_h, fast_h)
+        assert_caches_equivalent(ref_cache, fast_cache)
+
+    @pytest.mark.parametrize("l1_policy", EQUIVALENCE_POLICIES)
+    def test_cpu_traces_l1_policies(self, l1_policy):
+        sim_config = small_hierarchy_config(l1_replacement=l1_policy)
+        trace = cpu_trace(seed=2)
+        reference, fast, ref_h, fast_h, ref_cache, fast_cache = run_both_cpu_engines(
+            "reap", trace, sim_config=sim_config, seed=2
+        )
+        assert_results_equivalent(reference, fast)
+        assert_hierarchies_equivalent(ref_h, fast_h)
+        assert_caches_equivalent(ref_cache, fast_cache)
+
+    @pytest.mark.parametrize("l2_policy", ("fifo", "ler"))
+    def test_cpu_traces_l2_policies(self, l2_policy):
+        sim_config = small_hierarchy_config(
+            l2_config=small_l2(replacement=l2_policy)
+        )
+        trace = cpu_trace(seed=3)
+        reference, fast, ref_h, fast_h, ref_cache, fast_cache = run_both_cpu_engines(
+            "conventional", trace, sim_config=sim_config, seed=3
+        )
+        assert_results_equivalent(reference, fast)
+        assert_hierarchies_equivalent(ref_h, fast_h)
+        assert_caches_equivalent(ref_cache, fast_cache)
+
+    def test_cpu_trace_leakage_optional(self):
+        sim_config = small_hierarchy_config()
+        trace = cpu_trace(seed=4, length=1_000)
+        with_leakage = build_cache("reap", config=sim_config.hierarchy.l2, seed=4)
+        without = build_cache("reap", config=sim_config.hierarchy.l2, seed=4)
+        result_with, _ = run_cpu_trace(
+            with_leakage, trace, config=sim_config, seed=4, engine="fast"
+        )
+        result_without, _ = run_cpu_trace(
+            without,
+            trace,
+            config=sim_config,
+            seed=4,
+            add_leakage=False,
+            engine="fast",
+        )
+        assert result_with.leakage_energy_pj > 0
+        assert result_without.leakage_energy_pj == 0
+
+    def test_cpu_trace_validates_before_mutating(self):
+        sim_config = small_hierarchy_config()
+        trace = Trace(
+            name="mixed",
+            records=[
+                TraceRecord(AccessKind.LOAD, 0x1000),
+                TraceRecord(AccessKind.L2_READ, 0x2000),
+            ],
+        )
+        cache = build_cache("reap", config=sim_config.hierarchy.l2)
+        with pytest.raises(Exception, match="expects CPU-level records"):
+            run_cpu_trace(cache, trace, config=sim_config, engine="fast")
+        assert cache.stats.accesses == 0
+        assert cache.energy.dynamic_pj == 0.0
 
 
 class TestConfigurationVariants:
@@ -149,6 +339,18 @@ class TestConfigurationVariants:
         assert_caches_equivalent(reference_cache, mixed_cache)
 
 
+class _CustomScheme(ConventionalCache):
+    """A scheme subclass the fast path must refuse (unknown behaviour)."""
+
+    @classmethod
+    def read_path_mode(cls):
+        return ReadPathMode.PARALLEL
+
+    @classmethod
+    def scheme_name(cls):
+        return "custom"
+
+
 class TestAutoEngine:
     """``engine="auto"`` uses the fast path when it can, falls back when not."""
 
@@ -160,13 +362,60 @@ class TestAutoEngine:
         auto = run_l2_trace(auto_cache, trace, engine="auto")
         assert_results_equivalent(reference, auto)
 
-    def test_auto_falls_back_for_scrubbing(self):
-        trace = profile_trace("gcc", 1, length=500)
+    def test_auto_covers_scrubbing_and_every_policy(self):
         scrubbing = build_cache("scrubbing", seed=1)
-        assert supports_fast_path(scrubbing)[0] is False
-        result = run_l2_trace(scrubbing, trace, engine="auto")
-        assert result.scheme == "scrubbing"
+        assert supports_fast_path(scrubbing)[0] is True
+        for policy in EQUIVALENCE_POLICIES:
+            cache = build_cache(
+                "conventional", config=small_l2(replacement=policy), seed=1
+            )
+            assert supports_fast_path(cache)[0] is True, policy
+
+    def test_auto_falls_back_for_custom_scheme_with_warning(self):
+        from repro.core import DataValueProfile
+
+        trace = profile_trace("gcc", 1, length=500)
+        cache = _CustomScheme(
+            config=small_l2(),
+            p_cell=1e-8,
+            data_profile=DataValueProfile.constant(100),
+            seed=1,
+        )
+        supported, reason = supports_fast_path(cache)
+        assert supported is False
+        assert "custom" in reason
+        with pytest.warns(RuntimeWarning, match="fell back to the reference loop"):
+            result = run_l2_trace(cache, trace, engine="auto")
         assert result.num_accesses == 500
+
+    def test_auto_falls_back_for_overridden_policy_hooks(self):
+        from repro.cache.replacement import LRUPolicy
+
+        class TweakedLRU(LRUPolicy):
+            def on_access(self, set_index, way):  # bypasses compact state
+                super().on_access(set_index, way)
+
+        cache = build_cache("conventional", seed=1)
+        cache.cache._replacement = TweakedLRU(  # noqa: SLF001 - test rigging
+            cache.cache.num_sets, cache.cache.associativity
+        )
+        supported, reason = supports_fast_path(cache)
+        assert supported is False
+        assert "TweakedLRU" in reason and "on_access" in reason
+
+    def test_auto_cpu_trace_matches_reference(self):
+        sim_config = small_hierarchy_config()
+        trace = cpu_trace(seed=5, length=1_500)
+        ref_cache = build_cache("conventional", config=sim_config.hierarchy.l2, seed=5)
+        auto_cache = build_cache("conventional", config=sim_config.hierarchy.l2, seed=5)
+        reference, ref_h = run_cpu_trace(
+            ref_cache, trace, config=sim_config, seed=5, engine="reference"
+        )
+        auto, auto_h = run_cpu_trace(
+            auto_cache, trace, config=sim_config, seed=5, engine="auto"
+        )
+        assert_results_equivalent(reference, auto)
+        assert_hierarchies_equivalent(ref_h, auto_h)
 
 
 class TestRandomizedTraces:
@@ -210,6 +459,26 @@ class TestRandomizedTraces:
         assert reference.leakage_energy_pj == pytest.approx(
             fast.leakage_energy_pj, rel=1e-12
         )
+
+    @pytest.mark.parametrize("policy", EQUIVALENCE_POLICIES)
+    def test_random_trace_policy_equivalence(self, policy):
+        rng = random.Random(31)
+        config = small_l2(replacement=policy)
+        records = []
+        for _ in range(2_000):
+            kind = AccessKind.L2_WRITE if rng.random() < 0.3 else AccessKind.L2_READ
+            set_index = rng.randrange(min(config.num_sets, 4))
+            tag = rng.randrange(14)
+            address = (tag << (config.offset_bits + config.index_bits)) | (
+                set_index << config.offset_bits
+            )
+            records.append(TraceRecord(kind, address))
+        trace = Trace(name=f"random-{policy}", records=records)
+        reference, fast, ref_cache, fast_cache = run_both_engines(
+            "conventional", trace, config=config, seed=31
+        )
+        assert_results_equivalent(reference, fast)
+        assert_caches_equivalent(ref_cache, fast_cache)
 
     @pytest.mark.parametrize("seed", (21, 22))
     def test_random_wide_address_space(self, seed):

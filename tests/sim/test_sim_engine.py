@@ -86,13 +86,33 @@ class TestRunL2Trace:
             run_l2_trace(make_cache(), trace, engine="warp")
 
     def test_fast_engine_rejects_unsupported_scheme(self):
+        from repro.config import ReadPathMode
+        from repro.core import ConventionalCache
+
+        class CustomScheme(ConventionalCache):
+            @classmethod
+            def read_path_mode(cls):
+                return ReadPathMode.PARALLEL
+
+            @classmethod
+            def scheme_name(cls):
+                return "custom"
+
         trace = Trace(name="l2", records=[TraceRecord(AccessKind.L2_READ, 0x0)])
+        custom = CustomScheme(
+            small_l2(), p_cell=1e-8, data_profile=DataValueProfile.constant(100)
+        )
+        with pytest.raises(SimulationError, match="fast path does not support"):
+            run_l2_trace(custom, trace, engine="fast")
+
+    def test_fast_engine_supports_scrubbing_and_all_policies(self):
+        from repro.sim import supports_fast_path
+
         scrubbing = build_protected_cache(
             ProtectionScheme.SCRUBBING, small_l2(), p_cell=1e-8,
             data_profile=DataValueProfile.constant(100),
         )
-        with pytest.raises(SimulationError, match="fast path does not support"):
-            run_l2_trace(scrubbing, trace, engine="fast")
+        assert supports_fast_path(scrubbing) == (True, "")
 
     def test_fast_engine_validates_before_mutating(self):
         """The fast path rejects a malformed trace before touching the cache."""
@@ -130,6 +150,45 @@ class TestRunCpuTrace:
         # The L1s absorb most of the traffic.
         assert result.num_accesses < 5_000
         assert result.num_accesses == hierarchy.stats.l2_reads + hierarchy.stats.l2_writebacks
+
+    def test_hierarchy_leakage_included_by_default(self):
+        trace = hot_loop_trace(num_accesses=2_000, seed=1)
+
+        def build():
+            return build_protected_cache(
+                ProtectionScheme.CONVENTIONAL,
+                SimulationConfig().hierarchy.l2,
+                p_cell=1e-8,
+                data_profile=DataValueProfile.constant(100),
+            )
+
+        with_leakage, _ = run_cpu_trace(build(), trace)
+        without, _ = run_cpu_trace(build(), trace, add_leakage=False)
+        assert with_leakage.leakage_energy_pj > 0
+        assert without.leakage_energy_pj == 0
+
+    @pytest.mark.parametrize("engine", ["reference", "fast", "auto"])
+    def test_engine_choices_accepted(self, engine):
+        trace = hot_loop_trace(num_accesses=1_000, seed=2)
+        cache = build_protected_cache(
+            ProtectionScheme.REAP,
+            SimulationConfig().hierarchy.l2,
+            p_cell=1e-8,
+            data_profile=DataValueProfile.constant(100),
+        )
+        result, hierarchy = run_cpu_trace(cache, trace, engine=engine)
+        assert hierarchy.stats.total_references == 1_000
+        assert result.scheme == "reap"
+
+    def test_rejects_unknown_engine(self):
+        trace = hot_loop_trace(num_accesses=10, seed=1)
+        cache = build_protected_cache(
+            ProtectionScheme.CONVENTIONAL,
+            SimulationConfig().hierarchy.l2,
+            p_cell=1e-8,
+        )
+        with pytest.raises(SimulationError, match="unknown engine"):
+            run_cpu_trace(cache, trace, engine="warp")
 
     @pytest.mark.parametrize("kind", [AccessKind.L2_READ, AccessKind.L2_WRITE])
     def test_rejects_l2_level_records(self, kind):
