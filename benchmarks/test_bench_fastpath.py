@@ -1,21 +1,33 @@
-"""Bench: batched fast-path engine throughput vs. the reference loop.
+"""Bench: fast-path kernel tiers vs. the reference loop.
 
-Times both engines replaying the same pre-generated traces over the default
-Fig. 5 workload mix (the paper's four Fig. 3 workloads: a churn-heavy, a
-balanced, and two reuse-heavy profiles) and reports accesses/second.  The
-acceptance bar for the fast path is a >= 3x throughput advantage on this
-mix; the assertion below uses a 2x floor so shared-CI timing noise cannot
-flake the suite while still catching any real regression of the batched
-engine back toward per-record dispatch.
+Times the reference per-record loop and both fast-path kernel tiers (the
+grouped ``loop`` kernel and the structure-of-arrays ``soa`` kernel)
+replaying the same pre-generated traces over the default Fig. 5 workload
+mix (the paper's four Fig. 3 workloads: a churn-heavy, a balanced, and two
+reuse-heavy profiles) and reports accesses/second.
 
-The numbers also feed the README's engine section.  Locally the fast path
-measures ~5-8x the reference loop depending on scheme (restore benefits
-most: its per-record loop touches every way twice).
+Two guards:
+
+* the mix test keeps the historical fast-vs-reference bar (>= 2x floor for
+  CI noise; the SoA tier measures ~15x locally);
+* the consolidated kernel-tier test writes ``BENCH_fastpath.json``
+  (reference vs loop-kernel vs SoA-kernel throughput per scheme, uploaded
+  as a CI artifact so the trajectory is visible across commits) and fails
+  when the SoA kernel regresses below the recorded floors in
+  ``benchmarks/fastpath_floors.json``.
+
+Locally the SoA kernel measures ~3x the loop kernel on the mix (reap over
+LRU) and ~15-18x the reference loop; the patrol-scrubbing scheme gains the
+least (its cursor walk is inherently sequential) and restore the least of
+the parallel schemes (its per-way restore stream is the largest expansion).
 """
 
 from __future__ import annotations
 
+import json
+import os
 import time
+from pathlib import Path
 
 from conftest import bench_num_accesses, bench_settings
 from repro.core import build_protected_cache
@@ -24,6 +36,11 @@ from repro.workloads import FIGURE3_WORKLOADS, generate_l2_trace, get_profile
 
 #: The default Fig. 5 workload mix used for the throughput comparison.
 MIX = tuple(FIGURE3_WORKLOADS)
+
+#: Schemes covered by the consolidated kernel-tier comparison.
+TIER_SCHEMES = ("conventional", "reap", "serial", "restore", "scrubbing")
+
+_FLOORS_PATH = Path(__file__).with_name("fastpath_floors.json")
 
 
 def _build_traces(num_accesses: int):
@@ -36,8 +53,10 @@ def _build_traces(num_accesses: int):
     ]
 
 
-def _run_mix(settings, traces, engine: str, scheme: str = "reap") -> float:
-    """Replay the whole mix under one engine; returns elapsed seconds."""
+def _run_mix(
+    settings, traces, engine: str, scheme: str = "reap", kernel: str = "auto"
+) -> float:
+    """Replay the whole mix under one engine/kernel; returns elapsed seconds."""
     start = time.perf_counter()
     for index, trace in enumerate(traces):
         cache = build_protected_cache(
@@ -47,7 +66,7 @@ def _run_mix(settings, traces, engine: str, scheme: str = "reap") -> float:
             data_profile=settings.data_profile(index + 1),
             seed=index + 1,
         )
-        run_l2_trace(cache, trace, engine=engine)
+        run_l2_trace(cache, trace, engine=engine, kernel=kernel)
     return time.perf_counter() - start
 
 
@@ -80,12 +99,95 @@ def test_bench_fastpath_throughput(benchmark):
     )
 
 
+def test_bench_kernel_tiers_consolidated():
+    """Reference vs loop-kernel vs SoA-kernel throughput, per scheme.
+
+    Writes ``BENCH_fastpath.json`` next to the working directory (CI uploads
+    it as an artifact) and enforces the recorded floors: the SoA tier must
+    stay ahead of both the loop kernel and the reference loop by at least
+    the per-scheme ratios in ``benchmarks/fastpath_floors.json``.
+
+    The default trace length is capped at 20k accesses per workload so the
+    fifteen reference-loop replays stay affordable in CI; an explicit
+    ``REPRO_BENCH_ACCESSES`` wins over the cap.
+    """
+    if "REPRO_BENCH_ACCESSES" in os.environ:
+        num_accesses = bench_num_accesses()
+    else:
+        num_accesses = min(bench_num_accesses(), 20_000)
+    settings, traces = _build_traces(num_accesses)
+    total_accesses = num_accesses * len(traces)
+    floors = json.loads(_FLOORS_PATH.read_text())
+
+    # Warm the decode caches so every tier sees identical per-run work.
+    _run_mix(settings, traces, "fast", TIER_SCHEMES[0], kernel="loop")
+
+    report: dict[str, dict[str, float]] = {}
+    failures = []
+    for scheme in TIER_SCHEMES:
+        timings = {}
+        for label, engine, kernel in (
+            ("reference", "reference", "auto"),
+            ("loop", "fast", "loop"),
+            ("soa", "fast", "soa"),
+        ):
+            best = min(
+                _run_mix(settings, traces, engine, scheme, kernel=kernel)
+                for _ in range(2)
+            )
+            timings[label] = best
+        entry = {
+            f"{label}_accesses_per_s": round(total_accesses / elapsed)
+            for label, elapsed in timings.items()
+        }
+        entry["soa_over_loop"] = round(timings["loop"] / timings["soa"], 2)
+        entry["soa_over_reference"] = round(
+            timings["reference"] / timings["soa"], 2
+        )
+        report[scheme] = entry
+        print(
+            f"\n[kernel-tiers] {scheme}: "
+            f"reference {entry['reference_accesses_per_s']:,} acc/s, "
+            f"loop {entry['loop_accesses_per_s']:,} acc/s, "
+            f"soa {entry['soa_accesses_per_s']:,} acc/s "
+            f"({entry['soa_over_loop']}x loop, "
+            f"{entry['soa_over_reference']}x reference)"
+        )
+        for floor_key in ("soa_over_loop", "soa_over_reference"):
+            floor = floors[floor_key][scheme]
+            if entry[floor_key] < floor:
+                failures.append(
+                    f"{scheme}: {floor_key} {entry[floor_key]} < floor {floor}"
+                )
+
+    output = Path("BENCH_fastpath.json")
+    output.write_text(
+        json.dumps(
+            {
+                "mix": list(MIX),
+                "accesses_per_workload": num_accesses,
+                "schemes": report,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    print(f"[kernel-tiers] wrote {output.resolve()}")
+    assert not failures, "SoA kernel regressed below recorded floors: " + "; ".join(
+        failures
+    )
+
+
 def test_bench_fastpath_matches_reference_on_mix():
     """The throughput claim only counts if the results are identical."""
     settings, traces = _build_traces(2_000)
     for index, trace in enumerate(traces):
         results = {}
-        for engine in ("reference", "fast"):
+        for engine, kernel in (
+            ("reference", "auto"),
+            ("fast", "loop"),
+            ("fast", "soa"),
+        ):
             cache = build_protected_cache(
                 "conventional",
                 settings.l2_config,
@@ -93,5 +195,8 @@ def test_bench_fastpath_matches_reference_on_mix():
                 data_profile=settings.data_profile(index + 1),
                 seed=index + 1,
             )
-            results[engine] = run_l2_trace(cache, trace, engine=engine)
-        assert results["reference"] == results["fast"], trace.name
+            results[(engine, kernel)] = run_l2_trace(
+                cache, trace, engine=engine, kernel=kernel
+            )
+        assert results[("reference", "auto")] == results[("fast", "loop")], trace.name
+        assert results[("reference", "auto")] == results[("fast", "soa")], trace.name

@@ -85,7 +85,12 @@ class SetAssociativeCache:
         """
         self._config = config
         self._mapper = AddressMapper(config)
-        self._sets = [CacheSet(config.associativity) for _ in range(config.num_sets)]
+        # Sets are materialised on first touch: an untouched set is
+        # indistinguishable from a freshly built all-invalid one, and large
+        # geometries would otherwise pay tens of thousands of block
+        # constructions per cache even when a workload touches a few dozen
+        # sets.
+        self._sets: list[CacheSet | None] = [None] * config.num_sets
         self._replacement: ReplacementPolicy = build_replacement_policy(
             config.replacement, config.num_sets, config.associativity, seed=seed
         )
@@ -125,10 +130,13 @@ class SetAssociativeCache:
         return self._config.associativity
 
     def cache_set(self, index: int) -> CacheSet:
-        """Return the set at ``index``."""
+        """Return the set at ``index`` (materialising it on first touch)."""
         if not 0 <= index < len(self._sets):
             raise CacheError(f"set index {index} out of range")
-        return self._sets[index]
+        cache_set = self._sets[index]
+        if cache_set is None:
+            cache_set = self._sets[index] = CacheSet(self._config.associativity)
+        return cache_set
 
     def blocks_in_set(self, index: int) -> list[CacheBlock]:
         """Return the blocks of the set at ``index``."""
@@ -141,7 +149,7 @@ class SetAssociativeCache:
 
     def occupancy(self) -> int:
         """Total number of valid blocks."""
-        return sum(s.occupancy() for s in self._sets)
+        return sum(s.occupancy() for s in self._sets if s is not None)
 
     # -- access path -----------------------------------------------------------
 
@@ -241,6 +249,8 @@ class SetAssociativeCache:
     def invalidate_all(self) -> None:
         """Invalidate every block (used between experiment phases)."""
         for cache_set in self._sets:
+            if cache_set is None:
+                continue
             for block in cache_set.blocks:
                 block.invalidate()
 
@@ -248,6 +258,8 @@ class SetAssociativeCache:
         """All valid blocks as (set_index, way, block) triples."""
         resident = []
         for set_index, cache_set in enumerate(self._sets):
+            if cache_set is None:
+                continue
             for way, block in enumerate(cache_set.blocks):
                 if block.valid:
                     resident.append((set_index, way, block))

@@ -34,7 +34,26 @@ The classic object hooks (`on_fill`, `on_access`, `victim`) are implemented
 :class:`~repro.cache.cache.SetAssociativeCache` object path and the batched
 engine in :mod:`repro.sim.fastpath` (which replays the compact state
 directly) can never disagree.  A subclass that overrides the object hooks
-directly opts out of that guarantee and is rejected by the fast path.
+directly opts out of that guarantee and is rejected by the fast path —
+unless it sets :attr:`ReplacementPolicy.supports_compact_state` to ``True``,
+promising that its overrides still route every state change through the
+compact transitions.
+
+Two batched layers sit on top of the scalar transitions for the
+structure-of-arrays kernel in :mod:`repro.sim.soa`:
+
+* :meth:`ReplacementPolicy.compact_on_access_batch` /
+  :meth:`ReplacementPolicy.compact_on_fill_batch` apply a *sequence* of
+  transitions to one set.  The defaults loop over the scalar hooks (so any
+  compact-capable policy is batchable); the built-ins override them with
+  true vector forms where the policy's math allows (e.g. LRU collapses a
+  batch to one tick bump plus a last-touch scatter).
+* The ``soa_*`` protocol describes how the SoA kernel may defer transitions
+  across interleaved sets (see :attr:`ReplacementPolicy.soa_mode`).  For
+  timestamp policies whose tick advances exactly once per access the
+  deferred form is *position arithmetic*: the timestamp written by the
+  transition at global access position ``p`` is ``base + p + 1``, so the
+  kernel only has to remember each way's last touch position.
 """
 
 from __future__ import annotations
@@ -55,6 +74,43 @@ class ReplacementPolicy(abc.ABC):
     `compact_on_access`, `compact_on_fill`, `compact_victim`); the object
     hooks below delegate to it.
     """
+
+    #: Third-party subclasses that override the object hooks may set this to
+    #: ``True`` to promise that every state change still flows through the
+    #: compact transitions; :func:`repro.sim.supports_fast_path` then accepts
+    #: them instead of rejecting the override.
+    supports_compact_state = False
+
+    #: How the structure-of-arrays kernel may schedule this policy's
+    #: transitions relative to the interleaved access stream:
+    #:
+    #: * ``"immediate"`` — apply every transition scalar, in trace order
+    #:   (always correct; the safe default for opt-in third-party policies).
+    #: * ``"position"`` — the tick advances exactly once per access (hit or
+    #:   fill), so the timestamp written at global access position ``p`` is
+    #:   ``soa_tick_base() + p + 1``; transitions may be deferred per set and
+    #:   realised from each way's *last* touch position
+    #:   (:meth:`soa_apply_last_positions`), victims chosen over the mixed
+    #:   stored/deferred timestamps (:meth:`soa_victim_positions`, whose
+    #:   base implementation delegates to :meth:`compact_victim`), and
+    #:   :meth:`soa_commit` settles the global tick once at the end.
+    #: * ``"ordered"`` — transitions touch no policy-global state,
+    #:   ``compact_on_fill`` is equivalent to ``compact_on_access``, and
+    #:   consecutive duplicate transitions are idempotent (applying a run
+    #:   of same-way touches once equals applying it N times); the kernel
+    #:   may defer a set's transitions, collapse consecutive duplicates,
+    #:   and replay the rest in order via :meth:`compact_on_access_batch`
+    #:   before a victim decision or export.
+    #: * ``"fill-only"`` — ``compact_on_access`` is a no-op; only fills (and,
+    #:   for random policies, victim draws) mutate state, and both are
+    #:   applied scalar in trace order.
+    soa_mode = "immediate"
+
+    #: Whether :meth:`compact_victim` reads the per-way unchecked-read
+    #: exposure argument.  When ``False`` the SoA kernel may skip computing
+    #: live exposures at victim time.  Kept ``True`` in the base class so
+    #: opt-in third-party policies are always handed real values.
+    victim_uses_exposure = True
 
     def __init__(self, num_sets: int, associativity: int) -> None:
         if num_sets <= 0 or associativity <= 0:
@@ -144,6 +200,80 @@ class ReplacementPolicy(abc.ABC):
                 (used by exposure-aware policies such as LER).
         """
 
+    # -- batched transitions ----------------------------------------------------
+
+    def compact_on_access_batch(self, global_state: list, set_state, ways) -> None:
+        """Apply ``compact_on_access`` for every way in ``ways``, in order.
+
+        The default is the literal loop over the scalar transition, so the
+        batch form is exact for any compact-capable policy; built-ins
+        override it with vector forms where their math collapses.
+        """
+        on_access = self.compact_on_access
+        for way in ways:
+            on_access(global_state, set_state, way)
+
+    def compact_on_fill_batch(self, global_state: list, set_state, ways) -> None:
+        """Apply ``compact_on_fill`` for every way in ``ways``, in order."""
+        on_fill = self.compact_on_fill
+        for way in ways:
+            on_fill(global_state, set_state, way)
+
+    # -- structure-of-arrays deferral protocol (mode "position") ----------------
+
+    def soa_tick_base(self) -> int:
+        """The tick base for position arithmetic (mode ``"position"`` only).
+
+        A replay that starts when the policy's tick is ``base`` writes the
+        timestamp ``base + p + 1`` at global access position ``p``.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not use position-based transitions"
+        )
+
+    def soa_apply_last_positions(self, set_state, last_positions, base: int) -> None:
+        """Realise deferred transitions from per-way last touch positions.
+
+        Args:
+            set_state: The set's compact state row.
+            last_positions: Per-way global access position of the way's most
+                recent (deferred) transition, or ``-1`` for untouched ways.
+            base: The tick base returned by :meth:`soa_tick_base`.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not use position-based transitions"
+        )
+
+    def soa_commit(self, base: int, num_accesses: int) -> None:
+        """Settle the policy-global tick after a position-based replay.
+
+        Args:
+            base: The tick base returned by :meth:`soa_tick_base`.
+            num_accesses: Accesses replayed (each one transition).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not use position-based transitions"
+        )
+
+    def soa_victim_positions(
+        self, global_state: list, set_state, last_positions, base: int, unchecked_reads
+    ) -> int:
+        """Choose a victim without flushing deferred position transitions.
+
+        Part of the ``"position"`` protocol: equivalent to applying
+        ``last_positions`` via :meth:`soa_apply_last_positions` and then
+        calling :meth:`compact_victim`.  This base implementation builds the
+        effective timestamps — ``base + p + 1`` for a way with a deferred
+        touch, the stored row value otherwise — and delegates to
+        :meth:`compact_victim`, so any position-mode policy gets a correct
+        victim for free; policies may override it with a fused form.
+        """
+        effective = [
+            base + position + 1 if position >= 0 else set_state[way]
+            for way, position in enumerate(last_positions)
+        ]
+        return self.compact_victim(global_state, effective, unchecked_reads)
+
     # -- object hooks (driven by SetAssociativeCache) --------------------------
 
     def on_access(self, set_index: int, way: int) -> None:
@@ -177,11 +307,56 @@ class ReplacementPolicy(abc.ABC):
         return None
 
 
-class LRUPolicy(ReplacementPolicy):
+def _timestamp_batch(global_state: list, set_state, ways) -> None:
+    """Vector form of a run of timestamp transitions (LRU/LER/FIFO ticks).
+
+    A batch of ``n`` transitions advances the tick by ``n`` and leaves each
+    touched way stamped with the tick of its *last* occurrence — exactly the
+    result of the scalar loop, computed with one pass over the unique ways.
+    """
+    count = len(ways)
+    if count == 0:
+        return
+    tick = global_state[0]
+    global_state[0] = tick + count
+    if count <= 8:
+        for offset, way in enumerate(ways):
+            set_state[way] = tick + offset + 1
+        return
+    arr = np.asarray(ways)
+    unique_ways, reversed_first = np.unique(arr[::-1], return_index=True)
+    last_offsets = count - 1 - reversed_first
+    for way, offset in zip(unique_ways.tolist(), last_offsets.tolist()):
+        set_state[way] = tick + offset + 1
+
+
+class _PositionTickMixin:
+    """Position-arithmetic deferral for policies that tick once per access."""
+
+    soa_mode = "position"
+
+    def soa_tick_base(self) -> int:
+        """The current tick; position ``p`` maps to ``base + p + 1``."""
+        return self._globals[0]
+
+    def soa_apply_last_positions(self, set_state, last_positions, base: int) -> None:
+        """Stamp each touched way with the tick of its last deferred touch."""
+        for way, position in enumerate(last_positions):
+            if position >= 0:
+                set_state[way] = base + position + 1
+
+    def soa_commit(self, base: int, num_accesses: int) -> None:
+        """One transition per access: the final tick is ``base + n``."""
+        self._globals[0] = base + num_accesses
+
+
+class LRUPolicy(_PositionTickMixin, ReplacementPolicy):
     """True least-recently-used replacement.
 
     Compact state: per-set last-use timestamps; global state ``[tick]``.
     """
+
+    victim_uses_exposure = False
 
     def __init__(self, num_sets: int, associativity: int) -> None:
         super().__init__(num_sets, associativity)
@@ -201,9 +376,40 @@ class LRUPolicy(ReplacementPolicy):
         """A fill counts as a use."""
         self.compact_on_access(global_state, set_state, way)
 
+    def compact_on_access_batch(self, global_state: list, set_state, ways) -> None:
+        """Vector form: one tick bump plus a last-touch stamp per way."""
+        _timestamp_batch(global_state, set_state, ways)
+
+    def compact_on_fill_batch(self, global_state: list, set_state, ways) -> None:
+        """Fills are uses, so the batch form is the same."""
+        _timestamp_batch(global_state, set_state, ways)
+
     def compact_victim(self, global_state: list, set_state, unchecked_reads) -> int:
         """The least recently used way (first one on timestamp ties)."""
+        if type(set_state) is list:
+            return set_state.index(min(set_state))
         return min(range(len(set_state)), key=set_state.__getitem__)
+
+    def soa_victim_positions(
+        self, global_state: list, set_state, last_positions, base: int, unchecked_reads
+    ) -> int:
+        """LRU victim over mixed stored/deferred timestamps, loop-fused.
+
+        A way with a deferred touch is strictly newer than any way without
+        one (every stored tick is at most ``base``), so the oldest untouched
+        way wins when one exists; otherwise the oldest deferred touch does.
+        """
+        best = -1
+        best_tick = 0
+        for way, position in enumerate(last_positions):
+            if position < 0:
+                tick = set_state[way]
+                if best < 0 or tick < best_tick:
+                    best_tick = tick
+                    best = way
+        if best >= 0:
+            return best
+        return last_positions.index(min(last_positions))
 
 
 class FIFOPolicy(ReplacementPolicy):
@@ -211,6 +417,9 @@ class FIFOPolicy(ReplacementPolicy):
 
     Compact state: per-set fill timestamps; global state ``[tick]``.
     """
+
+    soa_mode = "fill-only"
+    victim_uses_exposure = False
 
     def __init__(self, num_sets: int, associativity: int) -> None:
         super().__init__(num_sets, associativity)
@@ -229,8 +438,17 @@ class FIFOPolicy(ReplacementPolicy):
         global_state[0] = tick
         set_state[way] = tick
 
+    def compact_on_access_batch(self, global_state: list, set_state, ways) -> None:
+        """Vector form: accesses are no-ops, so a batch of them is too."""
+
+    def compact_on_fill_batch(self, global_state: list, set_state, ways) -> None:
+        """Vector form: one tick bump plus a last-fill stamp per way."""
+        _timestamp_batch(global_state, set_state, ways)
+
     def compact_victim(self, global_state: list, set_state, unchecked_reads) -> int:
         """The oldest fill (first one on timestamp ties)."""
+        if type(set_state) is list:
+            return set_state.index(min(set_state))
         return min(range(len(set_state)), key=set_state.__getitem__)
 
 
@@ -242,6 +460,9 @@ class RandomPolicy(ReplacementPolicy):
     export → import round-trip detaches the copy from the original stream).
     """
 
+    soa_mode = "fill-only"
+    victim_uses_exposure = False
+
     def __init__(self, num_sets: int, associativity: int, seed: int = 1) -> None:
         super().__init__(num_sets, associativity)
         self._globals = [np.random.default_rng(seed)]
@@ -249,6 +470,12 @@ class RandomPolicy(ReplacementPolicy):
 
     def _set_row(self, set_index: int):
         return self._empty_row
+
+    def compact_on_access_batch(self, global_state: list, set_state, ways) -> None:
+        """Vector form: random replacement keeps no access state."""
+
+    def compact_on_fill_batch(self, global_state: list, set_state, ways) -> None:
+        """Vector form: random replacement keeps no fill state."""
 
     def export_global_state(self) -> list:
         """Snapshot the generator's bit-generator state (a plain dict)."""
@@ -278,14 +505,68 @@ class TreePLRUPolicy(ReplacementPolicy):
     following the bits.
     """
 
+    soa_mode = "ordered"
+    victim_uses_exposure = False
+
     def __init__(self, num_sets: int, associativity: int) -> None:
         super().__init__(num_sets, associativity)
         if associativity & (associativity - 1):
             raise ReplacementError("tree PLRU requires a power-of-two associativity")
         self._tree = np.zeros((num_sets, max(associativity - 1, 1)), dtype=np.int8)
+        self._node_bit_by_way: np.ndarray | None = None
 
     def _set_row(self, set_index: int):
         return self._tree[set_index]
+
+    def _path_table(self) -> np.ndarray:
+        """``table[node][way]``: the bit an access to ``way`` writes at
+        ``node`` (``-1`` when the way's path does not touch the node)."""
+        if self._node_bit_by_way is None:
+            associativity = self._associativity
+            table = np.full(
+                (max(associativity - 1, 1), associativity), -1, dtype=np.int8
+            )
+            for way in range(associativity):
+                node, low, high = 0, 0, associativity
+                while high - low > 1:
+                    mid = (low + high) // 2
+                    if way < mid:
+                        table[node, way] = 1
+                        node = 2 * node + 1
+                        high = mid
+                    else:
+                        table[node, way] = 0
+                        node = 2 * node + 2
+                        low = mid
+            self._node_bit_by_way = table
+        return self._node_bit_by_way
+
+    def compact_on_access_batch(self, global_state: list, set_state, ways) -> None:
+        """Vector form: each tree bit ends at the value its *last* toucher set.
+
+        Consecutive duplicate accesses are idempotent, and a batch leaves
+        every node pointing away from the last way whose path crossed it —
+        exactly the sequential result, computed per node instead of per way.
+        """
+        count = len(ways)
+        if self._associativity <= 1 or count == 0:
+            return
+        if count <= 16:
+            on_access = self.compact_on_access
+            for way in ways:
+                on_access(global_state, set_state, way)
+            return
+        table = self._path_table()
+        arr = np.asarray(ways)
+        for node in range(self._associativity - 1):
+            bits = table[node][arr]
+            touched = np.flatnonzero(bits >= 0)
+            if touched.size:
+                set_state[node] = bits[touched[-1]]
+
+    def compact_on_fill_batch(self, global_state: list, set_state, ways) -> None:
+        """Fills are uses, so the batch form is the same."""
+        self.compact_on_access_batch(global_state, set_state, ways)
 
     def compact_on_access(self, global_state: list, set_state, way: int) -> None:
         """Flip the tree bits along the accessed way's path."""
@@ -328,13 +609,15 @@ class TreePLRUPolicy(ReplacementPolicy):
         return low
 
 
-class LERPolicy(ReplacementPolicy):
+class LERPolicy(_PositionTickMixin, ReplacementPolicy):
     """Least-error-rate replacement (paper reference [13]).
 
     Evicts the valid block with the largest accumulated unchecked-read
     exposure — the block most likely to hold an uncorrectable error — with
     recency (tracked like LRU) as the tie-breaker.
     """
+
+    victim_uses_exposure = True
 
     def __init__(self, num_sets: int, associativity: int) -> None:
         super().__init__(num_sets, associativity)
@@ -353,6 +636,14 @@ class LERPolicy(ReplacementPolicy):
     def compact_on_fill(self, global_state: list, set_state, way: int) -> None:
         """A fill counts as a use."""
         self.compact_on_access(global_state, set_state, way)
+
+    def compact_on_access_batch(self, global_state: list, set_state, ways) -> None:
+        """Vector form: one tick bump plus a last-touch stamp per way."""
+        _timestamp_batch(global_state, set_state, ways)
+
+    def compact_on_fill_batch(self, global_state: list, set_state, ways) -> None:
+        """Fills are uses, so the batch form is the same."""
+        _timestamp_batch(global_state, set_state, ways)
 
     def compact_victim(self, global_state: list, set_state, unchecked_reads) -> int:
         """The most disturbance-exposed way; older last use breaks ties."""

@@ -169,6 +169,36 @@ class ReliabilityStatistics:
             total += probability
         self.expected_failures = total
 
+    def record_check_array(self, exposures, failure_probabilities) -> None:
+        """Record many ECC-checked deliveries from aligned NumPy arrays.
+
+        Same totals as :meth:`record_check_batch`: the integer counters sum
+        exactly, and the expected-failure accumulator reproduces the same
+        left-to-right float additions via
+        :func:`repro.reliability.binomial.sequential_float_sum`.
+
+        Args:
+            exposures: Per-check exposure windows (int array), in delivery
+                order.
+            failure_probabilities: Per-check uncorrectable probabilities
+                (float array), aligned with ``exposures``.
+        """
+        import numpy as np
+
+        from ..reliability.binomial import sequential_float_sum
+
+        exposures = np.asarray(exposures, dtype=np.int64)
+        if exposures.size == 0:
+            return
+        self.checked_reads += int(exposures.size)
+        self.accumulated_reads_sum += int(exposures.sum())
+        self.max_accumulated_reads = max(
+            self.max_accumulated_reads, int(exposures.max())
+        )
+        self.expected_failures = sequential_float_sum(
+            self.expected_failures, failure_probabilities
+        )
+
     def record_concealed(self, count: int = 1) -> None:
         """Record concealed (unchecked) reads."""
         self.concealed_reads += count

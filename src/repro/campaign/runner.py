@@ -18,20 +18,28 @@ from pathlib import Path
 from typing import Any, Callable, Sequence
 
 from ..errors import CampaignError
-from ..sim.engine import ENGINE_CHOICES
+from ..sim.engine import (
+    ENGINE_CHOICES,
+    deduplicate_fallback_warnings,
+    enable_fallback_warning_dedup,
+)
+from ..sim.fastpath import KERNEL_CHOICES
 from ..sim.experiment import compare_schemes
 from ..sim.results import WorkloadComparison
 from .spec import CampaignSpec, JobSpec
 from .store import ResultStore, comparison_from_dict, comparison_to_dict
 
 
-def _run_comparison(job: JobSpec, engine: str = "auto") -> WorkloadComparison:
+def _run_comparison(
+    job: JobSpec, engine: str = "auto", kernel: str = "auto"
+) -> WorkloadComparison:
     return compare_schemes(
         job.workload,
         baseline=job.baseline,
         alternatives=job.alternatives,
         settings=job.settings,
         engine=engine,
+        kernel=kernel,
     )
 
 
@@ -45,7 +53,11 @@ def _execute_job(payload: dict[str, Any]) -> tuple[str, dict[str, Any], float]:
     """
     job = JobSpec.from_dict(payload["job"])
     start = time.perf_counter()
-    comparison = _run_comparison(job, engine=payload.get("engine", "auto"))
+    comparison = _run_comparison(
+        job,
+        engine=payload.get("engine", "auto"),
+        kernel=payload.get("kernel", "auto"),
+    )
     elapsed = time.perf_counter() - start
     return job.key, comparison_to_dict(comparison), elapsed
 
@@ -105,6 +117,9 @@ class CampaignRunner:
             identical,
             so store entries stay byte-identical across engine choices and
             the engine is deliberately *not* part of the job key.
+        kernel: Fast-path kernel tier every job runs under (``"loop"``,
+            ``"soa"`` or ``"auto"``, the default); bit-identical kernels,
+            so the kernel is not part of the job key either.
     """
 
     def __init__(
@@ -113,6 +128,7 @@ class CampaignRunner:
         store: ResultStore | None = None,
         jobs: int = 1,
         engine: str = "auto",
+        kernel: str = "auto",
     ) -> None:
         if isinstance(spec, CampaignSpec):
             self._jobs_list = spec.jobs()
@@ -128,9 +144,14 @@ class CampaignRunner:
             raise CampaignError(
                 f"unknown engine {engine!r}; choose one of {ENGINE_CHOICES}"
             )
+        if kernel not in KERNEL_CHOICES:
+            raise CampaignError(
+                f"unknown kernel {kernel!r}; choose one of {KERNEL_CHOICES}"
+            )
         self._store = store
         self._workers = jobs
         self._engine = engine
+        self._kernel = kernel
 
     @property
     def jobs_list(self) -> list[JobSpec]:
@@ -205,11 +226,16 @@ class CampaignRunner:
         by_key: dict[str, JobOutcome],
         progress: Callable[[JobOutcome], None] | None,
     ) -> None:
-        for job in pending.values():
-            job_start = time.perf_counter()
-            comparison = _run_comparison(job, engine=self._engine)
-            elapsed = time.perf_counter() - job_start
-            self._record(job, comparison, elapsed, by_key, progress)
+        # One campaign run warns at most once per distinct fallback reason,
+        # instead of once per job.
+        with deduplicate_fallback_warnings():
+            for job in pending.values():
+                job_start = time.perf_counter()
+                comparison = _run_comparison(
+                    job, engine=self._engine, kernel=self._kernel
+                )
+                elapsed = time.perf_counter() - job_start
+                self._record(job, comparison, elapsed, by_key, progress)
 
     def _run_parallel(
         self,
@@ -222,9 +248,15 @@ class CampaignRunner:
         methods = multiprocessing.get_all_start_methods()
         context = multiprocessing.get_context("fork" if "fork" in methods else None)
         payloads = [
-            {"job": job.to_dict(), "engine": self._engine} for job in pending.values()
+            {"job": job.to_dict(), "engine": self._engine, "kernel": self._kernel}
+            for job in pending.values()
         ]
-        with context.Pool(processes=min(self._workers, len(payloads))) as pool:
+        # Workers deduplicate fallback warnings for their whole lifetime, so
+        # a parallel campaign warns once per worker at most, not per job.
+        with context.Pool(
+            processes=min(self._workers, len(payloads)),
+            initializer=enable_fallback_warning_dedup,
+        ) as pool:
             for key, result, elapsed in pool.imap_unordered(_execute_job, payloads):
                 comparison = comparison_from_dict(result)
                 self._record(pending[key], comparison, elapsed, by_key, progress)
@@ -236,6 +268,7 @@ def run_campaign(
     jobs: int = 1,
     progress: Callable[[JobOutcome], None] | None = None,
     engine: str = "auto",
+    kernel: str = "auto",
 ) -> CampaignResult:
     """One-shot convenience wrapper around :class:`CampaignRunner`.
 
@@ -248,9 +281,11 @@ def run_campaign(
         engine: Simulation engine for every executed job; engines are
             numerically identical, so the store stays consistent across
             engine choices.
+        kernel: Fast-path kernel tier for every executed job (bit-identical
+            kernels; not part of any job key).
     """
     if isinstance(store, (str, Path)):
         store = ResultStore(store)
-    return CampaignRunner(spec, store=store, jobs=jobs, engine=engine).run(
-        progress=progress
-    )
+    return CampaignRunner(
+        spec, store=store, jobs=jobs, engine=engine, kernel=kernel
+    ).run(progress=progress)

@@ -195,7 +195,12 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print(f"  [{outcome.job.workload} @ {outcome.job.point_label}] {status}")
 
     result = run_campaign(
-        spec, store=store, jobs=args.jobs, progress=progress, engine=args.engine
+        spec,
+        store=store,
+        jobs=args.jobs,
+        progress=progress,
+        engine=args.engine,
+        kernel=args.kernel,
     )
     print()
     print(render_campaign_summary(result))
@@ -309,6 +314,15 @@ def build_parser() -> argparse.ArgumentParser:
         "back to the reference loop on custom caches), 'fast' (error on "
         "unsupported), or the per-record 'reference' loop; engines are "
         "numerically identical",
+    )
+    campaign.add_argument(
+        "--kernel",
+        type=str,
+        choices=["loop", "soa", "auto"],
+        default="auto",
+        help="fast-path kernel tier: the structure-of-arrays kernel "
+        "('auto'/'soa', the default) or the grouped per-record 'loop' "
+        "kernel; kernels are bit-identical, only throughput differs",
     )
     campaign.add_argument(
         "--sweep",

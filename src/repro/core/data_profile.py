@@ -86,6 +86,11 @@ class DataValueProfile:
             ones_fraction_mean=ones_count / block_bits,
             ones_fraction_std=0.0,
         )
-        # Replace the stochastic sampler with an exact constant.
+        # Replace the stochastic samplers with exact constants.  Neither
+        # touches the generator, so per-sample and batched draws stay
+        # interchangeable.
         profile.sample = lambda: ones_count  # type: ignore[method-assign]
+        profile.sample_many = (  # type: ignore[method-assign]
+            lambda count: np.full(count, ones_count, dtype=np.int64)
+        )
         return profile

@@ -100,6 +100,22 @@ class RestoreCache(ProtectedCache):
         self._restore_expected_failures = total
         self._restore_count += count
 
+    def record_restore_array(self, failure_probabilities) -> None:
+        """Record many line restores from a float array of probabilities.
+
+        Same totals as :meth:`record_restore_batch`; the expected-failure
+        accumulator reproduces the identical left-to-right additions via
+        :func:`repro.reliability.binomial.sequential_float_sum`, so the
+        structure-of-arrays kernel stays bit-identical to the per-restore
+        loop.
+        """
+        from ..reliability.binomial import sequential_float_sum
+
+        self._restore_expected_failures = sequential_float_sum(
+            self._restore_expected_failures, failure_probabilities
+        )
+        self._restore_count += len(failure_probabilities)
+
     @property
     def expected_failures(self) -> float:
         """Read-path failures plus restore write-failure exposure."""

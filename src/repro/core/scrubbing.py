@@ -88,11 +88,25 @@ class ScrubbingCache(ProtectedCache):
     def export_scrub_state(self) -> tuple[float, int, int]:
         """Snapshot the patrol state as ``(credit, cursor, scrubbed_lines)``.
 
-        Public hook for the batched engine in :mod:`repro.sim.fastpath`,
-        which advances the patrol scrubber inside its grouped replay loop
-        and hands the state back with :meth:`import_scrub_state`.
+        Public hook for the batched engines in :mod:`repro.sim.fastpath` and
+        :mod:`repro.sim.soa`, which advance the patrol scrubber inside their
+        replay loops and hand the state back with :meth:`import_scrub_state`.
         """
         return self._scrub_credit, self._scrub_cursor, self._scrubbed_lines
+
+    def patrol_walk_state(self) -> tuple[float, int, int, int]:
+        """Everything an engine-side patrol replay needs to start walking.
+
+        Returns:
+            ``(credit, cursor, scrubbed_lines, total_frames)`` — the exported
+            patrol state plus the frame count of the round-robin walk.  The
+            credit arithmetic the replay must reproduce is exactly
+            :meth:`_advance_scrubber`'s: add :attr:`scrub_rate` once per
+            demand access, then visit (and decrement) while the credit is at
+            least one line.
+        """
+        credit, cursor, scrubbed = self.export_scrub_state()
+        return credit, cursor, scrubbed, self._cache.num_sets * self._cache.associativity
 
     def import_scrub_state(
         self, credit: float, cursor: int, scrubbed_lines: int

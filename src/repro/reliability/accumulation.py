@@ -17,7 +17,7 @@ into exactly those two curves.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -39,11 +39,28 @@ class AccessSample:
     ones_count: int
 
 
-@dataclass
 class AccumulationTracker:
-    """Collects per-demand-read concealed-read counts during a simulation."""
+    """Collects per-demand-read concealed-read counts during a simulation.
 
-    samples: list[AccessSample] = field(default_factory=list)
+    The samples are held as two parallel integer columns (a structure of
+    arrays) so that batched recording and the histogram maths never build a
+    Python object per demand read; :attr:`samples` materialises the classic
+    :class:`AccessSample` view on demand.
+    """
+
+    __slots__ = ("_concealed", "_ones")
+
+    def __init__(self) -> None:
+        self._concealed: list[int] = []
+        self._ones: list[int] = []
+
+    @property
+    def samples(self) -> list[AccessSample]:
+        """The recorded demand reads as :class:`AccessSample` objects."""
+        return [
+            AccessSample(concealed, ones)
+            for concealed, ones in zip(self._concealed, self._ones)
+        ]
 
     def record(self, concealed_reads: int, ones_count: int) -> None:
         """Record one demand read.
@@ -56,7 +73,8 @@ class AccumulationTracker:
             raise ConfigurationError("concealed_reads must be non-negative")
         if ones_count < 0:
             raise ConfigurationError("ones_count must be non-negative")
-        self.samples.append(AccessSample(concealed_reads, ones_count))
+        self._concealed.append(concealed_reads)
+        self._ones.append(ones_count)
 
     def record_batch(self, concealed_reads, ones_counts) -> None:
         """Record many demand reads at once (same samples as repeated :meth:`record`).
@@ -79,34 +97,60 @@ class AccumulationTracker:
             raise ConfigurationError("concealed_reads must be non-negative")
         if any(o < 0 for o in ones_list):
             raise ConfigurationError("ones_count must be non-negative")
-        self.samples.extend(
-            AccessSample(int(c), int(o)) for c, o in zip(concealed_list, ones_list)
-        )
+        self._concealed.extend(int(c) for c in concealed_list)
+        self._ones.extend(int(o) for o in ones_list)
+
+    def record_sample_arrays(
+        self, concealed_reads: np.ndarray, ones_counts: np.ndarray
+    ) -> None:
+        """Record many demand reads from integer arrays (no per-sample objects).
+
+        Same samples as :meth:`record_batch`; used by the structure-of-arrays
+        kernel, whose delivery columns are already NumPy arrays.
+
+        Raises:
+            ConfigurationError: if the arrays disagree in length or any entry
+                is negative.
+        """
+        concealed = np.asarray(concealed_reads, dtype=np.int64)
+        ones = np.asarray(ones_counts, dtype=np.int64)
+        if concealed.shape != ones.shape:
+            raise ConfigurationError(
+                "concealed_reads and ones_counts must have the same length"
+            )
+        if concealed.size == 0:
+            return
+        if int(concealed.min()) < 0:
+            raise ConfigurationError("concealed_reads must be non-negative")
+        if int(ones.min()) < 0:
+            raise ConfigurationError("ones_count must be non-negative")
+        self._concealed.extend(concealed.tolist())
+        self._ones.extend(ones.tolist())
 
     def __len__(self) -> int:
-        return len(self.samples)
+        return len(self._concealed)
 
     @property
     def max_concealed_reads(self) -> int:
         """Largest concealed-read count observed (0 when empty)."""
-        if not self.samples:
+        if not self._concealed:
             return 0
-        return max(s.concealed_reads for s in self.samples)
+        return max(self._concealed)
 
     @property
     def mean_concealed_reads(self) -> float:
         """Average concealed-read count per demand read (0.0 when empty)."""
-        if not self.samples:
+        if not self._concealed:
             return 0.0
-        return float(np.mean([s.concealed_reads for s in self.samples]))
+        return float(np.mean(self._concealed))
 
     def counts(self) -> np.ndarray:
         """Array of concealed-read counts, one entry per demand read."""
-        return np.array([s.concealed_reads for s in self.samples], dtype=np.int64)
+        return np.array(self._concealed, dtype=np.int64)
 
     def ones(self) -> np.ndarray:
         """Array of ones counts, aligned with :meth:`counts`."""
-        return np.array([s.ones_count for s in self.samples], dtype=np.int64)
+        return np.array(self._ones, dtype=np.int64)
 
 
 @dataclass(frozen=True)

@@ -211,6 +211,76 @@ def reap_failure_probabilities(
     return out
 
 
+def sequential_float_sum(initial: float, addends) -> float:
+    """Left-to-right float sum of ``addends`` starting from ``initial``.
+
+    Implemented as a seeded cumulative sum: ``np.cumsum`` accumulates
+    sequentially, so the final element is bit-identical to the scalar loop
+    ``for a in addends: initial += a`` — unlike ``np.sum``, whose pairwise
+    reduction rounds differently.  This is the one sanctioned way the
+    batched engines fold deferred probability/energy addends into an
+    accumulator without breaking equivalence with the reference loop.
+    """
+    count = len(addends)
+    if count == 0:
+        return initial
+    seeded = np.empty(count + 1, dtype=float)
+    seeded[0] = initial
+    seeded[1:] = addends
+    return float(np.cumsum(seeded)[-1])
+
+
+def resolve_unique_keys(*columns: np.ndarray) -> tuple[list[np.ndarray], np.ndarray]:
+    """Deduplicate aligned non-negative integer key columns.
+
+    The batched engines defer every failure-probability evaluation as a
+    small integer key (e.g. ``(delivery kind, ones count, window)``) and
+    evaluate only the unique keys.  This helper packs the columns into one
+    ``int64`` word per row and deduplicates with a single 1-D
+    :func:`numpy.unique` — sorting one machine word per key instead of
+    lexsorting a 2-D array, which is what keeps resolution cheap for the
+    larger groups the structure-of-arrays kernel produces.
+
+    Args:
+        columns: Aligned 1-D arrays of non-negative integers.
+
+    Returns:
+        ``(unique_columns, inverse)`` where ``unique_columns[k][j]`` is
+        column ``k`` of unique key ``j`` and
+        ``unique_columns[k][inverse]`` reconstructs the input column.
+
+    Raises:
+        ConfigurationError: if any entry is negative or the packed keys
+            exceed 63 bits.
+    """
+    arrays = [np.asarray(column, dtype=np.int64) for column in columns]
+    if not arrays:
+        raise ConfigurationError("at least one key column is required")
+    if arrays[0].size == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return [empty for _ in arrays], np.zeros(0, dtype=np.intp)
+    widths = []
+    for column in arrays:
+        low, high = int(column.min()), int(column.max())
+        if low < 0:
+            raise ConfigurationError("key columns must be non-negative")
+        widths.append(max(1, high.bit_length()))
+    if sum(widths) > 63:
+        raise ConfigurationError("packed key exceeds 63 bits")
+    packed = arrays[0].copy()
+    for column, width in zip(arrays[1:], widths[1:]):
+        packed <<= width
+        packed |= column
+    unique_packed, inverse = np.unique(packed, return_inverse=True)
+    unique_columns: list[np.ndarray] = []
+    for width in reversed(widths[1:]):
+        unique_columns.append(unique_packed & ((1 << width) - 1))
+        unique_packed = unique_packed >> width
+    unique_columns.append(unique_packed)
+    unique_columns.reverse()
+    return unique_columns, inverse.reshape(-1)
+
+
 def accumulation_penalty(
     p_cell: float, num_ones: int, num_reads: int, correctable: int = 1
 ) -> float:

@@ -5,7 +5,10 @@ Public surface:
 * :func:`run_l2_trace` / :func:`run_cpu_trace` — drive a protected cache or
   the full hierarchy with a trace.  Both accept an ``engine`` argument
   selecting the per-record reference loop or the batched fast path
-  (:mod:`repro.sim.fastpath`); the two are numerically identical.
+  (:mod:`repro.sim.fastpath`), and a ``kernel`` argument selecting the fast
+  path's tier (the grouped ``"loop"`` kernel or the structure-of-arrays
+  ``"soa"`` kernel in :mod:`repro.sim.soa`); all combinations are
+  numerically identical.
 * :func:`run_l2_trace_fast` / :func:`run_cpu_trace_fast` /
   :func:`supports_fast_path` — the batched engines and their capability
   probe.
@@ -15,7 +18,13 @@ Public surface:
   — results and console tables.
 """
 
-from .engine import ENGINE_CHOICES, run_cpu_trace, run_l2_trace, simulated_time_for
+from .engine import (
+    ENGINE_CHOICES,
+    deduplicate_fallback_warnings,
+    run_cpu_trace,
+    run_l2_trace,
+    simulated_time_for,
+)
 from .experiment import (
     ExperimentRunner,
     ExperimentSettings,
@@ -23,7 +32,12 @@ from .experiment import (
     run_workload,
     sweep,
 )
-from .fastpath import run_cpu_trace_fast, run_l2_trace_fast, supports_fast_path
+from .fastpath import (
+    KERNEL_CHOICES,
+    run_cpu_trace_fast,
+    run_l2_trace_fast,
+    supports_fast_path,
+)
 from .results import SchemeRunResult, WorkloadComparison, format_table
 
 __all__ = [
@@ -34,6 +48,8 @@ __all__ = [
     "run_cpu_trace_fast",
     "simulated_time_for",
     "ENGINE_CHOICES",
+    "KERNEL_CHOICES",
+    "deduplicate_fallback_warnings",
     "ExperimentRunner",
     "ExperimentSettings",
     "compare_schemes",

@@ -16,6 +16,8 @@ protected cache object itself remains available for deeper inspection
 from __future__ import annotations
 
 import warnings
+from contextlib import contextmanager
+from contextvars import ContextVar
 
 from ..cache import CacheHierarchy
 from ..config import SimulationConfig
@@ -83,8 +85,45 @@ def _check_engine(engine: str) -> None:
         )
 
 
+#: When set (to a mutable set of already-warned reasons), ``engine="auto"``
+#: fallback warnings are deduplicated: each distinct reason warns once.
+_fallback_warned: ContextVar[set | None] = ContextVar(
+    "repro_fallback_warned", default=None
+)
+
+
+@contextmanager
+def deduplicate_fallback_warnings():
+    """Scope within which each distinct auto-fallback reason warns only once.
+
+    The campaign/sweep layers wrap whole runs in this so a large sweep over
+    an unsupported cache emits one :class:`RuntimeWarning` instead of one
+    per job.  Direct ``run_l2_trace`` calls outside the scope keep the
+    historical warn-per-call behaviour.
+    """
+    token = _fallback_warned.set(set())
+    try:
+        yield
+    finally:
+        _fallback_warned.reset(token)
+
+
+def enable_fallback_warning_dedup() -> None:
+    """Deduplicate auto-fallback warnings for the rest of this process.
+
+    Used as the initializer of campaign worker processes, where the scoped
+    context manager cannot span jobs dispatched by the parent.
+    """
+    _fallback_warned.set(set())
+
+
 def _warn_auto_fallback(reason: str) -> None:
     """One-line warning naming why ``engine="auto"`` took the slow loop."""
+    seen = _fallback_warned.get()
+    if seen is not None:
+        if reason in seen:
+            return
+        seen.add(reason)
     # stacklevel 3: warnings.warn <- this helper <- run_*_trace <- API caller.
     warnings.warn(
         f"engine='auto' fell back to the reference loop: "
@@ -100,6 +139,7 @@ def run_l2_trace(
     config: SimulationConfig | None = None,
     add_leakage: bool = True,
     engine: str = "reference",
+    kernel: str = "auto",
 ) -> SchemeRunResult:
     """Drive a protected L2 cache with an L2-level trace.
 
@@ -115,6 +155,9 @@ def run_l2_trace(
             is not fast-path capable), or ``"auto"`` to use the fast engine
             whenever it supports the cache and fall back otherwise.  Both
             engines produce numerically identical results.
+        kernel: Fast-path kernel tier (``"loop"``, ``"soa"`` or ``"auto"``);
+            ignored by the reference engine.  Kernels are bit-identical, so
+            the knob only affects throughput.
 
     Returns:
         A :class:`SchemeRunResult` snapshot taken after the whole trace ran.
@@ -126,7 +169,7 @@ def run_l2_trace(
         supported, reason = supports_fast_path(cache)
         if engine == "fast" or supported:
             return run_l2_trace_fast(
-                cache, trace, config=config, add_leakage=add_leakage
+                cache, trace, config=config, add_leakage=add_leakage, kernel=kernel
             )
         _warn_auto_fallback(reason)
     config = config or SimulationConfig()
@@ -152,6 +195,7 @@ def run_cpu_trace(
     seed: int = 1,
     add_leakage: bool = True,
     engine: str = "reference",
+    kernel: str = "auto",
 ) -> tuple[SchemeRunResult, CacheHierarchy]:
     """Drive the full two-level hierarchy with a CPU-level trace.
 
@@ -169,6 +213,8 @@ def run_cpu_trace(
             whenever it supports the L2 and fall back otherwise.  Both
             engines produce numerically identical results, including the L1
             contents and hierarchy statistics.
+        kernel: Fast-path kernel tier (``"loop"``, ``"soa"`` or ``"auto"``);
+            ignored by the reference engine.
 
     Returns:
         A (result, hierarchy) pair; the hierarchy gives access to L1
@@ -186,6 +232,7 @@ def run_cpu_trace(
                 config=config,
                 seed=seed,
                 add_leakage=add_leakage,
+                kernel=kernel,
             )
         _warn_auto_fallback(reason)
     config = config or SimulationConfig()

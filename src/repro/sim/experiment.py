@@ -106,6 +106,7 @@ def run_workload(
     trace: Trace | None = None,
     sim_config: SimulationConfig | None = None,
     engine: str = "auto",
+    kernel: str = "auto",
 ):
     """Run one (workload, scheme) pair and return (result, protected cache).
 
@@ -122,6 +123,9 @@ def run_workload(
             Both engines produce numerically identical results, so the
             choice never affects experiment outcomes; ``"auto"`` warns and
             falls back to the reference loop for unsupported caches.
+        kernel: Fast-path kernel tier (``"loop"``, ``"soa"`` or ``"auto"``,
+            the default); kernels are bit-identical, so this only affects
+            throughput.
     """
     settings = settings or ExperimentSettings()
     profile = get_profile(workload) if isinstance(workload, str) else workload
@@ -138,7 +142,9 @@ def run_workload(
         seed=settings.seed,
         track_accumulation=settings.track_accumulation,
     )
-    result = run_l2_trace(cache, trace, config=sim_config, engine=engine)
+    result = run_l2_trace(
+        cache, trace, config=sim_config, engine=engine, kernel=kernel
+    )
     return result, cache
 
 
@@ -149,13 +155,15 @@ def compare_schemes(
     settings: ExperimentSettings | None = None,
     sim_config: SimulationConfig | None = None,
     engine: str = "auto",
+    kernel: str = "auto",
 ) -> WorkloadComparison:
     """Run one workload through a baseline and alternative schemes.
 
     The trace is generated once and replayed identically for every scheme so
-    the comparison isolates the protection mechanism.  ``engine`` selects
-    the simulation engine per :func:`repro.sim.run_l2_trace`; results are
-    numerically identical either way.
+    the comparison isolates the protection mechanism.  ``engine`` and
+    ``kernel`` select the simulation engine and fast-path kernel tier per
+    :func:`repro.sim.run_l2_trace`; results are numerically identical across
+    all combinations.
     """
     settings = settings or ExperimentSettings()
     profile = get_profile(workload) if isinstance(workload, str) else workload
@@ -169,6 +177,7 @@ def compare_schemes(
         trace=trace,
         sim_config=sim_config,
         engine=engine,
+        kernel=kernel,
     )
     alternative_results = []
     for scheme in alternatives:
@@ -179,6 +188,7 @@ def compare_schemes(
             trace=trace,
             sim_config=sim_config,
             engine=engine,
+            kernel=kernel,
         )
         alternative_results.append(result)
     return WorkloadComparison(
@@ -198,6 +208,7 @@ class ExperimentRunner:
         baseline: ProtectionScheme | str = ProtectionScheme.CONVENTIONAL,
         alternatives: Sequence[ProtectionScheme | str] = (ProtectionScheme.REAP,),
         engine: str = "auto",
+        kernel: str = "auto",
     ) -> None:
         """Create a runner.
 
@@ -210,6 +221,8 @@ class ExperimentRunner:
                 ``"fast"`` or ``"auto"``, the default); results are
                 numerically identical either way, so the engine is not part
                 of any job identity.
+            kernel: Fast-path kernel tier (``"loop"``, ``"soa"`` or
+                ``"auto"``, the default); also not part of job identity.
         """
         self._workloads = [
             get_profile(w) if isinstance(w, str) else w for w in workloads
@@ -220,6 +233,7 @@ class ExperimentRunner:
         self._baseline = baseline
         self._alternatives = tuple(alternatives)
         self._engine = engine
+        self._kernel = kernel
 
     @property
     def workloads(self) -> list[SPECWorkloadProfile]:
@@ -271,7 +285,12 @@ class ExperimentRunner:
         if progress is not None:
             job_progress = lambda outcome: progress(outcome.job.workload)  # noqa: E731
         result = run_campaign(
-            spec, store=store, jobs=jobs, progress=job_progress, engine=self._engine
+            spec,
+            store=store,
+            jobs=jobs,
+            progress=job_progress,
+            engine=self._engine,
+            kernel=self._kernel,
         )
         return result.comparisons
 
@@ -279,6 +298,14 @@ class ExperimentRunner:
         self, progress: Callable[[str], None] | None = None
     ) -> list[WorkloadComparison]:
         """In-process fallback for unregistered workload profiles."""
+        from .engine import deduplicate_fallback_warnings
+
+        with deduplicate_fallback_warnings():
+            return self._run_direct_inner(progress)
+
+    def _run_direct_inner(
+        self, progress: Callable[[str], None] | None = None
+    ) -> list[WorkloadComparison]:
         comparisons = []
         for index, profile in enumerate(self._workloads):
             comparison = compare_schemes(
@@ -287,6 +314,7 @@ class ExperimentRunner:
                 alternatives=self._alternatives,
                 settings=replace(self._settings, seed=self._settings.seed + index),
                 engine=self._engine,
+                kernel=self._kernel,
             )
             comparisons.append(comparison)
             if progress is not None:
@@ -303,6 +331,7 @@ def sweep(
     jobs: int = 1,
     store=None,
     engine: str = "auto",
+    kernel: str = "auto",
 ) -> list[tuple[object, WorkloadComparison]]:
     """Sweep one parameter and compare schemes at each point.
 
@@ -324,6 +353,8 @@ def sweep(
             to cache and resume the sweep.
         engine: Simulation engine used at every point (default ``"auto"``;
             results are numerically identical across engines).
+        kernel: Fast-path kernel tier used at every point (default
+            ``"auto"``; kernels are bit-identical).
 
     Returns:
         ``[(value, comparison), ...]`` in the order of ``parameter_values``.
@@ -334,19 +365,23 @@ def sweep(
         return []
     profile = get_profile(workload) if isinstance(workload, str) else workload
     if not _is_registered(profile):
-        return [
-            (
-                value,
-                compare_schemes(
-                    profile,
-                    baseline=baseline,
-                    alternatives=alternatives,
-                    settings=build_settings(value),
-                    engine=engine,
-                ),
-            )
-            for value in parameter_values
-        ]
+        from .engine import deduplicate_fallback_warnings
+
+        with deduplicate_fallback_warnings():
+            return [
+                (
+                    value,
+                    compare_schemes(
+                        profile,
+                        baseline=baseline,
+                        alternatives=alternatives,
+                        settings=build_settings(value),
+                        engine=engine,
+                        kernel=kernel,
+                    ),
+                )
+                for value in parameter_values
+            ]
     job_specs = []
     for index, value in enumerate(parameter_values):
         point_value = value if isinstance(value, (bool, int, float, str)) else str(value)
@@ -359,7 +394,7 @@ def sweep(
                 point=(("sweep_index", index), ("value", point_value)),
             )
         )
-    result = run_campaign(job_specs, store=store, jobs=jobs, engine=engine)
+    result = run_campaign(job_specs, store=store, jobs=jobs, engine=engine, kernel=kernel)
     return [
         (value, outcome.comparison)
         for value, outcome in zip(parameter_values, result.outcomes)

@@ -78,7 +78,7 @@ from ..reliability.binomial import (
     block_failure_probabilities,
     reap_failure_probabilities,
 )
-from ..workloads.trace import AccessKind, Trace
+from ..workloads.trace import Trace
 from .results import SchemeRunResult
 
 #: Delivery-kind codes used by the deferred probability records.
@@ -98,11 +98,28 @@ _SCHEME_MODES = {
 #: transitions for the fast path to be equivalent by construction.
 _POLICY_HOOKS = ("on_access", "on_fill", "victim")
 
+#: Kernel tiers of the fast path: the grouped per-record ``"loop"`` kernel,
+#: the two-pass ``"soa"`` (structure-of-arrays) kernel in
+#: :mod:`repro.sim.soa`, or ``"auto"`` (the SoA kernel — both are
+#: bit-identical, so the choice only affects throughput).
+KERNEL_CHOICES = ("loop", "soa", "auto")
+
+
+def _check_kernel(kernel: str) -> None:
+    if kernel not in KERNEL_CHOICES:
+        raise SimulationError(
+            f"unknown kernel {kernel!r}; choose one of {KERNEL_CHOICES}"
+        )
+
 
 def _policy_reason(policy) -> str:
     """Why a replacement policy is not fast-path capable ('' if it is)."""
     if not isinstance(policy, ReplacementPolicy):
         return f"replacement policy {type(policy).__name__}"
+    if policy.supports_compact_state:
+        # Third-party opt-in: the policy promises its object-hook overrides
+        # still route every state change through the compact transitions.
+        return ""
     for hook in _POLICY_HOOKS:
         if getattr(type(policy), hook) is not getattr(ReplacementPolicy, hook):
             return (
@@ -132,6 +149,7 @@ def run_l2_trace_fast(
     trace: Trace,
     config: SimulationConfig | None = None,
     add_leakage: bool = True,
+    kernel: str = "auto",
 ) -> SchemeRunResult:
     """Batched equivalent of the reference :func:`repro.sim.run_l2_trace`.
 
@@ -141,6 +159,9 @@ def run_l2_trace_fast(
         trace: L2-level trace (``L2_READ`` / ``L2_WRITE`` records).
         config: Simulation configuration for the time base.
         add_leakage: Whether to add leakage energy for the simulated time.
+        kernel: Fast-path kernel tier: the grouped per-record ``"loop"``,
+            the structure-of-arrays ``"soa"``, or ``"auto"`` (SoA).  The
+            kernels are bit-identical; only throughput differs.
 
     Returns:
         A :class:`SchemeRunResult` snapshot taken after the whole trace ran.
@@ -151,12 +172,18 @@ def run_l2_trace_fast(
     """
     from .engine import _snapshot, simulated_time_for
 
+    _check_kernel(kernel)
     supported, reason = supports_fast_path(cache)
     if not supported:
         raise SimulationError(f"fast path does not support {reason}")
     config = config or SimulationConfig()
     codes, set_indices, tags = _decode(cache, trace)
-    _replay(cache, codes, set_indices, tags)
+    if kernel == "loop":
+        _replay(cache, codes, set_indices, tags)
+    else:
+        from .soa import replay_l2_soa
+
+        replay_l2_soa(cache, codes, set_indices, tags, _SCHEME_MODES[type(cache)])
     simulated_time = simulated_time_for(len(trace), config)
     if add_leakage:
         cache.add_leakage(simulated_time)
@@ -169,12 +196,14 @@ def run_cpu_trace_fast(
     config: SimulationConfig | None = None,
     seed: int = 1,
     add_leakage: bool = True,
+    kernel: str = "auto",
 ) -> tuple[SchemeRunResult, CacheHierarchy]:
     """Batched equivalent of the reference :func:`repro.sim.run_cpu_trace`.
 
     The CPU stream is pre-decoded once, filtered through compact L1I/L1D
-    replays, and the realised L2 read/write-back stream is replayed with the
-    same grouped engine :func:`run_l2_trace_fast` uses.  The returned
+    replays (run-length encoded under the SoA kernel, per record under the
+    loop kernel), and the realised L2 read/write-back stream is replayed
+    with the same engine :func:`run_l2_trace_fast` uses.  The returned
     hierarchy holds L1 caches whose contents, statistics and replacement
     state match the reference loop's field for field.
 
@@ -184,6 +213,8 @@ def run_cpu_trace_fast(
         config: Simulation configuration (hierarchy geometry and time base).
         seed: Seed for the L1 replacement policies.
         add_leakage: Whether to add L2 leakage energy for the simulated time.
+        kernel: Fast-path kernel tier (``"loop"``, ``"soa"`` or ``"auto"``);
+            bit-identical results either way.
 
     Returns:
         A (result, hierarchy) pair, as from :func:`repro.sim.run_cpu_trace`.
@@ -194,18 +225,34 @@ def run_cpu_trace_fast(
     """
     from .engine import _snapshot
 
+    _check_kernel(kernel)
     supported, reason = supports_fast_path(l2_cache)
     if not supported:
         raise SimulationError(f"fast path does not support {reason}")
     config = config or SimulationConfig()
     hierarchy = CacheHierarchy(config.hierarchy, l2_cache, seed=seed)
-    l2_codes, l2_addresses = _filter_through_l1(hierarchy, trace)
+    if kernel == "loop":
+        l2_codes, l2_addresses = _filter_through_l1(hierarchy, trace)
+    else:
+        from .soa import filter_through_l1_soa
+
+        cpu_codes, cpu_addresses = _decode_cpu(trace)
+        l2_codes, l2_addresses = filter_through_l1_soa(
+            hierarchy, cpu_codes, cpu_addresses
+        )
 
     l2_count = len(l2_codes)
     codes = np.fromiter(l2_codes, dtype=np.int8, count=l2_count)
     addresses = np.fromiter(l2_addresses, dtype=np.int64, count=l2_count)
     batch = l2_cache.cache.mapper.decompose_batch(addresses)
-    _replay(l2_cache, codes, batch.indices, batch.tags)
+    if kernel == "loop":
+        _replay(l2_cache, codes, batch.indices, batch.tags)
+    else:
+        from .soa import replay_l2_soa
+
+        replay_l2_soa(
+            l2_cache, codes, batch.indices, batch.tags, _SCHEME_MODES[type(l2_cache)]
+        )
 
     # Time base: one CPU reference per cycle, as in the reference loop.
     simulated_time = len(trace) * config.cycle_time_s
@@ -216,28 +263,39 @@ def run_cpu_trace_fast(
     return result, hierarchy
 
 
+#: Remaps :data:`repro.workloads.trace.KIND_ORDER` indices (IFETCH, LOAD,
+#: STORE, L2_READ, L2_WRITE) to the engines' level-specific codes.
+_L2_KIND_MAP = np.array([2, 2, 2, 0, 1], dtype=np.int8)
+_CPU_KIND_MAP = np.array([0, 1, 2, 3, 3], dtype=np.int8)
+
+
 def _decode(
     cache: ProtectedCache, trace: Trace
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Pre-decode a trace into (kind code, set index, tag) arrays."""
-    records = trace.records
-    count = len(records)
-    kind_codes = {AccessKind.L2_READ: 0, AccessKind.L2_WRITE: 1}
-    codes = np.fromiter(
-        (kind_codes.get(record.kind, 2) for record in records),
-        dtype=np.int8,
-        count=count,
-    )
+    kinds, addresses = trace.decoded()
+    codes = _L2_KIND_MAP[kinds]
     bad = np.flatnonzero(codes == 2)
     if bad.size:
         raise SimulationError(
-            f"run_l2_trace expects L2-level records, got {records[bad[0]].kind}"
+            f"run_l2_trace expects L2-level records, got "
+            f"{trace.records[bad[0]].kind}"
         )
-    addresses = np.fromiter(
-        (record.address for record in records), dtype=np.int64, count=count
-    )
     batch = cache.cache.mapper.decompose_batch(addresses)
     return codes, batch.indices, batch.tags
+
+
+def _decode_cpu(trace: Trace) -> tuple[np.ndarray, np.ndarray]:
+    """Pre-decode a CPU-level trace into (kind code, address) arrays."""
+    kinds, addresses = trace.decoded()
+    codes = _CPU_KIND_MAP[kinds]
+    bad = np.flatnonzero(codes == 3)
+    if bad.size:
+        raise SimulationError(
+            f"run_cpu_trace expects CPU-level records, got "
+            f"{trace.records[bad[0]].kind}"
+        )
+    return codes, addresses
 
 
 class _L1Replay:
@@ -404,22 +462,8 @@ def _filter_through_l1(
         write-back, in the exact order the reference hierarchy would issue
         them to the L2.
     """
-    records = trace.records
-    count = len(records)
-    kind_codes = {AccessKind.IFETCH: 0, AccessKind.LOAD: 1, AccessKind.STORE: 2}
-    codes = np.fromiter(
-        (kind_codes.get(record.kind, 3) for record in records),
-        dtype=np.int8,
-        count=count,
-    )
-    bad = np.flatnonzero(codes == 3)
-    if bad.size:
-        raise SimulationError(
-            f"run_cpu_trace expects CPU-level records, got {records[bad[0]].kind}"
-        )
-    addresses = np.fromiter(
-        (record.address for record in records), dtype=np.int64, count=count
-    )
+    codes, addresses = _decode_cpu(trace)
+    count = len(codes)
     l1i, l1d = hierarchy.l1i, hierarchy.l1d
     is_ifetch = codes == 0
     i_batch = l1i.mapper.decompose_batch(addresses[is_ifetch])
@@ -552,8 +596,9 @@ def _replay(
     # Patrol-scrubber state (scrubbing scheme only).
     if scrubbing:
         scrub_rate = cache.scrub_rate
-        scrub_credit, scrub_cursor, scrubbed_lines = cache.export_scrub_state()
-        total_frames = substrate.num_sets * assoc
+        scrub_credit, scrub_cursor, scrubbed_lines, total_frames = (
+            cache.patrol_walk_state()
+        )
 
     # Functional counters, folded into the statistics objects at the end.
     demand_reads = demand_writes = 0

@@ -22,6 +22,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator
 
+import numpy as np
+
 from ..errors import TraceError
 
 
@@ -33,6 +35,18 @@ class AccessKind(str, enum.Enum):
     STORE = "S"
     L2_READ = "R"
     L2_WRITE = "W"
+
+
+#: Fixed kind order of the cached decode arrays (see :meth:`Trace.decoded`).
+KIND_ORDER = (
+    AccessKind.IFETCH,
+    AccessKind.LOAD,
+    AccessKind.STORE,
+    AccessKind.L2_READ,
+    AccessKind.L2_WRITE,
+)
+
+_KIND_INDEX = {kind: index for index, kind in enumerate(KIND_ORDER)}
 
 
 @dataclass(frozen=True)
@@ -70,6 +84,7 @@ class Trace:
 
     def __post_init__(self) -> None:
         self._write_count = sum(1 for r in self.records if r.is_write)
+        self._decoded: tuple[int, np.ndarray, np.ndarray] | None = None
 
     def __len__(self) -> int:
         return len(self.records)
@@ -91,6 +106,30 @@ class Trace:
         added = list(records)
         self.records.extend(added)
         self._write_count += sum(1 for r in added if r.is_write)
+
+    def decoded(self) -> tuple[np.ndarray, np.ndarray]:
+        """The trace as ``(kind index, address)`` NumPy columns, memoised.
+
+        The kind column indexes :data:`KIND_ORDER`; callers remap it to
+        their own codes with a small lookup table.  The arrays are cached on
+        the trace (and rebuilt if the trace has grown since), so replaying
+        one trace against several schemes or engines decodes it only once.
+        The returned arrays are shared — treat them as read-only.
+        """
+        count = len(self.records)
+        cached = self._decoded
+        if cached is not None and cached[0] == count:
+            return cached[1], cached[2]
+        kinds = np.fromiter(
+            (_KIND_INDEX[record.kind] for record in self.records),
+            dtype=np.int8,
+            count=count,
+        )
+        addresses = np.fromiter(
+            (record.address for record in self.records), dtype=np.int64, count=count
+        )
+        self._decoded = (count, kinds, addresses)
+        return kinds, addresses
 
     # -- summaries ------------------------------------------------------------
 

@@ -229,3 +229,161 @@ class TestExportImportRoundTrips:
             obj.export_set_state(NUM_SETS)
         with pytest.raises(ReplacementError):
             obj.import_set_state(-1, [])
+
+
+class TestBatchedTransitions:
+    """Batched transitions equal N scalar transitions, for every policy.
+
+    Batch sizes straddle the vector-form thresholds (the timestamp policies
+    switch representation above 8 ways, tree PLRU above 16), so both the
+    scalar-loop defaults and the true vector overrides are exercised.
+    """
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize("seed", (1, 2, 3))
+    @pytest.mark.parametrize("batch_size", (1, 5, 40))
+    def test_access_batch_matches_scalar_sequence(self, policy, seed, batch_size):
+        scalar = build(policy, seed=17)
+        batched = build(policy, seed=17)
+        rng = random.Random(seed)
+        for _ in range(10):
+            set_index = rng.randrange(NUM_SETS)
+            ways = [rng.randrange(ASSOC) for _ in range(batch_size)]
+            scalar_row = scalar.export_set_state(set_index)
+            batched_row = batched.export_set_state(set_index)
+            for way in ways:
+                scalar.compact_on_access(scalar.compact_globals(), scalar_row, way)
+            batched.compact_on_access_batch(
+                batched.compact_globals(), batched_row, ways
+            )
+            assert list(scalar_row) == list(batched_row), (policy, ways)
+            scalar.import_set_state(set_index, scalar_row)
+            batched.import_set_state(set_index, batched_row)
+        assert_same_state(policy, scalar, batched)
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize("batch_size", (2, 40))
+    def test_fill_batch_matches_scalar_sequence(self, policy, batch_size):
+        scalar = build(policy, seed=23)
+        batched = build(policy, seed=23)
+        rng = random.Random(31)
+        for _ in range(8):
+            set_index = rng.randrange(NUM_SETS)
+            ways = [rng.randrange(ASSOC) for _ in range(batch_size)]
+            scalar_row = scalar.export_set_state(set_index)
+            batched_row = batched.export_set_state(set_index)
+            for way in ways:
+                scalar.compact_on_fill(scalar.compact_globals(), scalar_row, way)
+            batched.compact_on_fill_batch(
+                batched.compact_globals(), batched_row, ways
+            )
+            assert list(scalar_row) == list(batched_row), (policy, ways)
+            scalar.import_set_state(set_index, scalar_row)
+            batched.import_set_state(set_index, batched_row)
+        assert_same_state(policy, scalar, batched)
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_mid_batch_export_import_round_trip(self, policy):
+        """Splitting a batch around a round trip changes nothing."""
+        whole = build(policy, seed=5)
+        split = build(policy, seed=5)
+        rng = random.Random(41)
+        set_index = 3
+        ways = [rng.randrange(ASSOC) for _ in range(24)]
+        whole_row = whole.export_set_state(set_index)
+        whole.compact_on_access_batch(whole.compact_globals(), whole_row, ways)
+        whole.import_set_state(set_index, whole_row)
+
+        split_row = split.export_set_state(set_index)
+        split.compact_on_access_batch(split.compact_globals(), split_row, ways[:11])
+        split.import_set_state(set_index, split_row)
+        split.import_global_state(split.export_global_state())
+        split_row = split.export_set_state(set_index)
+        split.compact_on_access_batch(split.compact_globals(), split_row, ways[11:])
+        split.import_set_state(set_index, split_row)
+        assert_same_state(policy, whole, split)
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_empty_batch_is_a_no_op(self, policy):
+        obj = build(policy, seed=2)
+        before_globals = obj.export_global_state()
+        row = obj.export_set_state(0)
+        obj.compact_on_access_batch(obj.compact_globals(), row, [])
+        obj.compact_on_fill_batch(obj.compact_globals(), row, [])
+        obj.import_set_state(0, row)
+        assert obj.export_global_state() == before_globals
+
+
+class TestPositionProtocol:
+    """The SoA position arithmetic of the timestamp policies (LRU, LER)."""
+
+    POSITION_POLICIES = (ReplacementPolicyName.LRU, ReplacementPolicyName.LER)
+
+    @staticmethod
+    def _random_schedule(rng, count):
+        """One transition per global position, spread over sets and ways."""
+        return [
+            (rng.randrange(NUM_SETS), rng.randrange(ASSOC)) for _ in range(count)
+        ]
+
+    @pytest.mark.parametrize("policy", POSITION_POLICIES)
+    @pytest.mark.parametrize("seed", (1, 9))
+    def test_last_positions_replay_matches_scalar(self, policy, seed):
+        scalar = build(policy, seed=3)
+        deferred = build(policy, seed=3)
+        rng = random.Random(seed)
+        schedule = self._random_schedule(rng, 120)
+
+        rows = {s: scalar.export_set_state(s) for s in range(NUM_SETS)}
+        for set_index, way in schedule:
+            scalar.compact_on_access(scalar.compact_globals(), rows[set_index], way)
+        for set_index, row in rows.items():
+            scalar.import_set_state(set_index, row)
+
+        base = deferred.soa_tick_base()
+        deferred_rows = {s: deferred.export_set_state(s) for s in range(NUM_SETS)}
+        pend = {s: [-1] * ASSOC for s in range(NUM_SETS)}
+        for position, (set_index, way) in enumerate(schedule):
+            pend[set_index][way] = position
+        for set_index, row in deferred_rows.items():
+            deferred.soa_apply_last_positions(row, pend[set_index], base)
+            deferred.import_set_state(set_index, row)
+        deferred.soa_commit(base, len(schedule))
+        assert_same_state(policy, scalar, deferred)
+
+    @pytest.mark.parametrize("policy", POSITION_POLICIES)
+    @pytest.mark.parametrize("seed", (4, 12))
+    def test_victim_positions_matches_flush_then_victim(self, policy, seed):
+        flushed = build(policy, seed=6)
+        lazy = build(policy, seed=6)
+        rng = random.Random(seed)
+        exposures = [rng.randrange(5) for _ in range(ASSOC)]
+        for touched in range(ASSOC + 1):  # 0 .. all ways touched
+            schedule = [
+                (2, rng.randrange(ASSOC)) for _ in range(touched * 3)
+            ]
+            pend = [-1] * ASSOC
+            for position, (_, way) in enumerate(schedule):
+                pend[way] = position
+            base = flushed.soa_tick_base()
+
+            flushed_row = flushed.export_set_state(2)
+            flushed.soa_apply_last_positions(flushed_row, pend, base)
+            expected = flushed.compact_victim(
+                flushed.compact_globals(), flushed_row, exposures
+            )
+
+            lazy_row = lazy.export_set_state(2)
+            actual = lazy.soa_victim_positions(
+                lazy.compact_globals(), lazy_row, pend, base, exposures
+            )
+            assert actual == expected, (policy, touched)
+
+    def test_non_position_policies_reject_the_protocol(self):
+        plru = build(ReplacementPolicyName.PLRU)
+        with pytest.raises(NotImplementedError):
+            plru.soa_tick_base()
+        with pytest.raises(NotImplementedError):
+            plru.soa_apply_last_positions([], [], 0)
+        with pytest.raises(NotImplementedError):
+            plru.soa_commit(0, 0)

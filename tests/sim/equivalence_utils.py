@@ -41,6 +41,9 @@ EQUIVALENCE_SCHEMES = ("conventional", "reap", "serial", "restore", "scrubbing")
 #: compact-state protocol.
 EQUIVALENCE_POLICIES = ("lru", "fifo", "plru", "random", "ler")
 
+#: The fast path's kernel tiers, both bit-identical to the reference loop.
+EQUIVALENCE_KERNELS = ("loop", "soa")
+
 
 def small_l2(**overrides) -> CacheLevelConfig:
     """A small L2 geometry that keeps the harness quick but conflict-rich."""
@@ -118,7 +121,9 @@ def build_cache(
     )
 
 
-def run_both_engines(scheme, trace, config=None, seed=1, ones_count=100, **kwargs):
+def run_both_engines(
+    scheme, trace, config=None, seed=1, ones_count=100, kernel="loop", **kwargs
+):
     """Run one trace through both engines on identically-built caches.
 
     Returns:
@@ -131,12 +136,12 @@ def run_both_engines(scheme, trace, config=None, seed=1, ones_count=100, **kwarg
         scheme, config=config, seed=seed, ones_count=ones_count, **kwargs
     )
     reference_result = run_l2_trace(reference_cache, trace, engine="reference")
-    fast_result = run_l2_trace(fast_cache, trace, engine="fast")
+    fast_result = run_l2_trace(fast_cache, trace, engine="fast", kernel=kernel)
     return reference_result, fast_result, reference_cache, fast_cache
 
 
 def run_both_cpu_engines(
-    scheme, trace, sim_config=None, seed=1, ones_count=100, **kwargs
+    scheme, trace, sim_config=None, seed=1, ones_count=100, kernel="loop", **kwargs
 ):
     """Run one CPU trace through both engines over identical hierarchies.
 
@@ -155,7 +160,7 @@ def run_both_cpu_engines(
         reference_cache, trace, config=sim_config, seed=seed, engine="reference"
     )
     fast_result, fast_hierarchy = run_cpu_trace(
-        fast_cache, trace, config=sim_config, seed=seed, engine="fast"
+        fast_cache, trace, config=sim_config, seed=seed, engine="fast", kernel=kernel
     )
     return (
         reference_result,

@@ -24,12 +24,19 @@ here before it can bias the paper's figures.
 from __future__ import annotations
 
 import random
+import warnings
 
 import pytest
 
+from repro.cache.replacement import LRUPolicy
 from repro.config import ReadPathMode
 from repro.core import ConventionalCache
-from repro.sim import run_cpu_trace, run_l2_trace, supports_fast_path
+from repro.sim import (
+    deduplicate_fallback_warnings,
+    run_cpu_trace,
+    run_l2_trace,
+    supports_fast_path,
+)
 from repro.workloads import (
     AccessKind,
     Trace,
@@ -43,6 +50,7 @@ from repro.workloads import (
 )
 
 from equivalence_utils import (
+    EQUIVALENCE_KERNELS,
     EQUIVALENCE_POLICIES,
     EQUIVALENCE_SCHEMES,
     assert_caches_equivalent,
@@ -87,23 +95,27 @@ def cpu_trace(seed: int, length: int = 4_000) -> Trace:
 
 
 class TestSchemeWorkloadSeedSweep:
-    """The headline sweep: schemes x workloads x seeds, fully compared."""
+    """The headline sweep: kernels x schemes x workloads x seeds."""
 
+    @pytest.mark.parametrize("kernel", EQUIVALENCE_KERNELS)
     @pytest.mark.parametrize("scheme", EQUIVALENCE_SCHEMES)
     @pytest.mark.parametrize("workload", WORKLOADS)
     @pytest.mark.parametrize("seed", SEEDS)
-    def test_engines_match(self, scheme, workload, seed):
+    def test_engines_match(self, scheme, workload, seed, kernel):
         trace = profile_trace(workload, seed)
         reference, fast, ref_cache, fast_cache = run_both_engines(
-            scheme, trace, seed=seed
+            scheme, trace, seed=seed, kernel=kernel
         )
         assert_results_equivalent(reference, fast)
         assert_caches_equivalent(ref_cache, fast_cache)
 
+    @pytest.mark.parametrize("kernel", EQUIVALENCE_KERNELS)
     @pytest.mark.parametrize("scheme", EQUIVALENCE_SCHEMES)
-    def test_restore_and_scheme_extras(self, scheme):
+    def test_restore_and_scheme_extras(self, scheme, kernel):
         trace = profile_trace("h264ref", 3)
-        _, _, ref_cache, fast_cache = run_both_engines(scheme, trace, seed=3)
+        _, _, ref_cache, fast_cache = run_both_engines(
+            scheme, trace, seed=3, kernel=kernel
+        )
         if scheme == "restore":
             assert ref_cache.restore_count == fast_cache.restore_count
             assert (
@@ -118,32 +130,35 @@ class TestSchemeWorkloadSeedSweep:
 
 
 class TestReplacementPolicyMatrix:
-    """Scheme x replacement-policy coverage over the compact-state protocol."""
+    """Kernel x scheme x replacement-policy coverage over the compact state."""
 
+    @pytest.mark.parametrize("kernel", EQUIVALENCE_KERNELS)
     @pytest.mark.parametrize("policy", EQUIVALENCE_POLICIES)
     @pytest.mark.parametrize("scheme", EQUIVALENCE_SCHEMES)
-    def test_all_schemes_all_policies(self, scheme, policy):
+    def test_all_schemes_all_policies(self, scheme, policy, kernel):
         config = small_l2(replacement=policy)
         trace = profile_trace("mcf", 5, config=config)
         reference, fast, ref_cache, fast_cache = run_both_engines(
-            scheme, trace, config=config, seed=5
+            scheme, trace, config=config, seed=5, kernel=kernel
         )
         assert_results_equivalent(reference, fast)
         assert_caches_equivalent(ref_cache, fast_cache)
 
+    @pytest.mark.parametrize("kernel", EQUIVALENCE_KERNELS)
     @pytest.mark.parametrize("policy", EQUIVALENCE_POLICIES)
     @pytest.mark.parametrize("seed", SEEDS)
-    def test_policies_across_seeds(self, policy, seed):
+    def test_policies_across_seeds(self, policy, seed, kernel):
         config = small_l2(replacement=policy)
         trace = profile_trace("gcc", seed, config=config)
         reference, fast, ref_cache, fast_cache = run_both_engines(
-            "reap", trace, config=config, seed=seed
+            "reap", trace, config=config, seed=seed, kernel=kernel
         )
         assert_results_equivalent(reference, fast)
         assert_caches_equivalent(ref_cache, fast_cache)
 
+    @pytest.mark.parametrize("kernel", EQUIVALENCE_KERNELS)
     @pytest.mark.parametrize("policy", ("random", "ler"))
-    def test_stateful_policies_on_warm_cache(self, policy):
+    def test_stateful_policies_on_warm_cache(self, policy, kernel):
         """Sequential runs continue the policy stream/tick identically."""
         config = small_l2(replacement=policy)
         first = profile_trace("gcc", 8, config=config, length=1_500)
@@ -151,9 +166,9 @@ class TestReplacementPolicyMatrix:
         ref_cache = build_cache("conventional", config=config, seed=8)
         fast_cache = build_cache("conventional", config=config, seed=8)
         run_l2_trace(ref_cache, first, engine="reference")
-        run_l2_trace(fast_cache, first, engine="fast")
+        run_l2_trace(fast_cache, first, engine="fast", kernel=kernel)
         reference = run_l2_trace(ref_cache, second, engine="reference")
-        fast = run_l2_trace(fast_cache, second, engine="fast")
+        fast = run_l2_trace(fast_cache, second, engine="fast", kernel=kernel)
         assert_results_equivalent(reference, fast)
         assert_caches_equivalent(ref_cache, fast_cache)
 
@@ -161,35 +176,38 @@ class TestReplacementPolicyMatrix:
 class TestScrubbingScheme:
     """The patrol scrubber's cursor/credit replay, across rates."""
 
+    @pytest.mark.parametrize("kernel", EQUIVALENCE_KERNELS)
     @pytest.mark.parametrize("rate", (0.25, 1.0, 2.5))
-    def test_scrub_rates(self, rate):
+    def test_scrub_rates(self, rate, kernel):
         trace = profile_trace("xalancbmk", 6)
         reference, fast, ref_cache, fast_cache = run_both_engines(
-            "scrubbing", trace, seed=6, scrub_lines_per_access=rate
+            "scrubbing", trace, seed=6, scrub_lines_per_access=rate, kernel=kernel
         )
         assert_results_equivalent(reference, fast)
         assert_caches_equivalent(ref_cache, fast_cache)
         assert ref_cache.scrubbed_lines > 0
 
-    def test_zero_rate_never_scrubs(self):
+    @pytest.mark.parametrize("kernel", EQUIVALENCE_KERNELS)
+    def test_zero_rate_never_scrubs(self, kernel):
         trace = profile_trace("gcc", 2, length=1_000)
         reference, fast, ref_cache, fast_cache = run_both_engines(
-            "scrubbing", trace, seed=2, scrub_lines_per_access=0.0
+            "scrubbing", trace, seed=2, scrub_lines_per_access=0.0, kernel=kernel
         )
         assert_results_equivalent(reference, fast)
         assert_caches_equivalent(ref_cache, fast_cache)
         assert fast_cache.scrubbed_lines == 0
 
-    def test_warm_cache_continues_patrol(self):
+    @pytest.mark.parametrize("kernel", EQUIVALENCE_KERNELS)
+    def test_warm_cache_continues_patrol(self, kernel):
         """The cursor and fractional credit survive across segments."""
         first = profile_trace("gcc", 10, length=1_200)
         second = profile_trace("namd", 11, length=1_200)
         ref_cache = build_cache("scrubbing", seed=10, scrub_lines_per_access=0.7)
         fast_cache = build_cache("scrubbing", seed=10, scrub_lines_per_access=0.7)
         run_l2_trace(ref_cache, first, engine="reference")
-        run_l2_trace(fast_cache, first, engine="fast")
+        run_l2_trace(fast_cache, first, engine="fast", kernel=kernel)
         reference = run_l2_trace(ref_cache, second, engine="reference")
-        fast = run_l2_trace(fast_cache, second, engine="fast")
+        fast = run_l2_trace(fast_cache, second, engine="fast", kernel=kernel)
         assert_results_equivalent(reference, fast)
         assert_caches_equivalent(ref_cache, fast_cache)
 
@@ -197,35 +215,38 @@ class TestScrubbingScheme:
 class TestHierarchyTraces:
     """run_cpu_trace equivalence: HierarchyStatistics and L1 contents too."""
 
+    @pytest.mark.parametrize("kernel", EQUIVALENCE_KERNELS)
     @pytest.mark.parametrize("scheme", EQUIVALENCE_SCHEMES)
-    def test_cpu_traces_all_schemes(self, scheme):
+    def test_cpu_traces_all_schemes(self, scheme, kernel):
         trace = cpu_trace(seed=1)
         reference, fast, ref_h, fast_h, ref_cache, fast_cache = run_both_cpu_engines(
-            scheme, trace, seed=1
+            scheme, trace, seed=1, kernel=kernel
         )
         assert_results_equivalent(reference, fast)
         assert_hierarchies_equivalent(ref_h, fast_h)
         assert_caches_equivalent(ref_cache, fast_cache)
 
+    @pytest.mark.parametrize("kernel", EQUIVALENCE_KERNELS)
     @pytest.mark.parametrize("l1_policy", EQUIVALENCE_POLICIES)
-    def test_cpu_traces_l1_policies(self, l1_policy):
+    def test_cpu_traces_l1_policies(self, l1_policy, kernel):
         sim_config = small_hierarchy_config(l1_replacement=l1_policy)
         trace = cpu_trace(seed=2)
         reference, fast, ref_h, fast_h, ref_cache, fast_cache = run_both_cpu_engines(
-            "reap", trace, sim_config=sim_config, seed=2
+            "reap", trace, sim_config=sim_config, seed=2, kernel=kernel
         )
         assert_results_equivalent(reference, fast)
         assert_hierarchies_equivalent(ref_h, fast_h)
         assert_caches_equivalent(ref_cache, fast_cache)
 
+    @pytest.mark.parametrize("kernel", EQUIVALENCE_KERNELS)
     @pytest.mark.parametrize("l2_policy", ("fifo", "ler"))
-    def test_cpu_traces_l2_policies(self, l2_policy):
+    def test_cpu_traces_l2_policies(self, l2_policy, kernel):
         sim_config = small_hierarchy_config(
             l2_config=small_l2(replacement=l2_policy)
         )
         trace = cpu_trace(seed=3)
         reference, fast, ref_h, fast_h, ref_cache, fast_cache = run_both_cpu_engines(
-            "conventional", trace, sim_config=sim_config, seed=3
+            "conventional", trace, sim_config=sim_config, seed=3, kernel=kernel
         )
         assert_results_equivalent(reference, fast)
         assert_hierarchies_equivalent(ref_h, fast_h)
@@ -269,59 +290,67 @@ class TestHierarchyTraces:
 class TestConfigurationVariants:
     """Non-default configurations exercise every fast-path branch."""
 
+    @pytest.mark.parametrize("kernel", EQUIVALENCE_KERNELS)
     @pytest.mark.parametrize("scheme", EQUIVALENCE_SCHEMES)
-    def test_interleaved_multi_lane_ecc(self, scheme):
+    def test_interleaved_multi_lane_ecc(self, scheme, kernel):
         config = interleaved_l2()
         trace = profile_trace("namd", 2, config=config)
         reference, fast, ref_cache, fast_cache = run_both_engines(
-            scheme, trace, config=config, seed=2
+            scheme, trace, config=config, seed=2, kernel=kernel
         )
         assert_results_equivalent(reference, fast)
         assert_caches_equivalent(ref_cache, fast_cache)
 
+    @pytest.mark.parametrize("kernel", EQUIVALENCE_KERNELS)
     @pytest.mark.parametrize("scheme", EQUIVALENCE_SCHEMES)
-    def test_writeback_checks_counted(self, scheme):
+    def test_writeback_checks_counted(self, scheme, kernel):
         trace = profile_trace("xalancbmk", 4)
         reference, fast, ref_cache, fast_cache = run_both_engines(
-            scheme, trace, seed=4, count_writeback_checks=True
+            scheme, trace, seed=4, count_writeback_checks=True, kernel=kernel
         )
         assert_results_equivalent(reference, fast)
         assert_caches_equivalent(ref_cache, fast_cache)
 
-    def test_stochastic_data_profile(self):
+    @pytest.mark.parametrize("kernel", EQUIVALENCE_KERNELS)
+    def test_stochastic_data_profile(self, kernel):
         trace = profile_trace("gcc", 5)
         reference, fast, ref_cache, fast_cache = run_both_engines(
-            "reap", trace, seed=5, ones_count=None
+            "reap", trace, seed=5, ones_count=None, kernel=kernel
         )
         assert_results_equivalent(reference, fast)
         assert_caches_equivalent(ref_cache, fast_cache)
 
-    def test_tracking_disabled(self):
+    @pytest.mark.parametrize("kernel", EQUIVALENCE_KERNELS)
+    def test_tracking_disabled(self, kernel):
         trace = profile_trace("mcf", 6)
         reference, fast, ref_cache, fast_cache = run_both_engines(
-            "conventional", trace, seed=6, track_accumulation=False
+            "conventional", trace, seed=6, track_accumulation=False, kernel=kernel
         )
         assert ref_cache.tracker is None and fast_cache.tracker is None
         assert_results_equivalent(reference, fast)
         assert_caches_equivalent(ref_cache, fast_cache)
 
-    def test_empty_trace(self):
+    @pytest.mark.parametrize("kernel", EQUIVALENCE_KERNELS)
+    def test_empty_trace(self, kernel):
         trace = Trace(name="empty")
-        reference, fast, ref_cache, fast_cache = run_both_engines("reap", trace)
+        reference, fast, ref_cache, fast_cache = run_both_engines(
+            "reap", trace, kernel=kernel
+        )
         assert_results_equivalent(reference, fast)
         assert_caches_equivalent(ref_cache, fast_cache)
         assert fast.num_accesses == 0
 
-    def test_sequential_runs_on_warm_cache(self):
+    @pytest.mark.parametrize("kernel", EQUIVALENCE_KERNELS)
+    def test_sequential_runs_on_warm_cache(self, kernel):
         """A second trace on an already-driven cache continues identically."""
         first = profile_trace("gcc", 8, length=1_500)
         second = profile_trace("mcf", 9, length=1_500)
         ref_cache = build_cache("reap", seed=8)
         fast_cache = build_cache("reap", seed=8)
         run_l2_trace(ref_cache, first, engine="reference")
-        run_l2_trace(fast_cache, first, engine="fast")
+        run_l2_trace(fast_cache, first, engine="fast", kernel=kernel)
         reference = run_l2_trace(ref_cache, second, engine="reference")
-        fast = run_l2_trace(fast_cache, second, engine="fast")
+        fast = run_l2_trace(fast_cache, second, engine="fast", kernel=kernel)
         assert_results_equivalent(reference, fast)
         assert_caches_equivalent(ref_cache, fast_cache)
 
@@ -337,6 +366,25 @@ class TestConfigurationVariants:
         pure = run_l2_trace(reference_cache, second, engine="reference")
         assert_results_equivalent(pure, mixed)
         assert_caches_equivalent(reference_cache, mixed_cache)
+
+    def test_kernels_interchangeable_mid_stream(self):
+        """Loop and SoA segments can be freely mixed on one cache."""
+        first = profile_trace("namd", 10, length=1_500)
+        second = profile_trace("namd", 11, length=1_500)
+        mixed_cache = build_cache("reap", seed=10)
+        reference_cache = build_cache("reap", seed=10)
+        run_l2_trace(mixed_cache, first, engine="fast", kernel="soa")
+        mixed = run_l2_trace(mixed_cache, second, engine="fast", kernel="loop")
+        run_l2_trace(reference_cache, first, engine="reference")
+        pure = run_l2_trace(reference_cache, second, engine="reference")
+        assert_results_equivalent(pure, mixed)
+        assert_caches_equivalent(reference_cache, mixed_cache)
+
+    def test_unknown_kernel_rejected(self):
+        trace = profile_trace("gcc", 1, length=100)
+        cache = build_cache("reap", seed=1)
+        with pytest.raises(Exception, match="unknown kernel"):
+            run_l2_trace(cache, trace, engine="fast", kernel="vliw")
 
 
 class _CustomScheme(ConventionalCache):
@@ -418,6 +466,188 @@ class TestAutoEngine:
         assert_hierarchies_equivalent(ref_h, auto_h)
 
 
+class _ThirdPartyAuditingLRU(LRUPolicy):
+    """A third-party-style policy that opts into the fast path.
+
+    It overrides the object hooks (to count them, as an external plug-in
+    might for instrumentation) but routes every state change through the
+    compact transitions, and promises as much via
+    ``supports_compact_state`` — so :func:`supports_fast_path` accepts it
+    instead of rejecting the overrides.  It deliberately does not inherit
+    LRU's position-mode shortcut: the SoA kernel must fall back to exact
+    scalar transitions for it.
+    """
+
+    supports_compact_state = True
+    soa_mode = "immediate"
+
+    def __init__(self, num_sets, associativity):
+        super().__init__(num_sets, associativity)
+        self.audited_accesses = 0
+        self.audited_fills = 0
+
+    def on_access(self, set_index, way):
+        self.audited_accesses += 1
+        super().on_access(set_index, way)
+
+    def on_fill(self, set_index, way):
+        self.audited_fills += 1
+        super().on_fill(set_index, way)
+
+
+def _with_policy(cache, policy_class):
+    """Swap a cache's replacement policy for a freshly-built ``policy_class``."""
+    substrate = cache.cache
+    substrate._replacement = policy_class(  # noqa: SLF001 - test rigging
+        substrate.num_sets, substrate.associativity
+    )
+    return cache
+
+
+class TestCustomPolicyOptIn:
+    """``supports_compact_state`` lets third-party policies into the fast path."""
+
+    def test_opt_in_policy_is_accepted(self):
+        cache = _with_policy(build_cache("reap", seed=1), _ThirdPartyAuditingLRU)
+        supported, reason = supports_fast_path(cache)
+        assert supported is True and reason == ""
+
+    @pytest.mark.parametrize("kernel", EQUIVALENCE_KERNELS)
+    @pytest.mark.parametrize("scheme", ("conventional", "reap"))
+    def test_opt_in_policy_is_replayed_identically(self, scheme, kernel):
+        trace = profile_trace("mcf", 7)
+        ref_cache = _with_policy(build_cache(scheme, seed=7), _ThirdPartyAuditingLRU)
+        fast_cache = _with_policy(build_cache(scheme, seed=7), _ThirdPartyAuditingLRU)
+        reference = run_l2_trace(ref_cache, trace, engine="reference")
+        fast = run_l2_trace(fast_cache, trace, engine="fast", kernel=kernel)
+        assert_results_equivalent(reference, fast)
+        assert_caches_equivalent(ref_cache, fast_cache)
+        # The object path audited its hooks; the batched engines bypass them
+        # but land in the identical compact state (asserted above).
+        assert ref_cache.cache.replacement.audited_accesses > 0
+
+    def test_opt_out_subclass_is_still_rejected(self):
+        class UnmarkedLRU(_ThirdPartyAuditingLRU):
+            supports_compact_state = False
+
+        cache = _with_policy(build_cache("conventional", seed=1), UnmarkedLRU)
+        supported, reason = supports_fast_path(cache)
+        assert supported is False
+        assert "UnmarkedLRU" in reason
+
+    @pytest.mark.parametrize("kernel", EQUIVALENCE_KERNELS)
+    def test_compact_override_without_mode_declaration_stays_exact(self, kernel):
+        """A subclass overriding a compact transition must not inherit the
+        parent's SoA shortcuts: MRU below would be silently replayed as LRU
+        if the kernel trusted the inherited position mode."""
+
+        class MRUPolicy(LRUPolicy):
+            def compact_victim(self, global_state, set_state, unchecked_reads):
+                return max(
+                    range(len(set_state)), key=list(set_state).__getitem__
+                )
+
+        trace = profile_trace("mcf", 5)
+        ref_cache = _with_policy(build_cache("reap", seed=5), MRUPolicy)
+        fast_cache = _with_policy(build_cache("reap", seed=5), MRUPolicy)
+        assert supports_fast_path(fast_cache)[0] is True
+        reference = run_l2_trace(ref_cache, trace, engine="reference")
+        fast = run_l2_trace(fast_cache, trace, engine="fast", kernel=kernel)
+        assert_results_equivalent(reference, fast)
+        assert_caches_equivalent(ref_cache, fast_cache)
+
+    @pytest.mark.parametrize("kernel", EQUIVALENCE_KERNELS)
+    def test_third_party_position_mode_policy(self, kernel):
+        """A policy implementing the documented position protocol (without
+        the built-ins' fused victim shortcut) replays exactly: the base
+        class supplies ``soa_victim_positions`` via ``compact_victim``."""
+
+        class DeclaredPositionLRU(LRUPolicy):
+            soa_mode = "position"
+            # Deliberately drop the fused shortcut: the base-class generic
+            # must carry a policy that only implements the documented trio.
+            soa_victim_positions = (
+                __import__("repro.cache.replacement", fromlist=["ReplacementPolicy"])
+                .ReplacementPolicy.soa_victim_positions
+            )
+
+        trace = profile_trace("gcc", 6)
+        ref_cache = _with_policy(build_cache("reap", seed=6), DeclaredPositionLRU)
+        fast_cache = _with_policy(build_cache("reap", seed=6), DeclaredPositionLRU)
+        reference = run_l2_trace(ref_cache, trace, engine="reference")
+        fast = run_l2_trace(fast_cache, trace, engine="fast", kernel=kernel)
+        assert_results_equivalent(reference, fast)
+        assert_caches_equivalent(ref_cache, fast_cache)
+
+    def test_subclass_declaring_its_own_mode_is_trusted(self):
+        """A subclass that re-declares ``soa_mode`` vouches deliberately."""
+        from repro.sim.soa import effective_soa_scheduling
+
+        class RenamedLRU(LRUPolicy):
+            soa_mode = "position"
+
+        class PlainSubclassLRU(LRUPolicy):
+            pass
+
+        assert effective_soa_scheduling(LRUPolicy(4, 2)) == ("position", False)
+        assert effective_soa_scheduling(RenamedLRU(4, 2)) == ("position", True)
+        assert effective_soa_scheduling(PlainSubclassLRU(4, 2)) == (
+            "immediate",
+            True,
+        )
+
+
+class TestFallbackWarningDedup:
+    """``engine="auto"`` fallback warnings deduplicate inside campaign scopes."""
+
+    def _custom_cache(self):
+        from repro.core import DataValueProfile
+
+        return _CustomScheme(
+            config=small_l2(),
+            p_cell=1e-8,
+            data_profile=DataValueProfile.constant(100),
+            seed=1,
+        )
+
+    def _fallback_warnings(self, caught):
+        return [
+            caught_warning
+            for caught_warning in caught
+            if "fell back to the reference loop" in str(caught_warning.message)
+        ]
+
+    def test_warns_once_per_reason_inside_dedup_scope(self):
+        trace = profile_trace("gcc", 1, length=300)
+        cache = self._custom_cache()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            with deduplicate_fallback_warnings():
+                for _ in range(3):
+                    run_l2_trace(cache, trace, engine="auto")
+        assert len(self._fallback_warnings(caught)) == 1
+
+    def test_warns_every_time_outside_the_scope(self):
+        trace = profile_trace("gcc", 1, length=300)
+        cache = self._custom_cache()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            run_l2_trace(cache, trace, engine="auto")
+            run_l2_trace(cache, trace, engine="auto")
+        assert len(self._fallback_warnings(caught)) == 2
+
+    def test_scope_resets_after_exit(self):
+        trace = profile_trace("gcc", 1, length=300)
+        cache = self._custom_cache()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            with deduplicate_fallback_warnings():
+                run_l2_trace(cache, trace, engine="auto")
+            with deduplicate_fallback_warnings():
+                run_l2_trace(cache, trace, engine="auto")
+        assert len(self._fallback_warnings(caught)) == 2
+
+
 class TestRandomizedTraces:
     """Seeded property-style tests over short random traces.
 
@@ -426,9 +656,10 @@ class TestRandomizedTraces:
     re-eviction, full-set thrash, reads of never-written addresses.
     """
 
+    @pytest.mark.parametrize("kernel", EQUIVALENCE_KERNELS)
     @pytest.mark.parametrize("scheme", EQUIVALENCE_SCHEMES)
     @pytest.mark.parametrize("seed", (11, 12, 13))
-    def test_random_trace_equivalence(self, scheme, seed):
+    def test_random_trace_equivalence(self, scheme, seed, kernel):
         rng = random.Random(seed)
         config = small_l2()
         # A tight footprint (few sets, few tags) maximises conflicts.
@@ -445,7 +676,7 @@ class TestRandomizedTraces:
         trace = Trace(name=f"random-{seed}", records=records)
 
         reference, fast, ref_cache, fast_cache = run_both_engines(
-            scheme, trace, seed=seed
+            scheme, trace, seed=seed, kernel=kernel
         )
         assert_results_equivalent(reference, fast)
         assert_caches_equivalent(ref_cache, fast_cache)
@@ -460,8 +691,9 @@ class TestRandomizedTraces:
             fast.leakage_energy_pj, rel=1e-12
         )
 
+    @pytest.mark.parametrize("kernel", EQUIVALENCE_KERNELS)
     @pytest.mark.parametrize("policy", EQUIVALENCE_POLICIES)
-    def test_random_trace_policy_equivalence(self, policy):
+    def test_random_trace_policy_equivalence(self, policy, kernel):
         rng = random.Random(31)
         config = small_l2(replacement=policy)
         records = []
@@ -475,13 +707,14 @@ class TestRandomizedTraces:
             records.append(TraceRecord(kind, address))
         trace = Trace(name=f"random-{policy}", records=records)
         reference, fast, ref_cache, fast_cache = run_both_engines(
-            "conventional", trace, config=config, seed=31
+            "conventional", trace, config=config, seed=31, kernel=kernel
         )
         assert_results_equivalent(reference, fast)
         assert_caches_equivalent(ref_cache, fast_cache)
 
+    @pytest.mark.parametrize("kernel", EQUIVALENCE_KERNELS)
     @pytest.mark.parametrize("seed", (21, 22))
-    def test_random_wide_address_space(self, seed):
+    def test_random_wide_address_space(self, seed, kernel):
         """Sparse random addresses (mostly misses) stay equivalent too."""
         rng = random.Random(seed)
         records = [
@@ -493,7 +726,7 @@ class TestRandomizedTraces:
         ]
         trace = Trace(name=f"sparse-{seed}", records=records)
         reference, fast, ref_cache, fast_cache = run_both_engines(
-            "conventional", trace, seed=seed
+            "conventional", trace, seed=seed, kernel=kernel
         )
         assert_results_equivalent(reference, fast)
         assert_caches_equivalent(ref_cache, fast_cache)
