@@ -14,8 +14,18 @@ from __future__ import annotations
 import tempfile
 from pathlib import Path
 
+import multiprocessing
+
 from conftest import bench_settings
-from repro.campaign import CampaignSpec, ResultStore, run_campaign
+from repro.campaign import (
+    CampaignSpec,
+    ResultStore,
+    ShardedResultStore,
+    TCPBackend,
+    merge_stores,
+    run_campaign,
+    run_worker,
+)
 
 CAMPAIGN_WORKLOADS = ("perlbench", "gcc", "mcf", "namd")
 
@@ -67,3 +77,50 @@ def test_bench_campaign_cached_rerun(benchmark):
         )
         assert result.executed == 0
         assert result.cached == len(CAMPAIGN_WORKLOADS)
+
+
+def run_distributed(directory: str, workers: int) -> ShardedResultStore:
+    """One TCP campaign served to local worker processes."""
+    backend = TCPBackend(lease_timeout_s=30.0, idle_timeout_s=300.0)
+    context = multiprocessing.get_context("fork")
+    processes = [
+        context.Process(target=run_worker, args=(backend.address,))
+        for _ in range(workers)
+    ]
+    for process in processes:
+        process.start()
+    store = ShardedResultStore(Path(directory) / "tcp_store")
+    run_campaign(campaign_spec(), store=store, backend=backend)
+    for process in processes:
+        process.join(timeout=60)
+    return store
+
+
+def test_bench_campaign_tcp_backend(benchmark):
+    """TCP dispatch overhead: the distributed backend with two local worker
+    processes must stay byte-identical to serial execution."""
+    with tempfile.TemporaryDirectory() as tmp:
+        serial_store = run_into(tmp, 1, "serial")
+        tcp_store = benchmark.pedantic(
+            run_distributed, args=(tmp, 2), rounds=1, iterations=1
+        )
+        assert sorted(tcp_store.keys()) == sorted(serial_store.keys())
+        for key in serial_store.keys():
+            assert tcp_store.entry_line(key) == serial_store.entry_line(key)
+
+
+def test_bench_store_merge(benchmark):
+    """Merging per-machine sharded stores is pure I/O (no re-simulation)."""
+    with tempfile.TemporaryDirectory() as tmp:
+        jobs = campaign_spec().jobs()
+        half = len(jobs) // 2
+        store_a = ShardedResultStore(Path(tmp) / "a")
+        store_b = ShardedResultStore(Path(tmp) / "b")
+        run_campaign(jobs[:half], store=store_a)
+        run_campaign(jobs[half:], store=store_b)
+
+        def merge():
+            return merge_stores(Path(tmp) / "merged", [store_a, store_b])
+
+        report = benchmark.pedantic(merge, rounds=1, iterations=1)
+        assert report.total == len(jobs)

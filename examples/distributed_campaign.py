@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Distributed campaign demo: coordinator + workers, death, merge, diff.
+
+Runs the full distributed story on one machine:
+
+1. a *serial* reference run into a sharded store;
+2. the same campaign over the TCP backend — a coordinator serving the job
+   queue to two worker processes, one of which is killed after it takes a
+   lease (its job is requeued to the survivor via lease expiry);
+3. byte-for-byte comparison of the two stores (after compaction every
+   shard file must be identical — the backend is not part of job identity);
+4. a two-"machine" split run whose stores are merged with
+   :func:`repro.campaign.merge_stores` and diffed against the reference.
+
+In real deployments the workers run on other machines::
+
+    # machine A (coordinator + store)
+    repro-reap campaign --backend tcp://0.0.0.0:7654 --store store_dir/
+
+    # machines B, C, ... (workers)
+    repro-reap worker tcp://machine-a:7654 --jobs 8
+
+Usage::
+
+    python examples/distributed_campaign.py [--accesses N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import multiprocessing
+import os
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.campaign import (
+    CampaignSpec,
+    ShardedResultStore,
+    TCPBackend,
+    diff_stores,
+    merge_stores,
+    render_campaign_summary,
+    render_store_diff,
+    run_campaign,
+    run_worker,
+)
+from repro.campaign.distributed import request
+from repro.sim import ExperimentSettings
+
+
+def healthy_worker(address: str) -> None:
+    executed = run_worker(address, worker_id=f"healthy-{os.getpid()}")
+    print(f"  [worker {os.getpid()}] executed {executed} jobs")
+
+
+def doomed_worker(address: str) -> None:
+    """Pull one job, then die without reporting — a simulated crash."""
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        reply = request(address, {"type": "pull", "worker": f"doomed-{os.getpid()}"})
+        if reply["type"] == "job":
+            print(f"  [worker {os.getpid()}] took a lease and is now dying")
+            os._exit(1)
+        time.sleep(0.05)
+
+
+def shard_bytes(store: ShardedResultStore) -> dict[str, bytes]:
+    store.compact()
+    return {path.name: path.read_bytes() for path in store.shard_paths()}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--accesses", type=int, default=5_000)
+    args = parser.parse_args()
+
+    spec = CampaignSpec(
+        name="distributed-demo",
+        workloads=("perlbench", "gcc", "mcf", "namd"),
+        base_settings=ExperimentSettings(num_accesses=args.accesses),
+        sweep=(("p_cell", (1e-8, 1e-7)),),
+    )
+    print(f"campaign {spec.name!r}: {spec.num_jobs} jobs\n")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp_path = Path(tmp)
+
+        print("--- serial reference run ---")
+        serial_store = ShardedResultStore(tmp_path / "serial")
+        serial = run_campaign(spec, store=serial_store)
+        print(render_campaign_summary(serial))
+        print()
+
+        print("--- distributed run: 2 workers, one dies mid-campaign ---")
+        backend = TCPBackend(lease_timeout_s=2.0, idle_timeout_s=300.0)
+        print(f"coordinator listening on {backend.address}")
+        distributed_store = ShardedResultStore(tmp_path / "distributed")
+        holder: dict = {}
+
+        def drive() -> None:
+            holder["result"] = run_campaign(
+                spec, store=distributed_store, backend=backend
+            )
+
+        driver = threading.Thread(target=drive)
+        driver.start()
+        context = multiprocessing.get_context("fork")
+        doomed = context.Process(target=doomed_worker, args=(backend.address,))
+        doomed.start()
+        doomed.join()
+        workers = [
+            context.Process(target=healthy_worker, args=(backend.address,))
+            for _ in range(2)
+        ]
+        for worker in workers:
+            worker.start()
+        driver.join()
+        for worker in workers:
+            worker.join()
+        result = holder["result"]
+        print(render_campaign_summary(result))
+        print(
+            f"lease requeues after the worker death: "
+            f"{backend.coordinator.requeues}\n"
+        )
+
+        print("--- byte identity: serial vs distributed shards ---")
+        identical = shard_bytes(serial_store) == shard_bytes(distributed_store)
+        print(f"shard files identical: {identical}")
+        assert identical, "distributed store must match the serial run"
+        print()
+
+        print("--- split across two 'machines', then merge ---")
+        jobs = spec.jobs()
+        half = len(jobs) // 2
+        store_a = ShardedResultStore(tmp_path / "machine_a")
+        store_b = ShardedResultStore(tmp_path / "machine_b")
+        run_campaign(jobs[:half], store=store_a, jobs=2)
+        run_campaign(jobs[half:], store=store_b, jobs=2)
+        merged = ShardedResultStore(tmp_path / "merged")
+        report = merge_stores(merged, [store_a, store_b])
+        print(
+            f"merged: {report.added} added, {report.duplicates} duplicates, "
+            f"{report.total} total"
+        )
+        diff = diff_stores(merged, serial_store)
+        print(render_store_diff(diff, name_a="merged", name_b="serial"))
+        assert diff.stores_match, "merged split stores must equal the serial run"
+
+
+if __name__ == "__main__":
+    main()

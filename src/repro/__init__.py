@@ -36,7 +36,13 @@ from .campaign import (
     CampaignSpec,
     JobSpec,
     ResultStore,
+    ShardedResultStore,
+    TCPBackend,
+    diff_stores,
+    merge_stores,
+    open_store,
     run_campaign,
+    run_worker,
 )
 from .config import (
     CacheLevelConfig,
@@ -134,5 +140,11 @@ __all__ = [
     "CampaignResult",
     "JobSpec",
     "ResultStore",
+    "ShardedResultStore",
+    "open_store",
+    "merge_stores",
+    "diff_stores",
+    "TCPBackend",
+    "run_worker",
     "run_campaign",
 ]

@@ -138,6 +138,18 @@ class SetAssociativeCache:
             cache_set = self._sets[index] = CacheSet(self._config.associativity)
         return cache_set
 
+    def peek_set(self, index: int) -> CacheSet | None:
+        """Set at ``index`` if already materialised, ``None`` otherwise.
+
+        Unlike :meth:`cache_set` this never materialises: an untouched set
+        is all-invalid by construction, so callers scanning for resident
+        blocks (like the batched engines' patrol replay) can skip it
+        without paying for its block objects.
+        """
+        if not 0 <= index < len(self._sets):
+            raise CacheError(f"set index {index} out of range")
+        return self._sets[index]
+
     def blocks_in_set(self, index: int) -> list[CacheBlock]:
         """Return the blocks of the set at ``index``."""
         return self.cache_set(index).blocks

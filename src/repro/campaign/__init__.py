@@ -1,18 +1,28 @@
-"""Parallel, resumable experiment campaigns with a persistent result store.
+"""Parallel, resumable, distributable experiment campaigns.
 
 The paper's evaluation sweeps many (workload × scheme × parameter) points;
 this package turns those one-off runs into managed *campaigns*:
 
 * :mod:`~repro.campaign.spec` — :class:`CampaignSpec` / :class:`JobSpec`,
   declarative descriptions of the cross-product to evaluate, each job
-  deterministic given its seed.
+  deterministic given its seed.  Sweeps accept dotted paths into the
+  nested configurations (``l2_config.associativity``, ``l2_config.ecc.kind``).
 * :mod:`~repro.campaign.runner` — :class:`CampaignRunner` /
-  :func:`run_campaign`, serial or ``multiprocessing`` fan-out with per-job
-  timing and progress callbacks.
-* :mod:`~repro.campaign.store` — :class:`ResultStore`, a JSONL-on-disk store
-  keyed by a content hash of the job spec.  Re-running a campaign skips
-  completed jobs, and parallel runs produce byte-identical entries to
-  serial ones.
+  :func:`run_campaign` over a pluggable
+  :class:`~repro.campaign.backend.ExecutionBackend`: in-process serial, a
+  local ``multiprocessing`` pool, or a TCP coordinator feeding remote
+  workers.  Backends never affect job identity or store bytes.
+* :mod:`~repro.campaign.distributed` — the coordinator/worker protocol:
+  length-prefixed JSON frames, work-stealing pulls, heartbeat leases with
+  requeue on worker death.
+* :mod:`~repro.campaign.store` / :mod:`~repro.campaign.shards` —
+  :class:`ResultStore` (one JSONL file) and :class:`ShardedResultStore`
+  (one JSONL shard per key prefix, concurrent-writer safe), both keyed by
+  job content hash and carrying per-entry provenance (package version +
+  git hash).  Re-running a campaign skips completed jobs, and every
+  backend produces byte-identical entries.
+* :mod:`~repro.campaign.tools` — :func:`merge_stores` / :func:`diff_stores`
+  to combine per-machine stores and compare before/after campaigns.
 * :mod:`~repro.campaign.report` — aggregation from the store back into the
   :mod:`repro.analysis` figure builders.
 
@@ -29,9 +39,30 @@ Quickstart::
     )
     result = run_campaign(spec, store="campaign_store.jsonl", jobs=4)
     print(result.executed, "executed,", result.cached, "cached")
+
+Distributed quickstart (coordinator side)::
+
+    from repro.campaign import TCPBackend, run_campaign
+
+    backend = TCPBackend("tcp://0.0.0.0:7654")
+    result = run_campaign(spec, store="store_dir/", backend=backend)
+
+and on every worker machine::
+
+    repro-reap worker tcp://coordinator-host:7654 --jobs 8
 """
 
+from .backend import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    TCPBackend,
+    resolve_backend,
+)
+from .distributed import Coordinator, run_worker, run_worker_pool
+from .execution import execute_payload, payload_for
 from .hashing import canonical_json, content_hash
+from .provenance import ProvenanceWarning, provenance_dict
 from .report import (
     campaign_summary_to_csv,
     comparisons_at_point,
@@ -41,24 +72,64 @@ from .report import (
     render_campaign_summary,
 )
 from .runner import CampaignResult, CampaignRunner, JobOutcome, run_campaign
-from .spec import SWEEPABLE_FIELDS, CampaignSpec, JobSpec
+from .shards import ShardedResultStore
+from .spec import (
+    SWEEPABLE_FIELDS,
+    CampaignSpec,
+    JobSpec,
+    apply_sweep_point,
+    validate_sweep_path,
+)
 from .store import (
+    BaseResultStore,
     ResultStore,
     comparison_from_dict,
     comparison_to_dict,
     run_result_from_dict,
     run_result_to_dict,
 )
+from .tools import (
+    EntryDiff,
+    MergeReport,
+    StoreDiff,
+    diff_stores,
+    merge_stores,
+    open_store,
+    render_store_diff,
+)
 
 __all__ = [
     "CampaignSpec",
     "JobSpec",
     "SWEEPABLE_FIELDS",
+    "apply_sweep_point",
+    "validate_sweep_path",
     "CampaignRunner",
     "CampaignResult",
     "JobOutcome",
     "run_campaign",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "TCPBackend",
+    "resolve_backend",
+    "Coordinator",
+    "run_worker",
+    "run_worker_pool",
+    "payload_for",
+    "execute_payload",
+    "BaseResultStore",
     "ResultStore",
+    "ShardedResultStore",
+    "open_store",
+    "merge_stores",
+    "diff_stores",
+    "render_store_diff",
+    "MergeReport",
+    "StoreDiff",
+    "EntryDiff",
+    "ProvenanceWarning",
+    "provenance_dict",
     "comparison_to_dict",
     "comparison_from_dict",
     "run_result_to_dict",

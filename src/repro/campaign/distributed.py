@@ -1,0 +1,612 @@
+"""Multi-machine campaign execution: coordinator, workers, frame protocol.
+
+The distributed backend splits a campaign across processes that need share
+nothing but a TCP connection:
+
+* The **coordinator** (:class:`Coordinator`) owns the pending-job queue.
+  It answers *pull* requests — work-stealing scheduling: an idle worker
+  pulls its next job the moment it is free, so fast machines naturally
+  take more jobs — and collects streamed results.  Every handed-out job
+  carries a **lease**; a worker renews its lease with heartbeats while it
+  computes, and a lease that expires (worker death, network partition)
+  puts the job back on the queue for someone else.  A job that fails
+  repeatedly (``max_attempts``) fails the campaign loudly.
+* A **worker** (:func:`run_worker`) is a dumb loop: pull, execute the
+  process-agnostic payload via
+  :func:`repro.campaign.execution.execute_payload`, stream the result
+  back, repeat until the coordinator says it is done.  Workers hold no
+  campaign state, so killing one at any moment loses nothing but the
+  lease-timeout worth of wall time.
+
+Jobs are deterministic, so it does not matter *which* worker runs one:
+results stream back as the same dictionaries the in-process backends
+produce, and store entries stay byte-identical to a serial run.  Duplicate
+completions (a lease expired but the original worker finished anyway) are
+detected by key and ignored — both copies are identical by construction.
+
+The wire format is deliberately primitive: one length-prefixed JSON frame
+(4-byte big-endian length, UTF-8 JSON body) per message, one
+request/response exchange per connection.  Messages:
+
+========== ============================== ===================================
+direction  message                        response
+========== ============================== ===================================
+worker →   ``{"type": "pull", ...}``      ``job`` | ``wait`` | ``shutdown``
+worker →   ``{"type": "result", ...}``    ``ack``
+worker →   ``{"type": "error", ...}``     ``ack``
+worker →   ``{"type": "heartbeat", ...}`` ``ack``
+========== ============================== ===================================
+
+The protocol carries no authentication and must only be exposed on trusted
+networks (bind to localhost or a private interface).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import socket
+import struct
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from ..errors import CampaignError
+
+#: Upper bound on one frame's body, to fail fast on garbage length prefixes.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+# ---------------------------------------------------------------------------
+# Frame protocol
+# ---------------------------------------------------------------------------
+
+
+def send_frame(sock: socket.socket, message: dict[str, Any]) -> None:
+    """Send one length-prefixed JSON frame."""
+    body = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise CampaignError(f"frame of {len(body)} bytes exceeds the protocol limit")
+    sock.sendall(_LENGTH.pack(len(body)) + body)
+
+
+def _recv_exact(sock: socket.socket, size: int) -> bytes | None:
+    chunks = []
+    remaining = size
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> dict[str, Any] | None:
+    """Receive one frame; ``None`` on a clean peer shutdown."""
+    prefix = _recv_exact(sock, _LENGTH.size)
+    if prefix is None:
+        return None
+    (length,) = _LENGTH.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise CampaignError(f"peer announced a {length}-byte frame; refusing")
+    body = _recv_exact(sock, length)
+    if body is None:
+        raise CampaignError("connection closed mid-frame")
+    message = json.loads(body.decode("utf-8"))
+    if not isinstance(message, dict) or "type" not in message:
+        raise CampaignError("malformed protocol frame (no 'type')")
+    return message
+
+
+def parse_address(address: str) -> tuple[str, int]:
+    """Split ``tcp://host:port`` into its components."""
+    if not address.startswith("tcp://"):
+        raise CampaignError(
+            f"unsupported backend address {address!r}; expected tcp://HOST:PORT"
+        )
+    host, separator, port_text = address[len("tcp://") :].rpartition(":")
+    if not separator or not host:
+        raise CampaignError(f"malformed backend address {address!r}")
+    try:
+        port = int(port_text)
+    except ValueError as exc:
+        raise CampaignError(f"malformed port in backend address {address!r}") from exc
+    if not 0 <= port <= 65535:
+        raise CampaignError(f"port out of range in backend address {address!r}")
+    return host, port
+
+
+def request(address: str, message: dict[str, Any], timeout_s: float = 10.0) -> dict[str, Any]:
+    """One request/response exchange with the coordinator at ``address``."""
+    host, port = parse_address(address)
+    with socket.create_connection((host, port), timeout=timeout_s) as sock:
+        send_frame(sock, message)
+        reply = recv_frame(sock)
+    if reply is None:
+        raise CampaignError(f"coordinator at {address} closed without replying")
+    return reply
+
+
+# ---------------------------------------------------------------------------
+# Coordinator
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Lease:
+    key: str
+    worker: str
+    deadline: float
+
+
+class Coordinator:
+    """Serves the pending-job queue to pull-based workers over TCP.
+
+    Args:
+        address: ``tcp://host:port`` to listen on; port ``0`` binds an
+            ephemeral port (read :attr:`address` for the resolved one).
+        lease_timeout_s: How long a handed-out job may go without a
+            heartbeat or result before it is requeued for another worker.
+        max_attempts: How many times one job may be handed out before the
+            campaign fails (guards against a job that kills every worker
+            that touches it).
+
+    The listening socket opens at construction, so workers may connect
+    (and politely ``wait``) before :meth:`submit` provides any jobs.
+    """
+
+    def __init__(
+        self,
+        address: str = "tcp://127.0.0.1:0",
+        lease_timeout_s: float = 30.0,
+        max_attempts: int = 3,
+    ) -> None:
+        if lease_timeout_s <= 0:
+            raise CampaignError("lease_timeout_s must be positive")
+        if max_attempts < 1:
+            raise CampaignError("max_attempts must be >= 1")
+        host, port = parse_address(address)
+        self._lease_timeout = lease_timeout_s
+        self._max_attempts = max_attempts
+        self._lock = threading.Lock()
+        self._pending: deque[str] = deque()
+        self._payloads: dict[str, dict[str, Any]] = {}
+        self._leases: dict[int, _Lease] = {}
+        self._leased_keys: dict[str, int] = {}
+        self._attempts: dict[str, int] = {}
+        self._completed: set[str] = set()
+        self._expected = 0
+        self._next_lease = 1
+        self._requeues = 0
+        self._workers_seen: set[str] = set()
+        self._events: queue.Queue[tuple[str, Any]] = queue.Queue()
+        self._closed = threading.Event()
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(64)
+        self._host = host
+        self._port = self._listener.getsockname()[1]
+        self._thread = threading.Thread(
+            target=self._serve, name="campaign-coordinator", daemon=True
+        )
+        self._thread.start()
+
+    # -- public surface --------------------------------------------------------
+
+    @property
+    def address(self) -> str:
+        """The resolved ``tcp://host:port`` workers should connect to."""
+        return f"tcp://{self._host}:{self._port}"
+
+    @property
+    def workers_seen(self) -> set[str]:
+        """Identifiers of every worker that has pulled so far."""
+        with self._lock:
+            return set(self._workers_seen)
+
+    @property
+    def requeues(self) -> int:
+        """How many leases expired and were handed to another worker."""
+        with self._lock:
+            return self._requeues
+
+    def submit(self, payloads: dict[str, dict[str, Any]]) -> None:
+        """Queue the given ``key -> payload`` jobs for pulling workers."""
+        with self._lock:
+            for key, payload in payloads.items():
+                if key in self._payloads or key in self._completed:
+                    continue
+                self._payloads[key] = payload
+                self._pending.append(key)
+                self._expected += 1
+
+    def results(
+        self, timeout_s: float | None = None
+    ) -> Iterator[tuple[str, dict[str, Any], float]]:
+        """Yield ``(key, result, elapsed)`` as workers stream jobs back.
+
+        Blocks until every submitted job has completed.  Raises
+        :class:`~repro.errors.CampaignError` when a job exhausts its
+        attempts, and — when ``timeout_s`` is given — when no job completes
+        for that long (an idle timeout: no workers, dead network).
+        """
+        deadline = None if timeout_s is None else time.monotonic() + timeout_s
+        delivered = 0
+        while True:
+            with self._lock:
+                if delivered >= self._expected:
+                    return
+            try:
+                wait = (
+                    1.0
+                    if deadline is None
+                    else max(0.0, min(1.0, deadline - time.monotonic()))
+                )
+                kind, value = self._events.get(timeout=wait)
+            except queue.Empty:
+                self._sweep_expired_leases()
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise CampaignError(
+                        f"distributed campaign timed out after {timeout_s}s "
+                        f"({delivered}/{self._expected} jobs completed; "
+                        f"workers seen: {sorted(self.workers_seen) or 'none'})"
+                    )
+                continue
+            if kind == "failed":
+                key, message = value
+                raise CampaignError(
+                    f"job {key[:12]}... failed on every attempt "
+                    f"({self._max_attempts}); last error: {message}"
+                )
+            delivered += 1
+            if deadline is not None:
+                deadline = time.monotonic() + timeout_s
+            yield value
+
+    def close(self) -> None:
+        """Stop serving; subsequent worker requests see a refused connection."""
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        try:
+            # Unblock accept() promptly with a self-connection.
+            poke_host = "127.0.0.1" if self._host == "0.0.0.0" else self._host
+            with socket.create_connection((poke_host, self._port), timeout=1.0):
+                pass
+        except OSError:
+            pass
+        self._listener.close()
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "Coordinator":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.close()
+
+    # -- server internals ------------------------------------------------------
+
+    def _serve(self) -> None:
+        while not self._closed.is_set():
+            try:
+                conn, _peer = self._listener.accept()
+            except OSError:
+                return
+            if self._closed.is_set():
+                conn.close()
+                return
+            threading.Thread(
+                target=self._handle, args=(conn,), daemon=True
+            ).start()
+
+    def _handle(self, conn: socket.socket) -> None:
+        try:
+            with conn:
+                conn.settimeout(10.0)
+                message = recv_frame(conn)
+                if message is None:
+                    return
+                send_frame(conn, self._dispatch(message))
+        except (OSError, CampaignError, json.JSONDecodeError):
+            # A broken worker connection never takes the coordinator down;
+            # the lease mechanism covers whatever the worker was holding.
+            pass
+
+    def _dispatch(self, message: dict[str, Any]) -> dict[str, Any]:
+        kind = message.get("type")
+        if kind == "pull":
+            return self._handle_pull(str(message.get("worker", "?")))
+        if kind == "result":
+            return self._handle_result(message)
+        if kind == "error":
+            return self._handle_error(message)
+        if kind == "heartbeat":
+            return self._handle_heartbeat(message)
+        return {"type": "error", "message": f"unknown message type {kind!r}"}
+
+    def _sweep_expired_leases(self) -> None:
+        now = time.monotonic()
+        with self._lock:
+            expired = [
+                lease_id
+                for lease_id, lease in self._leases.items()
+                if lease.deadline <= now
+            ]
+            for lease_id in expired:
+                lease = self._leases.pop(lease_id)
+                self._leased_keys.pop(lease.key, None)
+                if lease.key in self._completed:
+                    continue
+                # The worker died (or lost its network): put the job back.
+                self._requeues += 1
+                self._pending.append(lease.key)
+
+    def _handle_pull(self, worker: str) -> dict[str, Any]:
+        self._sweep_expired_leases()
+        with self._lock:
+            self._workers_seen.add(worker)
+            while self._pending:
+                key = self._pending.popleft()
+                if key in self._completed or key in self._leased_keys:
+                    continue
+                attempts = self._attempts.get(key, 0) + 1
+                if attempts > self._max_attempts:
+                    self._completed.add(key)
+                    self._events.put(
+                        ("failed", (key, "lease expired on every attempt"))
+                    )
+                    continue
+                self._attempts[key] = attempts
+                lease_id = self._next_lease
+                self._next_lease += 1
+                self._leases[lease_id] = _Lease(
+                    key=key,
+                    worker=worker,
+                    deadline=time.monotonic() + self._lease_timeout,
+                )
+                self._leased_keys[key] = lease_id
+                return {
+                    "type": "job",
+                    "lease": lease_id,
+                    "key": key,
+                    "payload": self._payloads[key],
+                    "heartbeat_s": self._lease_timeout / 4.0,
+                }
+            if self._expected > 0 and len(self._completed) >= self._expected:
+                return {"type": "shutdown"}
+            # Nothing to hand out right now: jobs not submitted yet, or all
+            # leased to other workers (one may yet expire and requeue).
+            return {"type": "wait", "delay_s": min(1.0, self._lease_timeout / 10.0)}
+
+    def _release(self, message: dict[str, Any]) -> str | None:
+        """Drop the message's lease; returns the key it covered (if known)."""
+        lease_id = message.get("lease")
+        lease = self._leases.pop(lease_id, None)
+        if lease is not None:
+            self._leased_keys.pop(lease.key, None)
+            return lease.key
+        return message.get("key")
+
+    def _handle_result(self, message: dict[str, Any]) -> dict[str, Any]:
+        with self._lock:
+            key = self._release(message)
+            if key is None or key in self._completed or key not in self._payloads:
+                # Duplicate completion after a lease expiry, or garbage.
+                return {"type": "ack", "accepted": False}
+            self._completed.add(key)
+            self._events.put(
+                ("result", (key, message["result"], float(message.get("elapsed", 0.0))))
+            )
+            return {"type": "ack", "accepted": True}
+
+    def _handle_error(self, message: dict[str, Any]) -> dict[str, Any]:
+        with self._lock:
+            held_lease = message.get("lease") in self._leases
+            key = self._release(message)
+            if key is None or key in self._completed or key not in self._payloads:
+                return {"type": "ack", "accepted": False}
+            if not held_lease and (key in self._leased_keys or key in self._pending):
+                # Stale report: the sender's lease already expired and the
+                # job was requeued (or handed to someone else).  Whoever
+                # holds it now decides its fate; double-queueing it — or
+                # worse, failing the campaign under someone else's feet —
+                # would be wrong.
+                return {"type": "ack", "accepted": False}
+            attempts = self._attempts.get(key, 0)
+            if attempts >= self._max_attempts:
+                self._completed.add(key)
+                self._events.put(("failed", (key, str(message.get("message", "?")))))
+            else:
+                self._pending.append(key)
+            return {"type": "ack", "accepted": True}
+
+    def _handle_heartbeat(self, message: dict[str, Any]) -> dict[str, Any]:
+        with self._lock:
+            lease = self._leases.get(message.get("lease"))
+            if lease is None:
+                # Expired and requeued: tell the worker its work is moot.
+                return {"type": "ack", "known": False}
+            lease.deadline = time.monotonic() + self._lease_timeout
+            return {"type": "ack", "known": True}
+
+
+# ---------------------------------------------------------------------------
+# Worker
+# ---------------------------------------------------------------------------
+
+
+def default_worker_id() -> str:
+    """Hostname+pid identifier reported with every pull."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+class _Heartbeat:
+    """Renews one job lease in the background while the job computes."""
+
+    def __init__(self, address: str, lease: int, interval_s: float) -> None:
+        self._address = address
+        self._lease = lease
+        self._interval = max(0.05, interval_s)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            try:
+                request(self._address, {"type": "heartbeat", "lease": self._lease})
+            except (OSError, CampaignError):
+                # Transient coordinator trouble: the lease may expire and the
+                # job may be re-run elsewhere — correct either way, because
+                # duplicate completions deduplicate by key.
+                pass
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=2.0)
+
+
+def run_worker(
+    address: str,
+    worker_id: str | None = None,
+    max_jobs: int | None = None,
+    connect_retry_s: float = 30.0,
+    poll_interval_s: float = 0.2,
+) -> int:
+    """Pull-and-execute loop against the coordinator at ``address``.
+
+    Runs until the coordinator reports the campaign complete (or
+    disappears after this worker has spoken to it at least once — the
+    coordinator closing its socket *is* the shutdown signal for stragglers).
+    Returns the number of jobs executed.
+
+    Args:
+        address: ``tcp://host:port`` of the coordinator.
+        worker_id: Identifier reported with every pull (default
+            ``hostname-pid``).
+        max_jobs: Stop after this many jobs (``None`` = unlimited); the
+            distributed tests use it to model bounded workers.
+        connect_retry_s: How long to keep retrying the *first* contact, so
+            workers may be started before the coordinator.
+        poll_interval_s: Sleep between retries/idle polls.
+    """
+    from ..sim.engine import deduplicate_fallback_warnings
+
+    # One worker lifetime warns at most once per distinct auto-fallback
+    # reason, like the process-pool workers.  The scoped form (not the
+    # process-wide enable) keeps in-process callers — tests, notebooks
+    # driving run_worker directly — unaffected after the worker returns.
+    with deduplicate_fallback_warnings():
+        return _run_worker_loop(
+            address, worker_id, max_jobs, connect_retry_s, poll_interval_s
+        )
+
+
+def _run_worker_loop(
+    address: str,
+    worker_id: str | None,
+    max_jobs: int | None,
+    connect_retry_s: float,
+    poll_interval_s: float,
+) -> int:
+    worker = worker_id or default_worker_id()
+    executed = 0
+    contacted = False
+    first_deadline = time.monotonic() + connect_retry_s
+    while True:
+        try:
+            reply = request(address, {"type": "pull", "worker": worker})
+            contacted = True
+        except (OSError, CampaignError) as exc:
+            if contacted:
+                # Coordinator gone after a completed campaign: clean exit.
+                return executed
+            if time.monotonic() >= first_deadline:
+                raise CampaignError(
+                    f"worker {worker} could not reach coordinator at "
+                    f"{address} within {connect_retry_s}s: {exc}"
+                ) from exc
+            time.sleep(poll_interval_s)
+            continue
+        kind = reply.get("type")
+        if kind == "shutdown":
+            return executed
+        if kind == "wait":
+            time.sleep(float(reply.get("delay_s", poll_interval_s)))
+            continue
+        if kind != "job":
+            raise CampaignError(f"unexpected coordinator reply {kind!r}")
+        lease = reply["lease"]
+        heartbeat = _Heartbeat(address, lease, float(reply.get("heartbeat_s", 5.0)))
+        try:
+            from .execution import execute_payload
+
+            try:
+                key, result, elapsed = execute_payload(reply["payload"])
+            except Exception as exc:  # noqa: BLE001 - reported to coordinator
+                try:
+                    request(
+                        address,
+                        {
+                            "type": "error",
+                            "lease": lease,
+                            "key": reply.get("key"),
+                            "worker": worker,
+                            "message": f"{type(exc).__name__}: {exc}",
+                        },
+                    )
+                except (OSError, CampaignError):
+                    return executed
+                continue
+        finally:
+            heartbeat.stop()
+        try:
+            request(
+                address,
+                {
+                    "type": "result",
+                    "lease": lease,
+                    "key": key,
+                    "worker": worker,
+                    "result": result,
+                    "elapsed": elapsed,
+                },
+            )
+        except (OSError, CampaignError):
+            # Coordinator gone mid-report: our lease expired, someone else
+            # completed the job, and the campaign finished without us.
+            return executed
+        executed += 1
+        if max_jobs is not None and executed >= max_jobs:
+            return executed
+
+
+def run_worker_pool(address: str, processes: int, **worker_kwargs: Any) -> list[int]:
+    """Run ``processes`` workers against one coordinator from this machine.
+
+    A convenience for multi-core worker hosts (and the CLI's ``worker
+    --jobs N``): each worker is an independent OS process running
+    :func:`run_worker`, so one of them dying never takes down the others.
+    Returns the per-worker executed-job counts.
+    """
+    import multiprocessing
+
+    if processes < 1:
+        raise CampaignError("worker pool needs at least one process")
+    if processes == 1:
+        return [run_worker(address, **worker_kwargs)]
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context("fork" if "fork" in methods else None)
+    with context.Pool(processes=processes) as pool:
+        async_results = [
+            pool.apply_async(run_worker, (address,), worker_kwargs)
+            for _ in range(processes)
+        ]
+        return [result.get() for result in async_results]

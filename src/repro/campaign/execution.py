@@ -1,0 +1,47 @@
+"""Process-agnostic job payloads: the unit every execution backend moves.
+
+A payload is a plain dictionary — ``{"job": <JobSpec dict>, "engine": ...,
+"kernel": ...}`` — that serialises identically under pickling (process
+pools) and JSON framing (the TCP protocol), so the same job produces the
+same bytes no matter which backend carries it.  The engine/kernel choices
+ride along *outside* the job spec: they select how the job is simulated,
+never what it computes, so they are not part of the job identity or store
+key.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from .spec import JobSpec
+
+
+def payload_for(job: JobSpec, engine: str = "auto", kernel: str = "auto") -> dict[str, Any]:
+    """Build the transportable payload for one job."""
+    return {"job": job.to_dict(), "engine": engine, "kernel": kernel}
+
+
+def execute_payload(payload: dict[str, Any]) -> tuple[str, dict[str, Any], float]:
+    """Execute one job from its payload dictionary.
+
+    Returns ``(key, comparison dict, elapsed seconds)`` — everything a
+    backend streams back to the runner.  Shared verbatim by the serial
+    backend, the ``multiprocessing`` pool workers and the TCP workers, so
+    all backends perform the identical computation.
+    """
+    from ..sim.experiment import compare_schemes
+    from .store import comparison_to_dict
+
+    job = JobSpec.from_dict(payload["job"])
+    start = time.perf_counter()
+    comparison = compare_schemes(
+        job.workload,
+        baseline=job.baseline,
+        alternatives=job.alternatives,
+        settings=job.settings,
+        engine=payload.get("engine", "auto"),
+        kernel=payload.get("kernel", "auto"),
+    )
+    elapsed = time.perf_counter() - start
+    return job.key, comparison_to_dict(comparison), elapsed

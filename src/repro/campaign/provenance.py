@@ -1,0 +1,91 @@
+"""Per-entry provenance: which code produced a stored result.
+
+Every store entry records the package version and (when the working tree is
+a git checkout) the commit hash that executed the job.  Provenance is
+*descriptive*, never part of the job identity: two entries for the same key
+are considered equal when their job and result payloads match, regardless of
+which version wrote them.  Mixing versions in one store is legal — results
+are deterministic functions of the job spec, so a version bump that does not
+change the simulation leaves entries byte-identical apart from this field —
+but it is worth a warning, because a version bump that *does* change the
+simulation would make the store internally inconsistent without one.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import warnings
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+
+class ProvenanceWarning(RuntimeWarning):
+    """A store mixes entries written by different code versions."""
+
+
+@lru_cache(maxsize=1)
+def package_version() -> str:
+    """Version of the :mod:`repro` package executing right now."""
+    from .. import __version__
+
+    return __version__
+
+
+@lru_cache(maxsize=1)
+def git_revision() -> str | None:
+    """Commit hash of the working tree, or ``None`` outside a git checkout.
+
+    Best-effort: any failure (no git binary, not a repository, sandboxed
+    environment) degrades to ``None`` rather than failing the campaign.
+    """
+    package_dir = Path(__file__).resolve().parent
+    try:
+        completed = subprocess.run(
+            ["git", "-C", str(package_dir), "rev-parse", "--short=12", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if completed.returncode != 0:
+        return None
+    revision = completed.stdout.strip()
+    return revision or None
+
+
+def provenance_dict() -> dict[str, Any]:
+    """The provenance record stamped onto new store entries."""
+    return {"version": package_version(), "git": git_revision()}
+
+
+def provenance_label(provenance: Mapping[str, Any] | None) -> str:
+    """Compact human-readable form, e.g. ``1.0.0@a1b2c3d4e5f6``."""
+    if not provenance:
+        return "unknown"
+    version = provenance.get("version", "unknown")
+    revision = provenance.get("git")
+    return f"{version}@{revision}" if revision else str(version)
+
+
+def warn_on_mixed_provenance(
+    provenances: Iterable[Mapping[str, Any] | None], context: str
+) -> None:
+    """Issue one :class:`ProvenanceWarning` when several versions are mixed.
+
+    Args:
+        provenances: Provenance records of the entries under inspection
+            (``None`` for entries written before provenance existed).
+        context: Where the mix was observed (store path, merge description),
+            quoted in the warning message.
+    """
+    labels = sorted({provenance_label(p) for p in provenances})
+    if len(labels) > 1:
+        warnings.warn(
+            f"{context} mixes entries from {len(labels)} code versions: "
+            f"{', '.join(labels)}; results are only comparable if the "
+            "simulation is unchanged between them",
+            ProvenanceWarning,
+            stacklevel=3,
+        )

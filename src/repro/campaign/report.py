@@ -23,17 +23,17 @@ from ..errors import CampaignError
 from ..sim.results import WorkloadComparison, format_table
 from .runner import CampaignResult
 from .spec import CampaignSpec, JobSpec
-from .store import ResultStore
+from .store import BaseResultStore
 
 
-def missing_jobs(spec: CampaignSpec, store: ResultStore) -> list[JobSpec]:
+def missing_jobs(spec: CampaignSpec, store: BaseResultStore) -> list[JobSpec]:
     """Jobs of ``spec`` that have no entry in ``store`` yet."""
     return [job for job in spec.jobs() if job.key not in store]
 
 
 def comparisons_at_point(
     spec: CampaignSpec,
-    store: ResultStore,
+    store: BaseResultStore,
     point: Sequence[tuple[str, Any]] = (),
 ) -> list[WorkloadComparison]:
     """Stored comparisons for one sweep point, in workload order.
@@ -61,7 +61,7 @@ def comparisons_at_point(
 
 def figure5_from_store(
     spec: CampaignSpec,
-    store: ResultStore,
+    store: BaseResultStore,
     point: Sequence[tuple[str, Any]] = (),
 ) -> Figure5Data:
     """Build Fig. 5 (MTTF improvement) from stored results at one point."""
@@ -70,7 +70,7 @@ def figure5_from_store(
 
 def figure6_from_store(
     spec: CampaignSpec,
-    store: ResultStore,
+    store: BaseResultStore,
     point: Sequence[tuple[str, Any]] = (),
 ) -> Figure6Data:
     """Build Fig. 6 (dynamic energy) from stored results at one point."""
@@ -127,8 +127,8 @@ def render_campaign_summary(result: CampaignResult) -> str:
     table = format_table(list(_SUMMARY_HEADERS), _summary_rows(result))
     footer = (
         f"{len(result.outcomes)} jobs: {result.executed} executed, "
-        f"{result.cached} cached | workers={result.workers} | "
-        f"wall time {result.elapsed_s:.2f}s"
+        f"{result.cached} cached | backend={result.backend} "
+        f"workers={result.workers} | wall time {result.elapsed_s:.2f}s"
     )
     return f"{table}\n{footer}"
 

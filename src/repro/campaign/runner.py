@@ -1,65 +1,33 @@
-"""Campaign execution: serial or multiprocessing fan-out with caching.
+"""Campaign execution: pluggable backends over a cached result store.
 
 The runner expands a :class:`~repro.campaign.spec.CampaignSpec` (or takes an
 explicit job list), skips every job whose key is already in the result
-store, and executes the rest — serially, or across a ``multiprocessing``
-pool when ``jobs > 1``.  Each job is an independent deterministic
-simulation, so parallel execution produces byte-identical store entries to
-serial execution; only completion order differs, and outcomes are reported
-back in spec order regardless.
+store, and hands the rest to an :class:`~repro.campaign.backend
+.ExecutionBackend` — in-process, a local ``multiprocessing`` pool, or a TCP
+coordinator feeding remote workers.  Each job is an independent
+deterministic simulation, so every backend produces byte-identical store
+entries; only completion order differs, and outcomes are reported back in
+spec order regardless.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Sequence
 
 from ..errors import CampaignError
-from ..sim.engine import (
-    ENGINE_CHOICES,
-    deduplicate_fallback_warnings,
-    enable_fallback_warning_dedup,
-)
+from ..sim.engine import ENGINE_CHOICES
 from ..sim.fastpath import KERNEL_CHOICES
-from ..sim.experiment import compare_schemes
 from ..sim.results import WorkloadComparison
+from .backend import ExecutionBackend, resolve_backend
+from .execution import execute_payload, payload_for
 from .spec import CampaignSpec, JobSpec
-from .store import ResultStore, comparison_from_dict, comparison_to_dict
+from .store import BaseResultStore, comparison_from_dict
 
-
-def _run_comparison(
-    job: JobSpec, engine: str = "auto", kernel: str = "auto"
-) -> WorkloadComparison:
-    return compare_schemes(
-        job.workload,
-        baseline=job.baseline,
-        alternatives=job.alternatives,
-        settings=job.settings,
-        engine=engine,
-        kernel=kernel,
-    )
-
-
-def _execute_job(payload: dict[str, Any]) -> tuple[str, dict[str, Any], float]:
-    """Worker entry point: run one job from its dictionary form.
-
-    Takes and returns plain dictionaries so the payload pickles identically
-    under any multiprocessing start method.  The engine choice rides along
-    outside the job spec — it selects how the job is simulated, never what
-    it computes, so it is not part of the job identity or store key.
-    """
-    job = JobSpec.from_dict(payload["job"])
-    start = time.perf_counter()
-    comparison = _run_comparison(
-        job,
-        engine=payload.get("engine", "auto"),
-        kernel=payload.get("kernel", "auto"),
-    )
-    elapsed = time.perf_counter() - start
-    return job.key, comparison_to_dict(comparison), elapsed
+# Retained as the multiprocessing entry point name older pickles may hold.
+_execute_job = execute_payload
 
 
 @dataclass(frozen=True)
@@ -88,7 +56,8 @@ class CampaignResult:
         executed: Number of jobs actually simulated this run.
         cached: Number of jobs satisfied from the result store.
         elapsed_s: Wall time of the whole run.
-        workers: Worker processes used (1 = serial).
+        workers: Worker parallelism used (1 = serial).
+        backend: Name of the execution backend that ran the jobs.
     """
 
     outcomes: tuple[JobOutcome, ...]
@@ -96,6 +65,7 @@ class CampaignResult:
     cached: int
     elapsed_s: float
     workers: int
+    backend: str = "serial"
 
     @property
     def comparisons(self) -> list[WorkloadComparison]:
@@ -110,25 +80,35 @@ class CampaignRunner:
         spec: A campaign specification, or an explicit job list for callers
             (like :func:`repro.sim.sweep`) that build jobs directly.
         store: Result store for caching/resumability; ``None`` disables
-            persistence and every job executes.
-        jobs: Worker processes; ``1`` (the default) runs serially in-process.
+            persistence and every job executes.  Accepts the single-file
+            :class:`~repro.campaign.ResultStore` and the directory-backed
+            :class:`~repro.campaign.ShardedResultStore` interchangeably.
+        jobs: Worker processes for the default local backend; ``1`` (the
+            default) runs serially in-process.
         engine: Simulation engine every job runs under (``"reference"``,
             ``"fast"`` or ``"auto"``, the default).  Engines are numerically
-            identical,
-            so store entries stay byte-identical across engine choices and
-            the engine is deliberately *not* part of the job key.
+            identical, so store entries stay byte-identical across engine
+            choices and the engine is deliberately *not* part of the job key.
         kernel: Fast-path kernel tier every job runs under (``"loop"``,
             ``"soa"`` or ``"auto"``, the default); bit-identical kernels,
             so the kernel is not part of the job key either.
+        backend: Execution backend — an
+            :class:`~repro.campaign.backend.ExecutionBackend` instance, or
+            one of the spellings ``"serial"``, ``"local"``,
+            ``"tcp://HOST:PORT"``.  Like the engine and kernel, the backend
+            selects *where* jobs run, never *what* they compute, so it is
+            not part of job identity and all backends fill stores with
+            byte-identical entries.
     """
 
     def __init__(
         self,
         spec: CampaignSpec | Sequence[JobSpec],
-        store: ResultStore | None = None,
+        store: BaseResultStore | None = None,
         jobs: int = 1,
         engine: str = "auto",
         kernel: str = "auto",
+        backend: str | ExecutionBackend | None = None,
     ) -> None:
         if isinstance(spec, CampaignSpec):
             self._jobs_list = spec.jobs()
@@ -149,7 +129,7 @@ class CampaignRunner:
                 f"unknown kernel {kernel!r}; choose one of {KERNEL_CHOICES}"
             )
         self._store = store
-        self._workers = jobs
+        self._backend = resolve_backend(backend, jobs)
         self._engine = engine
         self._kernel = kernel
 
@@ -157,6 +137,11 @@ class CampaignRunner:
     def jobs_list(self) -> list[JobSpec]:
         """The expanded job list, in execution (spec) order."""
         return list(self._jobs_list)
+
+    @property
+    def backend(self) -> ExecutionBackend:
+        """The execution backend this runner hands pending jobs to."""
+        return self._backend
 
     def run(
         self, progress: Callable[[JobOutcome], None] | None = None
@@ -187,11 +172,20 @@ class CampaignRunner:
             else:
                 pending[key] = job
 
-        if pending:
-            if self._workers > 1 and len(pending) > 1:
-                self._run_parallel(pending, by_key, progress)
-            else:
-                self._run_serial(pending, by_key, progress)
+        try:
+            if pending:
+                payloads = [
+                    payload_for(job, engine=self._engine, kernel=self._kernel)
+                    for job in pending.values()
+                ]
+                for key, result, elapsed in self._backend.execute(payloads):
+                    comparison = comparison_from_dict(result)
+                    self._record(pending[key], comparison, elapsed, by_key, progress)
+        finally:
+            # Even a fully-cached run releases the backend: a TCP
+            # coordinator must stop serving so idle workers shut down and
+            # its port is freed.
+            self._backend.close()
 
         outcomes = tuple(by_key[job.key] for job in self._jobs_list)
         executed = sum(1 for o in by_key.values() if not o.cached)
@@ -200,7 +194,8 @@ class CampaignRunner:
             executed=executed,
             cached=len(by_key) - executed,
             elapsed_s=time.perf_counter() - start,
-            workers=self._workers,
+            workers=self._backend.workers,
+            backend=self._backend.name,
         )
 
     def _record(
@@ -220,72 +215,37 @@ class CampaignRunner:
         if progress is not None:
             progress(outcome)
 
-    def _run_serial(
-        self,
-        pending: dict[str, JobSpec],
-        by_key: dict[str, JobOutcome],
-        progress: Callable[[JobOutcome], None] | None,
-    ) -> None:
-        # One campaign run warns at most once per distinct fallback reason,
-        # instead of once per job.
-        with deduplicate_fallback_warnings():
-            for job in pending.values():
-                job_start = time.perf_counter()
-                comparison = _run_comparison(
-                    job, engine=self._engine, kernel=self._kernel
-                )
-                elapsed = time.perf_counter() - job_start
-                self._record(job, comparison, elapsed, by_key, progress)
-
-    def _run_parallel(
-        self,
-        pending: dict[str, JobSpec],
-        by_key: dict[str, JobOutcome],
-        progress: Callable[[JobOutcome], None] | None,
-    ) -> None:
-        # Fork keeps worker start-up cheap where available (Linux/macOS);
-        # elsewhere fall back to the platform default start method.
-        methods = multiprocessing.get_all_start_methods()
-        context = multiprocessing.get_context("fork" if "fork" in methods else None)
-        payloads = [
-            {"job": job.to_dict(), "engine": self._engine, "kernel": self._kernel}
-            for job in pending.values()
-        ]
-        # Workers deduplicate fallback warnings for their whole lifetime, so
-        # a parallel campaign warns once per worker at most, not per job.
-        with context.Pool(
-            processes=min(self._workers, len(payloads)),
-            initializer=enable_fallback_warning_dedup,
-        ) as pool:
-            for key, result, elapsed in pool.imap_unordered(_execute_job, payloads):
-                comparison = comparison_from_dict(result)
-                self._record(pending[key], comparison, elapsed, by_key, progress)
-
 
 def run_campaign(
     spec: CampaignSpec | Sequence[JobSpec],
-    store: ResultStore | str | Path | None = None,
+    store: BaseResultStore | str | Path | None = None,
     jobs: int = 1,
     progress: Callable[[JobOutcome], None] | None = None,
     engine: str = "auto",
     kernel: str = "auto",
+    backend: str | ExecutionBackend | None = None,
 ) -> CampaignResult:
     """One-shot convenience wrapper around :class:`CampaignRunner`.
 
     Args:
         spec: Campaign specification or explicit job list.
-        store: Result store, a path to open one at, or ``None`` for no
-            persistence.
-        jobs: Worker processes.
+        store: Result store, a path to open one at (``.jsonl`` file or
+            sharded directory, see :func:`repro.campaign.open_store`), or
+            ``None`` for no persistence.
+        jobs: Worker processes for the default local backend.
         progress: Optional per-job completion callback.
         engine: Simulation engine for every executed job; engines are
             numerically identical, so the store stays consistent across
             engine choices.
         kernel: Fast-path kernel tier for every executed job (bit-identical
             kernels; not part of any job key).
+        backend: Execution backend instance or spelling (``"serial"``,
+            ``"local"``, ``"tcp://HOST:PORT"``); never part of job identity.
     """
     if isinstance(store, (str, Path)):
-        store = ResultStore(store)
+        from .tools import open_store
+
+        store = open_store(store)
     return CampaignRunner(
-        spec, store=store, jobs=jobs, engine=engine, kernel=kernel
+        spec, store=store, jobs=jobs, engine=engine, kernel=kernel, backend=backend
     ).run(progress=progress)

@@ -12,7 +12,7 @@ hit means the cached result is bit-identical to re-executing the job.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field, fields, replace
+from dataclasses import dataclass, field, fields, is_dataclass, replace
 from typing import Any, Mapping, Sequence
 
 from ..core import ProtectionScheme
@@ -27,11 +27,99 @@ SCHEMA_VERSION = 1
 #: Swept values must be JSON scalars so points hash canonically.
 _SCALAR_TYPES = (bool, int, float, str, type(None))
 
-#: ``ExperimentSettings`` fields a campaign may sweep (scalar-valued only;
-#: sweeping nested configs would need per-point config constructors).
+#: Top-level ``ExperimentSettings`` fields a campaign may sweep directly.
+#: Nested configuration fields are swept through *dotted paths* instead
+#: (``l2_config.associativity``, ``l2_config.ecc.kind``,
+#: ``mtj.read_current_ua``, ...), validated against the base settings by
+#: :func:`validate_sweep_path`.
 SWEEPABLE_FIELDS = frozenset(
     f.name for f in fields(ExperimentSettings) if f.name not in ("l2_config", "mtj")
 )
+
+
+def _field_names(obj: Any) -> list[str]:
+    return [f.name for f in fields(obj)]
+
+
+def validate_sweep_path(base: Any, path: str) -> None:
+    """Check that ``path`` names a sweepable (possibly nested) scalar field.
+
+    Walks the dataclass structure of ``base`` (normally an
+    :class:`~repro.sim.ExperimentSettings`) segment by segment.  Errors name
+    the exact unknown segment and list the valid choices at that level, so
+    ``l2_config.assoc`` fails with *"unknown segment 'assoc'"* rather than a
+    generic rejection.
+
+    Raises:
+        CampaignError: for empty segments, unknown segments, descending
+            through a scalar, or a path that stops at a nested config.
+    """
+    segments = path.split(".")
+    current = base
+    for depth, segment in enumerate(segments):
+        if not segment:
+            raise CampaignError(
+                f"cannot sweep {path!r}: empty path segment"
+            )
+        if not is_dataclass(current):
+            prefix = ".".join(segments[:depth])
+            raise CampaignError(
+                f"cannot sweep {path!r}: {prefix!r} is a scalar field with no "
+                f"sub-fields (drop the trailing '.{segment}')"
+            )
+        names = _field_names(current)
+        if segment not in names:
+            prefix = ".".join(segments[: depth + 1])
+            where = (
+                f"in {'.'.join(segments[:depth])!r}" if depth else "at the top level"
+            )
+            raise CampaignError(
+                f"cannot sweep {path!r}: unknown segment {segment!r} "
+                f"({prefix!r}) {where}; valid fields: {sorted(names)}"
+            )
+        current = getattr(current, segment)
+    if is_dataclass(current):
+        raise CampaignError(
+            f"cannot sweep {path!r}: it names a whole nested configuration; "
+            f"sweep one of its fields instead: "
+            f"{sorted(f'{path}.{name}' for name in _field_names(current))}"
+        )
+
+
+def _replace_path(obj: Any, segments: Sequence[str], value: Any) -> Any:
+    """Rebuild ``obj`` with the field at the segment path replaced.
+
+    Frozen dataclasses rebuild level by level with
+    :func:`dataclasses.replace`, so each level re-validates itself (and
+    coerces enum strings) in its ``__post_init__`` exactly as a hand-built
+    configuration would.
+    """
+    head = segments[0]
+    if len(segments) == 1:
+        replacement = value
+    else:
+        replacement = _replace_path(getattr(obj, head), segments[1:], value)
+    try:
+        return replace(obj, **{head: replacement})
+    except (TypeError, ValueError) as exc:
+        raise CampaignError(
+            f"cannot apply swept value {value!r} to {'.'.join(segments)!r}: {exc}"
+        ) from exc
+
+
+def apply_sweep_point(
+    settings: ExperimentSettings, point: Sequence[tuple[str, Any]]
+) -> ExperimentSettings:
+    """Return ``settings`` with every ``(path, value)`` of a point applied.
+
+    Paths may be plain :class:`~repro.sim.ExperimentSettings` fields or
+    dotted paths into the nested ``l2_config``/``mtj`` configurations; each
+    path is validated against ``settings`` before application.
+    """
+    for path, value in point:
+        validate_sweep_path(settings, path)
+        settings = _replace_path(settings, path.split("."), value)
+    return settings
 
 
 def _normalise_scheme(scheme: ProtectionScheme | str) -> str:
@@ -138,9 +226,11 @@ class CampaignSpec:
         baseline: Baseline scheme for every comparison.
         alternatives: Alternative schemes for every comparison.
         sweep: Ordered ``(parameter, values)`` pairs; the campaign evaluates
-            the full cross-product of the value lists.  Parameters must be
-            scalar :class:`ExperimentSettings` fields.  A mapping is also
-            accepted and normalised.
+            the full cross-product of the value lists.  Parameters are
+            scalar :class:`ExperimentSettings` fields or dotted paths into
+            the nested configurations (``l2_config.associativity``,
+            ``l2_config.ecc.kind``, ``mtj.read_current_ua``).  A mapping is
+            also accepted and normalised.
         stride_seed: Offset each job's seed by its workload index (matching
             :class:`repro.sim.ExperimentRunner`), so workloads draw
             independent traces.
@@ -172,10 +262,14 @@ class CampaignSpec:
         items = sweep.items() if isinstance(sweep, Mapping) else sweep
         normalised = []
         for parameter, values in items:
-            if parameter not in SWEEPABLE_FIELDS:
+            if "." in parameter:
+                validate_sweep_path(self.base_settings, parameter)
+            elif parameter not in SWEEPABLE_FIELDS:
                 raise CampaignError(
                     f"cannot sweep {parameter!r}; sweepable fields: "
-                    f"{sorted(SWEEPABLE_FIELDS)}"
+                    f"{sorted(SWEEPABLE_FIELDS)}, or a dotted path into "
+                    "'l2_config' / 'mtj' (e.g. 'l2_config.associativity', "
+                    "'l2_config.ecc.kind')"
                 )
             values = tuple(values)
             if not values:
@@ -200,8 +294,8 @@ class CampaignSpec:
         ]
 
     def settings_at(self, point: Sequence[tuple[str, Any]]) -> ExperimentSettings:
-        """Base settings with one sweep point applied."""
-        return replace(self.base_settings, **dict(point))
+        """Base settings with one sweep point applied (dotted paths included)."""
+        return apply_sweep_point(self.base_settings, point)
 
     def jobs(self) -> list[JobSpec]:
         """Expand the campaign into its job list (points outer, workloads inner)."""

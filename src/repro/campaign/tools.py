@@ -1,0 +1,229 @@
+"""Store tools: open-by-path, cross-machine merging, and campaign diffing.
+
+Campaigns that fan out over machines produce one store per machine; these
+helpers combine and compare them:
+
+* :func:`open_store` — path-based dispatch between the single-file
+  :class:`~repro.campaign.store.ResultStore` and the directory-backed
+  :class:`~repro.campaign.shards.ShardedResultStore`.
+* :func:`merge_stores` — union several stores into one, byte-preserving,
+  refusing to pick between conflicting payloads for the same key.
+* :func:`diff_stores` — compare two stores (e.g. before/after a model
+  change) and report per-job headline-metric deltas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Sequence
+
+from ..errors import CampaignError
+from ..sim.results import WorkloadComparison, format_table
+from .provenance import warn_on_mixed_provenance
+from .shards import MANIFEST_NAME, ShardedResultStore
+from .store import BaseResultStore, ResultStore, comparison_from_dict
+
+
+def open_store(
+    path: str | Path | BaseResultStore,
+    shard_width: int | None = None,
+    must_exist: bool = False,
+) -> BaseResultStore:
+    """Open the store at ``path``, inferring its layout.
+
+    An existing directory (or one holding a ``store.json`` manifest) opens
+    as a :class:`ShardedResultStore`; an existing file as a
+    :class:`ResultStore`.  For paths that do not exist yet, a ``.jsonl``
+    suffix selects the single-file layout and anything else creates a
+    sharded directory — unless ``must_exist`` is set, which raises instead:
+    read-oriented callers (diff, merge sources) use it so a typo'd path
+    fails loudly rather than being silently conjured as an empty store.
+    Store instances pass through unchanged.
+    """
+    if isinstance(path, BaseResultStore):
+        return path
+    path = Path(path)
+    if path.is_dir() or (path / MANIFEST_NAME).exists():
+        return ShardedResultStore(path, shard_width=shard_width)
+    if path.is_file():
+        return ResultStore(path)
+    if must_exist:
+        raise CampaignError(f"no result store at {path}")
+    if path.suffix == ".jsonl":
+        return ResultStore(path)
+    return ShardedResultStore(path, shard_width=shard_width)
+
+
+@dataclass(frozen=True)
+class MergeReport:
+    """Outcome of one :func:`merge_stores` call.
+
+    Attributes:
+        added: Entries copied into the destination.
+        duplicates: Entries skipped because the destination already held an
+            identical payload.
+        total: Destination entry count after the merge.
+    """
+
+    added: int
+    duplicates: int
+    total: int
+
+
+def merge_stores(
+    destination: str | Path | BaseResultStore,
+    sources: Sequence[str | Path | BaseResultStore],
+) -> MergeReport:
+    """Merge every source store into ``destination``.
+
+    Source entry lines are copied verbatim (bytes and provenance
+    preserved), so merging stores produced by the same code yields entries
+    byte-identical to a single-machine run.  A key present in several
+    stores with the *same* payload deduplicates silently; with *different*
+    payloads the merge raises — two machines disagreeing about one
+    deterministic job is a bug that must never be papered over by picking a
+    side.  Mixing code versions merges fine but warns
+    (:class:`~repro.campaign.provenance.ProvenanceWarning`).
+    """
+    dest = open_store(destination)
+    added = duplicates = 0
+    for source in sources:
+        src = open_store(source, must_exist=True)
+        if src.path == dest.path:
+            raise CampaignError(f"cannot merge store {dest.path} into itself")
+        for key in src.keys():
+            line = src.entry_line(key)
+            try:
+                if dest.put_line(key, line):
+                    added += 1
+                else:
+                    duplicates += 1
+            except CampaignError as exc:
+                raise CampaignError(
+                    f"merge conflict from {src.path}: {exc}"
+                ) from exc
+    warn_on_mixed_provenance(dest.provenances(), f"merged store {dest.path}")
+    return MergeReport(added=added, duplicates=duplicates, total=len(dest))
+
+
+@dataclass(frozen=True)
+class EntryDiff:
+    """One job whose stored results differ between two stores.
+
+    Attributes:
+        key: The job content hash.
+        workload: The job's workload name.
+        point_label: The job's sweep-point label.
+        metrics: ``metric name -> (value in A, value in B)`` for the
+            headline metrics (per-scheme expected failures, MTTF
+            improvement and energy overhead).
+    """
+
+    key: str
+    workload: str
+    point_label: str
+    metrics: dict[str, tuple[float, float]] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class StoreDiff:
+    """Outcome of one :func:`diff_stores` call.
+
+    Attributes:
+        only_in_a: Keys present only in the first store.
+        only_in_b: Keys present only in the second store.
+        identical: Number of keys whose payloads match exactly.
+        changed: Jobs present in both stores with differing results.
+    """
+
+    only_in_a: tuple[str, ...]
+    only_in_b: tuple[str, ...]
+    identical: int
+    changed: tuple[EntryDiff, ...]
+
+    @property
+    def stores_match(self) -> bool:
+        """``True`` when both stores hold exactly the same entries."""
+        return not (self.only_in_a or self.only_in_b or self.changed)
+
+
+def _headline_metrics(comparison: WorkloadComparison) -> dict[str, float]:
+    metrics = {"baseline_expected_failures": comparison.baseline.expected_failures}
+    for run in comparison.alternatives:
+        scheme = run.scheme
+        metrics[f"{scheme}_expected_failures"] = run.expected_failures
+        metrics[f"{scheme}_mttf_improvement"] = comparison.mttf_improvement(scheme)
+        metrics[f"{scheme}_energy_overhead_pct"] = comparison.energy_overhead_percent(
+            scheme
+        )
+    return metrics
+
+
+def diff_stores(
+    store_a: str | Path | BaseResultStore, store_b: str | Path | BaseResultStore
+) -> StoreDiff:
+    """Compare two stores key by key and report per-job metric deltas.
+
+    Jobs are matched by content hash, so two stores of the *same* campaign
+    executed by *different* code (a model change, a bug fix) line up
+    perfectly and the ``changed`` list quantifies what the change did to
+    every affected job.
+    """
+    a = open_store(store_a, must_exist=True)
+    b = open_store(store_b, must_exist=True)
+    keys_a = set(a.keys())
+    keys_b = set(b.keys())
+    only_in_a = tuple(sorted(keys_a - keys_b))
+    only_in_b = tuple(sorted(keys_b - keys_a))
+    identical = 0
+    changed: list[EntryDiff] = []
+    for key in sorted(keys_a & keys_b):
+        if a.payload_line(key) == b.payload_line(key):
+            identical += 1
+            continue
+        record_a = a.record(key)
+        record_b = b.record(key)
+        job = a.job(key)
+        metrics_a = _headline_metrics(comparison_from_dict(record_a["result"]))
+        metrics_b = _headline_metrics(comparison_from_dict(record_b["result"]))
+        changed.append(
+            EntryDiff(
+                key=key,
+                workload=job.workload,
+                point_label=job.point_label,
+                metrics={
+                    name: (metrics_a[name], metrics_b[name])
+                    for name in metrics_a
+                    if name in metrics_b and metrics_a[name] != metrics_b[name]
+                },
+            )
+        )
+    return StoreDiff(
+        only_in_a=only_in_a,
+        only_in_b=only_in_b,
+        identical=identical,
+        changed=tuple(changed),
+    )
+
+
+def render_store_diff(diff: StoreDiff, name_a: str = "A", name_b: str = "B") -> str:
+    """Fixed-width text report of a :class:`StoreDiff`."""
+    header = (
+        f"{diff.identical} identical | {len(diff.changed)} changed | "
+        f"{len(diff.only_in_a)} only in {name_a} | "
+        f"{len(diff.only_in_b)} only in {name_b}"
+    )
+    if not diff.changed:
+        return header
+    rows: list[list[Any]] = []
+    for entry in diff.changed:
+        for metric, (value_a, value_b) in sorted(entry.metrics.items()):
+            delta = value_b - value_a
+            rows.append(
+                [entry.workload, entry.point_label, metric, value_a, value_b, delta]
+            )
+    table = format_table(
+        ["workload", "point", "metric", name_a, name_b, "delta"], rows
+    )
+    return f"{header}\n{table}"

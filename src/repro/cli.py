@@ -12,8 +12,13 @@ also exporting CSV/JSON):
 * ``repro-reap overheads``— area and access-time reports (Section V-B).
 * ``repro-reap workloads``— list the available SPEC-named profiles.
 * ``repro-reap campaign`` — run a (workload × scheme × parameter) campaign
-  over a persistent result store, optionally fanned out over worker
-  processes (``--jobs``); re-running skips completed jobs.
+  over a persistent result store, fanned out over worker processes
+  (``--jobs``) or remote workers (``--backend tcp://HOST:PORT``);
+  re-running skips completed jobs.
+* ``repro-reap worker``   — execute jobs pulled from a campaign
+  coordinator (the other half of ``--backend tcp://...``).
+* ``repro-reap store``    — result-store tools: ``merge`` combines
+  per-machine stores, ``diff`` compares two stores job by job.
 
 The interface is intentionally thin: it parses arguments, builds
 :class:`repro.sim.ExperimentSettings`, calls the analysis builders and prints
@@ -166,9 +171,10 @@ def _parse_sweep_arguments(specs: Sequence[str]) -> tuple[tuple[str, tuple], ...
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from .campaign import (
         CampaignSpec,
-        ResultStore,
+        TCPBackend,
         campaign_summary_to_csv,
         missing_jobs,
+        open_store,
         render_campaign_summary,
         run_campaign,
     )
@@ -183,12 +189,24 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         alternatives=tuple(args.schemes.split(",")),
         sweep=_parse_sweep_arguments(args.sweep),
     )
-    store = ResultStore(args.store)
+    store = open_store(args.store, shard_width=args.shard_width)
     print(
         f"campaign {spec.name!r}: {spec.num_jobs} jobs "
         f"({len(workloads)} workloads x {len(spec.points())} points), "
         f"{spec.num_jobs - len(missing_jobs(spec, store))} already in {store.path}"
     )
+
+    backend = args.backend
+    if isinstance(backend, str) and backend.startswith("tcp://"):
+        backend = TCPBackend(
+            backend,
+            lease_timeout_s=args.lease_timeout,
+            idle_timeout_s=args.idle_timeout,
+        )
+        print(
+            f"coordinator listening on {backend.address}; start workers with:\n"
+            f"  repro-reap worker {backend.address}"
+        )
 
     def progress(outcome) -> None:
         status = "cached" if outcome.cached else f"ran in {outcome.elapsed_s:.2f}s"
@@ -201,12 +219,55 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         progress=progress,
         engine=args.engine,
         kernel=args.kernel,
+        backend=backend,
     )
     print()
     print(render_campaign_summary(result))
     if args.csv:
         print(f"[wrote {campaign_summary_to_csv(result, args.csv)}]")
     return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from .campaign import run_worker, run_worker_pool
+
+    if args.jobs > 1:
+        executed = run_worker_pool(
+            args.address,
+            args.jobs,
+            max_jobs=args.max_jobs,
+            connect_retry_s=args.connect_retry,
+        )
+        print(f"workers executed {sum(executed)} jobs ({executed})")
+    else:
+        executed = run_worker(
+            args.address,
+            worker_id=args.worker_id,
+            max_jobs=args.max_jobs,
+            connect_retry_s=args.connect_retry,
+        )
+        print(f"worker executed {executed} jobs")
+    return 0
+
+
+def _cmd_store_merge(args: argparse.Namespace) -> int:
+    from .campaign import merge_stores, open_store
+
+    report = merge_stores(open_store(args.destination), args.sources)
+    print(
+        f"merged {len(args.sources)} stores into {args.destination}: "
+        f"{report.added} added, {report.duplicates} duplicate, "
+        f"{report.total} total entries"
+    )
+    return 0
+
+
+def _cmd_store_diff(args: argparse.Namespace) -> int:
+    from .campaign import diff_stores, render_store_diff
+
+    diff = diff_stores(args.store_a, args.store_b)
+    print(render_store_diff(diff, name_a=args.store_a, name_b=args.store_b))
+    return 0 if diff.stores_match else 1
 
 
 def _cmd_workloads(_args: argparse.Namespace) -> int:
@@ -283,14 +344,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--store",
         type=str,
         default="campaign_store.jsonl",
-        help="JSONL result store; completed jobs are skipped on re-runs "
-        "(default: campaign_store.jsonl)",
+        help="result store; a .jsonl path is a single-file store, anything "
+        "else a sharded store directory (one JSONL shard per key prefix, "
+        "safe for concurrent writers); completed jobs are skipped on "
+        "re-runs (default: campaign_store.jsonl)",
+    )
+    campaign.add_argument(
+        "--shard-width",
+        type=int,
+        default=None,
+        help="key-prefix hex digits per shard when creating a sharded "
+        "store (default: 2)",
     )
     campaign.add_argument(
         "--jobs",
         type=int,
         default=1,
         help="worker processes to fan jobs out over (default: 1, serial)",
+    )
+    campaign.add_argument(
+        "--backend",
+        type=str,
+        default="local",
+        help="execution backend: 'local' (in-process / --jobs pool, the "
+        "default), 'serial', or tcp://HOST:PORT to serve the job queue to "
+        "remote 'repro-reap worker' processes (PORT 0 binds an ephemeral "
+        "port and prints it)",
+    )
+    campaign.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=30.0,
+        help="tcp backend: seconds a handed-out job may go unheartbeated "
+        "before it is requeued for another worker (default: 30)",
+    )
+    campaign.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        help="tcp backend: fail when no job completes for this many "
+        "seconds (default: wait for workers forever)",
     )
     campaign.add_argument(
         "--baseline",
@@ -330,9 +423,70 @@ def build_parser() -> argparse.ArgumentParser:
         default=[],
         metavar="PARAM=V1,V2,...",
         help="sweep an ExperimentSettings field over values (repeatable; "
-        "the campaign runs the cross-product of all sweeps)",
+        "the campaign runs the cross-product of all sweeps); dotted paths "
+        "reach nested configs, e.g. l2_config.associativity=4,8 or "
+        "l2_config.ecc.kind=parity,hamming-sec",
     )
     campaign.set_defaults(handler=_cmd_campaign)
+
+    worker = subparsers.add_parser(
+        "worker",
+        help="pull and execute campaign jobs from a tcp:// coordinator",
+    )
+    worker.add_argument(
+        "address", type=str, help="coordinator address, e.g. tcp://10.0.0.5:7654"
+    )
+    worker.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes to run on this machine (default: 1)",
+    )
+    worker.add_argument(
+        "--worker-id",
+        type=str,
+        default=None,
+        help="identifier reported to the coordinator (default: hostname-pid)",
+    )
+    worker.add_argument(
+        "--max-jobs",
+        type=int,
+        default=None,
+        help="stop after executing this many jobs per process (default: "
+        "run until the campaign completes)",
+    )
+    worker.add_argument(
+        "--connect-retry",
+        type=float,
+        default=30.0,
+        help="seconds to keep retrying the first coordinator contact "
+        "(default: 30; lets workers start before the coordinator)",
+    )
+    worker.set_defaults(handler=_cmd_worker)
+
+    store = subparsers.add_parser(
+        "store", help="result-store tools: merge and diff"
+    )
+    store_commands = store.add_subparsers(dest="store_command", required=True)
+
+    merge = store_commands.add_parser(
+        "merge",
+        help="merge source stores into a destination store "
+        "(conflicting payloads for one key abort the merge)",
+    )
+    merge.add_argument("destination", type=str, help="store to merge into")
+    merge.add_argument(
+        "sources", nargs="+", type=str, help="stores to merge from"
+    )
+    merge.set_defaults(handler=_cmd_store_merge)
+
+    diff = store_commands.add_parser(
+        "diff",
+        help="compare two stores job by job (exit code 1 when they differ)",
+    )
+    diff.add_argument("store_a", type=str, help="first store")
+    diff.add_argument("store_b", type=str, help="second store")
+    diff.set_defaults(handler=_cmd_store_diff)
 
     return parser
 

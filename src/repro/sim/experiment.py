@@ -324,7 +324,7 @@ class ExperimentRunner:
 
 def sweep(
     parameter_values: Sequence[object],
-    build_settings: Callable[[object], ExperimentSettings],
+    build_settings: Callable[[object], ExperimentSettings] | str,
     workload: SPECWorkloadProfile | str,
     baseline: ProtectionScheme | str = ProtectionScheme.CONVENTIONAL,
     alternatives: Sequence[ProtectionScheme | str] = (ProtectionScheme.REAP,),
@@ -332,6 +332,7 @@ def sweep(
     store=None,
     engine: str = "auto",
     kernel: str = "auto",
+    settings: ExperimentSettings | None = None,
 ) -> list[tuple[object, WorkloadComparison]]:
     """Sweep one parameter and compare schemes at each point.
 
@@ -344,7 +345,11 @@ def sweep(
     Args:
         parameter_values: The values to sweep.
         build_settings: Maps a parameter value to the experiment settings to
-            use at that point.
+            use at that point.  Instead of a callable, a (possibly dotted)
+            settings path — ``"p_cell"``, ``"l2_config.associativity"``,
+            ``"l2_config.ecc.kind"`` — applies each value to ``settings``
+            at that path (validated with a clear error naming any unknown
+            path segment).
         workload: The workload evaluated at every point.
         baseline: Baseline scheme.
         alternatives: Alternative schemes.
@@ -355,12 +360,24 @@ def sweep(
             results are numerically identical across engines).
         kernel: Fast-path kernel tier used at every point (default
             ``"auto"``; kernels are bit-identical).
+        settings: Base settings the dotted-path form starts from (defaults
+            to :class:`ExperimentSettings`); ignored when
+            ``build_settings`` is a callable.
 
     Returns:
         ``[(value, comparison), ...]`` in the order of ``parameter_values``.
     """
     from ..campaign import JobSpec, run_campaign
 
+    if isinstance(build_settings, str):
+        from ..campaign.spec import apply_sweep_point, validate_sweep_path
+
+        path = build_settings
+        base_settings = settings or ExperimentSettings()
+        validate_sweep_path(base_settings, path)
+        build_settings = lambda value: apply_sweep_point(  # noqa: E731
+            base_settings, ((path, value),)
+        )
     if not parameter_values:
         return []
     profile = get_profile(workload) if isinstance(workload, str) else workload

@@ -111,6 +111,147 @@ def effective_soa_scheduling(policy) -> tuple[str, bool]:
     return mode, exposure
 
 
+def _patrol_visit_schedule(
+    credit: float, rate: float, count: int
+) -> tuple[np.ndarray, float]:
+    """Per-access patrol visit counts under the exact credit arithmetic.
+
+    Replicates :meth:`repro.core.scrubbing.ScrubbingCache._advance_scrubber`
+    bit for bit: per access one float add of ``rate``, then one visit per
+    whole unit of credit.  Subtracting ``1.0`` from a float ``>= 1`` is
+    exact, so the post-access credit equals ``fl(credit + rate) - visits``
+    computed in one step, and the credit trajectory is a deterministic map
+    on the fractional part.  Because the rate is constant, that map cycles
+    quickly for typical rates (e.g. period 4 at ``rate=0.25``); the closed
+    form detects the cycle and tiles the visit counts instead of iterating
+    all ``count`` accesses.
+
+    Returns:
+        ``(visits_per_access, final_credit)`` with ``final_credit`` bitwise
+        equal to the scalar loop's.
+    """
+    visits = np.zeros(count, dtype=np.int64)
+    if rate == 0.0 or count == 0:
+        return visits, credit
+    seen: dict[float, int] = {}
+    credits: list[float] = []
+    index = 0
+    current = credit
+    while index < count:
+        cycle_start = seen.get(current)
+        if cycle_start is not None:
+            period = index - cycle_start
+            pattern = visits[cycle_start:index].copy()
+            remaining = count - index
+            repeats, tail = divmod(remaining, period)
+            if repeats:
+                visits[index : index + repeats * period] = np.tile(pattern, repeats)
+            if tail:
+                visits[count - tail :] = pattern[:tail]
+            final = credits[cycle_start + (count - cycle_start) % period]
+            return visits, final
+        seen[current] = index
+        credits.append(current)
+        topped = current + rate
+        whole = int(topped)  # == floor: credit is never negative
+        visits[index] = whole
+        current = topped - whole  # exact (see docstring)
+        index += 1
+    return visits, current
+
+
+def _patrol_visit_frames(
+    visits_per_access: np.ndarray,
+    fill_positions: list[int],
+    fill_frames: list[int],
+    init_valid_frames: np.ndarray,
+    cursor: int,
+    total_frames: int,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Reconstruct the patrol visit log from the monotone valid-frame sets.
+
+    During a replay frames only ever *become* valid (a fill into a free way;
+    evictions replace in place), so the round-robin walk sees a fixed sorted
+    valid-frame array between consecutive free fills.  Within such a
+    segment, consecutive visits simply walk consecutive valid frames
+    cyclically, starting from the first valid frame at or after the cursor —
+    one ``searchsorted`` plus modular index arithmetic per segment instead
+    of a per-visit Python scan over the whole cache.  Visits finding no
+    valid frame (a cold cache) consume credit, record nothing, and leave the
+    cursor where it was, exactly like the scalar walk that wraps fully
+    around.
+
+    Args:
+        visits_per_access: Per-access visit counts from
+            :func:`_patrol_visit_schedule`.
+        fill_positions: Access positions of free fills, ascending; a fill at
+            position ``i`` is visible to that access's own patrol visits.
+        fill_frames: The frame each free fill made valid.
+        init_valid_frames: Frames valid before the replay (whole cache).
+        cursor: Patrol cursor at replay start.
+        total_frames: Cache frame count (cursor modulus).
+
+    Returns:
+        ``(positions, frames, final_cursor)`` of the recorded visits, in
+        chronological order.
+    """
+    total = int(visits_per_access.sum())
+    if total == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty, cursor
+    cumulative = np.cumsum(visits_per_access)
+    # Access position of the j-th visit overall (0-based j).
+    visit_pos = np.searchsorted(
+        cumulative, np.arange(1, total + 1, dtype=np.int64), side="left"
+    )
+    valid = np.sort(np.asarray(init_valid_frames, dtype=np.int64))
+    out_positions: list[np.ndarray] = []
+    out_frames: list[np.ndarray] = []
+    consumed = 0
+
+    def consume(n_visits: int) -> None:
+        nonlocal consumed, cursor
+        if n_visits <= 0:
+            return
+        if valid.size:
+            start = np.searchsorted(valid, cursor, side="left")
+            indices = (start + np.arange(n_visits, dtype=np.int64)) % valid.size
+            frames_segment = valid[indices]
+            out_positions.append(visit_pos[consumed : consumed + n_visits])
+            out_frames.append(frames_segment)
+            cursor = (int(frames_segment[-1]) + 1) % total_frames
+        consumed += n_visits
+
+    for position, frame in zip(fill_positions, fill_frames):
+        # Visits strictly before this fill's access see the old valid set.
+        boundary = int(np.searchsorted(visit_pos, position, side="left"))
+        consume(boundary - consumed)
+        valid = np.insert(valid, np.searchsorted(valid, frame), frame)
+    consume(total - consumed)
+    if out_frames:
+        return np.concatenate(out_positions), np.concatenate(out_frames), cursor
+    empty = np.zeros(0, dtype=np.int64)
+    return empty, empty, cursor
+
+
+def _initial_valid_frames(substrate, num_sets: int, assoc: int) -> np.ndarray:
+    """Frames holding a valid block before the replay, across the whole cache.
+
+    Unmaterialised substrate sets are all-invalid by construction and are
+    skipped without materialising them (:meth:`SetAssociativeCache.peek_set`).
+    """
+    frames = []
+    for set_index in range(num_sets):
+        cache_set = substrate.peek_set(set_index)
+        if cache_set is None:
+            continue
+        base = set_index * assoc
+        for way, block in enumerate(cache_set.blocks):
+            if block.valid:
+                frames.append(base + way)
+    return np.asarray(frames, dtype=np.int64)
+
+
 def _sequential_total(initial: float, values: np.ndarray, counts: np.ndarray) -> float:
     """Left-to-right sum of ``counts`` repeats of each addend, from ``initial``.
 
@@ -318,13 +459,23 @@ def replay_l2_soa(
         scrub_credit, scrub_cursor, scrubbed_lines, total_frames = (
             cache.patrol_walk_state()
         )
+    # The patrol scrubber only interacts with the functional replay through
+    # the exposure counters some policies' victim choice reads (LER).  For
+    # every other policy the patrol rate is constant and the valid-frame set
+    # grows monotonically, so the whole visit log has a closed form and is
+    # reconstructed vectorised after the loop instead of walking frames
+    # per access inside it.
+    patrol_inline = scrubbing and uses_exposure
+    patrol_closed_form = scrubbing and not uses_exposure
+    fill_log_pos: list[int] = []
+    fill_log_frame: list[int] = []
 
     code_list = codes.tolist()
     set_list = set_indices.tolist()
     # Packed (tag, set) keys for the shared residency dict.
     key_list = ((tags << index_bits) | set_indices).tolist()
     way_range = range(assoc)
-    fast_loop = position_mode and not uses_exposure and not scrubbing
+    fast_loop = position_mode and not uses_exposure
 
     def handle_miss(i: int, set_index: int, key: int, code: int) -> None:
         """Shared miss path: victim choice, eviction bookkeeping, fill."""
@@ -340,6 +491,11 @@ def replay_l2_soa(
             nvalid_l[set_index] = nvalid + 1
             evicted_flags.append(False)
             evict_dirty_flags.append(False)
+            if patrol_closed_form:
+                # Free fills are the only events that grow the patrol's
+                # valid-frame set; log them for the closed-form replay.
+                fill_log_pos.append(i)
+                fill_log_frame.append(victim)
         else:
             row = rows[set_index]
             if ordered_mode:
@@ -431,7 +587,7 @@ def replay_l2_soa(
             else:
                 handle_miss(i, set_index, key, code)
 
-            if scrubbing:
+            if patrol_inline:
                 scrub_credit += scrub_rate
                 while scrub_credit >= 1.0:
                     scrub_credit -= 1.0
@@ -459,6 +615,31 @@ def replay_l2_soa(
                                 rr_l[s_set] if exp_is_rr else 0
                             )
                         break
+
+    if patrol_closed_form:
+        # Closed-form patrol replay: the constant rate fixes the per-access
+        # visit counts (exact credit arithmetic, cycle-detected) and the
+        # monotone valid-frame intervals fix which frame each visit lands
+        # on; both reconstruct vectorised, bit-identical to the inline walk.
+        visits_per_access, scrub_credit = _patrol_visit_schedule(
+            scrub_credit, scrub_rate, count
+        )
+        vis_pos, vis_frames, scrub_cursor = _patrol_visit_frames(
+            visits_per_access,
+            fill_log_pos,
+            fill_log_frame,
+            _initial_valid_frames(substrate, num_sets, assoc),
+            scrub_cursor,
+            total_frames,
+        )
+        scrubbed_lines += len(vis_frames)
+        vis_set = vis_frames // assoc
+        vis_way = vis_frames - vis_set * assoc
+        # Patrol-visited sets join the touched set for pass 2's write-back,
+        # exactly as the inline walk materialises them on first visit.
+        for set_index in np.unique(vis_set).tolist():
+            if not materialised[set_index]:
+                materialise(set_index)
 
     # Flush deferred replacement transitions and write the policy state back.
     for set_index in touched_sets:

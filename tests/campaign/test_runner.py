@@ -198,6 +198,42 @@ class TestDelegation:
         assert results[0][1].workload == "my-custom"
 
 
+class TestBackendSwitch:
+    def test_serial_and_local_backends_match(self, tmp_path):
+        serial = run_campaign(small_spec(), backend="serial")
+        local = run_campaign(small_spec(), jobs=2, backend="local")
+        assert serial.comparisons == local.comparisons
+        assert serial.backend == "serial"
+        assert local.backend == "local"
+        assert local.workers == 2
+
+    def test_backend_not_part_of_job_identity(self, tmp_path):
+        store = ResultStore(tmp_path / "store.jsonl")
+        first = run_campaign(small_spec(), store=store, backend="serial")
+        second = run_campaign(small_spec(), store=store, jobs=2, backend="local")
+        assert first.executed == 2
+        assert second.executed == 0
+        assert second.cached == 2
+
+    def test_backend_instance_passthrough(self):
+        from repro.campaign import SerialBackend
+
+        result = run_campaign(small_spec(), backend=SerialBackend())
+        assert result.backend == "serial"
+
+    def test_run_campaign_accepts_sharded_store_path(self, tmp_path):
+        """A non-.jsonl store path opens as a sharded store directory."""
+        from repro.campaign.shards import MANIFEST_NAME
+
+        result = run_campaign(small_spec(), store=tmp_path / "store_dir")
+        assert result.executed == 2
+        assert (tmp_path / "store_dir" / MANIFEST_NAME).exists()
+        rerun = run_campaign(small_spec(), store=tmp_path / "store_dir")
+        assert rerun.executed == 0
+        assert rerun.cached == 2
+        assert rerun.comparisons == result.comparisons
+
+
 class TestEngineSwitch:
     def test_fast_engine_store_entries_byte_identical(self, tmp_path):
         reference_store = ResultStore(tmp_path / "reference.jsonl")

@@ -135,6 +135,72 @@ class TestCampaignSpec:
                 sweep=(("l2_config", (1,)),),
             )
 
+
+class TestDottedSweepPaths:
+    def spec_with_sweep(self, sweep):
+        return CampaignSpec(
+            name="t", workloads=("gcc",), base_settings=fast_settings(), sweep=sweep
+        )
+
+    def test_nested_l2_field(self):
+        spec = self.spec_with_sweep((("l2_config.associativity", (4, 8)),))
+        jobs = spec.jobs()
+        assert [j.settings.l2_config.associativity for j in jobs] == [4, 8]
+        # Everything else survives the nested rebuild.
+        assert all(j.settings.l2_config.size_bytes == 256 * 1024 for j in jobs)
+        assert jobs[0].key != jobs[1].key
+
+    def test_doubly_nested_ecc_kind(self):
+        from repro.config import ECCKind
+
+        spec = self.spec_with_sweep(
+            (("l2_config.ecc.kind", ("parity", "hamming-secded")),)
+        )
+        kinds = [j.settings.l2_config.ecc.kind for j in spec.jobs()]
+        assert kinds == [ECCKind.PARITY, ECCKind.HAMMING_SECDED]
+
+    def test_mtj_field(self):
+        spec = self.spec_with_sweep((("mtj.read_current_ua", (30.0, 50.0)),))
+        assert [j.settings.mtj.read_current_ua for j in spec.jobs()] == [30.0, 50.0]
+
+    def test_dotted_cross_product_with_scalar(self):
+        spec = self.spec_with_sweep(
+            (("l2_config.associativity", (4, 8)), ("p_cell", (1e-9, 1e-8)))
+        )
+        assert spec.num_jobs == 4
+        (job, *_rest) = spec.jobs()
+        assert job.point == (("l2_config.associativity", 4), ("p_cell", 1e-9))
+        assert job.point_label == "l2_config.associativity=4,p_cell=1e-09"
+
+    def test_unknown_segment_named_in_error(self):
+        with pytest.raises(CampaignError, match="unknown segment 'assoc'"):
+            self.spec_with_sweep((("l2_config.assoc", (4,)),))
+        with pytest.raises(CampaignError, match="unknown segment 'knd'"):
+            self.spec_with_sweep((("l2_config.ecc.knd", ("parity",)),))
+
+    def test_error_lists_valid_fields(self):
+        with pytest.raises(CampaignError, match="associativity"):
+            self.spec_with_sweep((("l2_config.bogus", (1,)),))
+
+    def test_path_through_scalar_rejected(self):
+        with pytest.raises(CampaignError, match="scalar field"):
+            self.spec_with_sweep((("p_cell.extra", (1,)),))
+
+    def test_path_ending_at_config_rejected(self):
+        with pytest.raises(CampaignError, match="whole nested configuration"):
+            self.spec_with_sweep((("l2_config.ecc", (1,)),))
+
+    def test_invalid_swept_value_fails_on_application(self):
+        spec = self.spec_with_sweep((("l2_config.associativity", (7,)),))
+        with pytest.raises(Exception, match="power of two|associativity|multiple"):
+            spec.jobs()
+
+    def test_dict_roundtrip_preserves_dotted_keys(self):
+        spec = self.spec_with_sweep((("l2_config.ecc.kind", ("parity",)),))
+        clone = CampaignSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        assert [j.key for j in clone.jobs()] == [j.key for j in spec.jobs()]
+
     def test_rejects_empty_sweep_values(self):
         with pytest.raises(CampaignError, match="no values"):
             CampaignSpec(

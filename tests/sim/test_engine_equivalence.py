@@ -177,7 +177,7 @@ class TestScrubbingScheme:
     """The patrol scrubber's cursor/credit replay, across rates."""
 
     @pytest.mark.parametrize("kernel", EQUIVALENCE_KERNELS)
-    @pytest.mark.parametrize("rate", (0.25, 1.0, 2.5))
+    @pytest.mark.parametrize("rate", (0.1, 0.25, 1 / 3, 1.0, 2.5))
     def test_scrub_rates(self, rate, kernel):
         trace = profile_trace("xalancbmk", 6)
         reference, fast, ref_cache, fast_cache = run_both_engines(

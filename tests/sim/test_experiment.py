@@ -112,3 +112,36 @@ class TestSweep:
         assert low_p == 1e-9 and high_p == 1e-7
         # Higher disturbance probability -> more expected failures in the baseline.
         assert high_cmp.baseline.expected_failures > low_cmp.baseline.expected_failures
+
+    def test_dotted_path_form_matches_callable_form(self):
+        base = fast_settings(num_accesses=1_500)
+        from dataclasses import replace
+
+        def build(associativity):
+            return replace(
+                base, l2_config=replace(base.l2_config, associativity=associativity)
+            )
+
+        by_callable = sweep([4, 8], build, workload="gcc")
+        by_path = sweep(
+            [4, 8], "l2_config.associativity", workload="gcc", settings=base
+        )
+        assert by_path == by_callable
+
+    def test_dotted_path_top_level_field(self):
+        results = sweep(
+            [1e-9, 1e-7],
+            "p_cell",
+            workload="gcc",
+            settings=fast_settings(num_accesses=1_500),
+        )
+        assert (
+            results[1][1].baseline.expected_failures
+            > results[0][1].baseline.expected_failures
+        )
+
+    def test_unknown_dotted_path_names_segment(self):
+        from repro.errors import CampaignError
+
+        with pytest.raises(CampaignError, match="unknown segment 'assocc'"):
+            sweep([4], "l2_config.assocc", workload="gcc")

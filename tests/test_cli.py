@@ -87,6 +87,36 @@ class TestCampaignCommand:
         with pytest.raises(CampaignError):
             _parse_sweep_arguments(["p_cell"])
 
+    def test_backend_defaults(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.backend == "local"
+        assert args.shard_width is None
+        assert args.lease_timeout == 30.0
+
+    def test_dotted_sweep_campaign(self, tmp_path, capsys):
+        argv = [
+            "campaign", "gcc",
+            "--accesses", "800",
+            "--store", str(tmp_path / "store.jsonl"),
+            "--sweep", "l2_config.associativity=4,8",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "l2_config.associativity=4" in out
+        assert "2 jobs: 2 executed" in out
+
+    def test_sharded_store_path(self, tmp_path, capsys):
+        argv = [
+            "campaign", "gcc",
+            "--accesses", "800",
+            "--store", str(tmp_path / "store_dir"),
+            "--shard-width", "1",
+        ]
+        assert main(argv) == 0
+        assert (tmp_path / "store_dir" / "store.json").exists()
+        assert main(argv) == 0
+        assert "1 cached" in capsys.readouterr().out
+
     def test_campaign_run_and_resume(self, tmp_path, capsys):
         store = tmp_path / "store.jsonl"
         argv = [
@@ -104,3 +134,57 @@ class TestCampaignCommand:
         assert main(argv) == 0
         out = capsys.readouterr().out
         assert "0 executed" in out and "1 cached" in out
+
+
+class TestStoreCommands:
+    def run_small_campaign(self, store_path, workload="gcc", accesses="800"):
+        assert (
+            main(
+                [
+                    "campaign", workload,
+                    "--accesses", accesses,
+                    "--store", str(store_path),
+                ]
+            )
+            == 0
+        )
+
+    def test_merge_and_diff(self, tmp_path, capsys):
+        self.run_small_campaign(tmp_path / "a.jsonl", "gcc")
+        self.run_small_campaign(tmp_path / "b.jsonl", "mcf")
+        assert (
+            main(
+                [
+                    "store", "merge", str(tmp_path / "merged.jsonl"),
+                    str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl"),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "2 added" in out and "2 total" in out
+        # merged vs a: b's entry is extra -> exit code 1.
+        assert (
+            main(
+                ["store", "diff", str(tmp_path / "merged.jsonl"), str(tmp_path / "a.jsonl")]
+            )
+            == 1
+        )
+        assert "only in" in capsys.readouterr().out
+        # identical stores -> exit code 0.
+        self.run_small_campaign(tmp_path / "a2.jsonl", "gcc")
+        assert (
+            main(["store", "diff", str(tmp_path / "a.jsonl"), str(tmp_path / "a2.jsonl")])
+            == 0
+        )
+        assert "1 identical" in capsys.readouterr().out
+
+    def test_worker_parser(self):
+        args = build_parser().parse_args(["worker", "tcp://127.0.0.1:7654"])
+        assert args.address == "tcp://127.0.0.1:7654"
+        assert args.jobs == 1
+        assert args.connect_retry == 30.0
+
+    def test_store_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["store"])
