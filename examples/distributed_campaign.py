@@ -20,9 +20,14 @@ In real deployments the workers run on other machines::
     # machines B, C, ... (workers)
     repro-reap worker tcp://machine-a:7654 --jobs 8
 
+With ``--telemetry PATH`` every tier appends structured events (kernel
+phases, job spans, coordinator lease/health events, protocol frames) to one
+shared JSONL file, which is aggregated at the end exactly as ``repro-reap
+stats PATH`` would.
+
 Usage::
 
-    python examples/distributed_campaign.py [--accesses N]
+    python examples/distributed_campaign.py [--accesses N] [--telemetry PATH]
 """
 
 from __future__ import annotations
@@ -33,6 +38,7 @@ import os
 import tempfile
 import threading
 import time
+from contextlib import nullcontext
 from pathlib import Path
 
 from repro.campaign import (
@@ -48,22 +54,38 @@ from repro.campaign import (
 )
 from repro.campaign.distributed import request
 from repro.sim import ExperimentSettings
+from repro.telemetry import (
+    activate,
+    current,
+    load_telemetry_stats,
+    render_telemetry_stats,
+    telemetry,
+)
 
 
-def healthy_worker(address: str) -> None:
-    executed = run_worker(address, worker_id=f"healthy-{os.getpid()}")
+def _scope(path: str | None, **context):
+    return telemetry(path, **context) if path else nullcontext()
+
+
+def healthy_worker(address: str, telemetry_path: str | None = None) -> None:
+    worker_id = f"healthy-{os.getpid()}"
+    with _scope(telemetry_path, worker=worker_id):
+        executed = run_worker(address, worker_id=worker_id)
     print(f"  [worker {os.getpid()}] executed {executed} jobs")
 
 
-def doomed_worker(address: str) -> None:
+def doomed_worker(address: str, telemetry_path: str | None = None) -> None:
     """Pull one job, then die without reporting — a simulated crash."""
-    deadline = time.monotonic() + 60
-    while time.monotonic() < deadline:
-        reply = request(address, {"type": "pull", "worker": f"doomed-{os.getpid()}"})
-        if reply["type"] == "job":
-            print(f"  [worker {os.getpid()}] took a lease and is now dying")
-            os._exit(1)
-        time.sleep(0.05)
+    with _scope(telemetry_path, worker=f"doomed-{os.getpid()}"):
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            reply = request(
+                address, {"type": "pull", "worker": f"doomed-{os.getpid()}"}
+            )
+            if reply["type"] == "job":
+                print(f"  [worker {os.getpid()}] took a lease and is now dying")
+                os._exit(1)
+            time.sleep(0.05)
 
 
 def shard_bytes(store: ShardedResultStore) -> dict[str, bytes]:
@@ -74,6 +96,14 @@ def shard_bytes(store: ShardedResultStore) -> dict[str, bytes]:
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--accesses", type=int, default=5_000)
+    parser.add_argument(
+        "--telemetry",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="append telemetry events from every tier to this JSONL file "
+        "and print the aggregated stats at the end",
+    )
     args = parser.parse_args()
 
     spec = CampaignSpec(
@@ -94,31 +124,41 @@ def main() -> None:
         print()
 
         print("--- distributed run: 2 workers, one dies mid-campaign ---")
-        backend = TCPBackend(lease_timeout_s=2.0, idle_timeout_s=300.0)
-        print(f"coordinator listening on {backend.address}")
-        distributed_store = ShardedResultStore(tmp_path / "distributed")
-        holder: dict = {}
+        with _scope(args.telemetry, campaign=spec.name):
+            # Built inside the telemetry scope: the coordinator captures
+            # the session for its handler threads at construction.
+            backend = TCPBackend(lease_timeout_s=2.0, idle_timeout_s=300.0)
+            print(f"coordinator listening on {backend.address}")
+            distributed_store = ShardedResultStore(tmp_path / "distributed")
+            holder: dict = {}
+            session = current()
 
-        def drive() -> None:
-            holder["result"] = run_campaign(
-                spec, store=distributed_store, backend=backend
+            def drive() -> None:
+                # Threads start with empty contexts; re-enter the session.
+                with activate(session):
+                    holder["result"] = run_campaign(
+                        spec, store=distributed_store, backend=backend
+                    )
+
+            driver = threading.Thread(target=drive)
+            driver.start()
+            context = multiprocessing.get_context("fork")
+            doomed = context.Process(
+                target=doomed_worker, args=(backend.address, args.telemetry)
             )
-
-        driver = threading.Thread(target=drive)
-        driver.start()
-        context = multiprocessing.get_context("fork")
-        doomed = context.Process(target=doomed_worker, args=(backend.address,))
-        doomed.start()
-        doomed.join()
-        workers = [
-            context.Process(target=healthy_worker, args=(backend.address,))
-            for _ in range(2)
-        ]
-        for worker in workers:
-            worker.start()
-        driver.join()
-        for worker in workers:
-            worker.join()
+            doomed.start()
+            doomed.join()
+            workers = [
+                context.Process(
+                    target=healthy_worker, args=(backend.address, args.telemetry)
+                )
+                for _ in range(2)
+            ]
+            for worker in workers:
+                worker.start()
+            driver.join()
+            for worker in workers:
+                worker.join()
         result = holder["result"]
         print(render_campaign_summary(result))
         print(
@@ -148,6 +188,16 @@ def main() -> None:
         diff = diff_stores(merged, serial_store)
         print(render_store_diff(diff, name_a="merged", name_b="serial"))
         assert diff.stores_match, "merged split stores must equal the serial run"
+
+    if args.telemetry:
+        print()
+        print(f"--- telemetry stats ({args.telemetry}) ---")
+        stats = load_telemetry_stats(args.telemetry)
+        print(render_telemetry_stats(stats))
+        assert stats.distributed.lease_grants > 0, "expected lease grants"
+        assert stats.distributed.lease_expiries > 0, (
+            "expected the doomed worker's lease to expire"
+        )
 
 
 if __name__ == "__main__":

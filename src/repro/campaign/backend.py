@@ -25,9 +25,26 @@ Three backends ship:
 from __future__ import annotations
 
 import multiprocessing
+import os
 from typing import Any, Iterator
 
 from ..errors import CampaignError
+
+
+def _initialize_pool_worker(telemetry_spec: str | None) -> None:
+    """Initializer for local pool workers: warning dedup plus telemetry.
+
+    Workers deduplicate fallback warnings for their whole lifetime and
+    inherit the parent's telemetry session by sink spec — or have a
+    fork-inherited session explicitly cleared when the parent's sink is
+    process-local (``telemetry_spec is None``), so renderers never draw
+    from two processes.
+    """
+    from ..sim.engine import enable_fallback_warning_dedup
+    from ..telemetry import enable_telemetry_for_process
+
+    enable_fallback_warning_dedup()
+    enable_telemetry_for_process(telemetry_spec, worker=f"pool-{os.getpid()}")
 
 
 class ExecutionBackend:
@@ -102,18 +119,20 @@ class ProcessPoolBackend(ExecutionBackend):
         if self._jobs == 1 or len(payloads) == 1:
             yield from SerialBackend().execute(payloads)
             return
-        from ..sim.engine import enable_fallback_warning_dedup
+        from ..telemetry import current_spec
         from .execution import execute_payload
 
         # Fork keeps worker start-up cheap where available (Linux/macOS);
         # elsewhere fall back to the platform default start method.  Workers
         # deduplicate fallback warnings for their whole lifetime, so a
-        # parallel campaign warns once per worker at most, not per job.
+        # parallel campaign warns once per worker at most, not per job, and
+        # inherit the active telemetry session the same way.
         methods = multiprocessing.get_all_start_methods()
         context = multiprocessing.get_context("fork" if "fork" in methods else None)
         with context.Pool(
             processes=min(self._jobs, len(payloads)),
-            initializer=enable_fallback_warning_dedup,
+            initializer=_initialize_pool_worker,
+            initargs=(current_spec(),),
         ) as pool:
             yield from pool.imap_unordered(execute_payload, payloads)
 

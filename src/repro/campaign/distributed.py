@@ -55,6 +55,8 @@ from dataclasses import dataclass
 from typing import Any, Iterator
 
 from ..errors import CampaignError
+from ..telemetry import activate, emit_counter, emit_event
+from ..telemetry import current as telemetry_current
 
 #: Upper bound on one frame's body, to fail fast on garbage length prefixes.
 MAX_FRAME_BYTES = 64 * 1024 * 1024
@@ -72,6 +74,12 @@ def send_frame(sock: socket.socket, message: dict[str, Any]) -> None:
     body = json.dumps(message, separators=(",", ":")).encode("utf-8")
     if len(body) > MAX_FRAME_BYTES:
         raise CampaignError(f"frame of {len(body)} bytes exceeds the protocol limit")
+    emit_counter(
+        "net.frame",
+        _LENGTH.size + len(body),
+        direction="send",
+        msg=str(message.get("type", "?")),
+    )
     sock.sendall(_LENGTH.pack(len(body)) + body)
 
 
@@ -101,6 +109,12 @@ def recv_frame(sock: socket.socket) -> dict[str, Any] | None:
     message = json.loads(body.decode("utf-8"))
     if not isinstance(message, dict) or "type" not in message:
         raise CampaignError("malformed protocol frame (no 'type')")
+    emit_counter(
+        "net.frame",
+        _LENGTH.size + length,
+        direction="recv",
+        msg=str(message.get("type", "?")),
+    )
     return message
 
 
@@ -143,6 +157,8 @@ class _Lease:
     key: str
     worker: str
     deadline: float
+    #: ``time.monotonic()`` at hand-out, for coordinator-observed elapsed.
+    granted: float
 
 
 class Coordinator:
@@ -186,6 +202,9 @@ class Coordinator:
         self._requeues = 0
         self._workers_seen: set[str] = set()
         self._events: queue.Queue[tuple[str, Any]] = queue.Queue()
+        # Connection-handler threads start with empty contexts, so capture
+        # the creating scope's telemetry session and re-enter it in them.
+        self._telemetry = telemetry_current()
         self._closed = threading.Event()
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -308,7 +327,7 @@ class Coordinator:
 
     def _handle(self, conn: socket.socket) -> None:
         try:
-            with conn:
+            with activate(self._telemetry), conn:
                 conn.settimeout(10.0)
                 message = recv_frame(conn)
                 if message is None:
@@ -333,6 +352,7 @@ class Coordinator:
 
     def _sweep_expired_leases(self) -> None:
         now = time.monotonic()
+        requeued: list[_Lease] = []
         with self._lock:
             expired = [
                 lease_id
@@ -347,6 +367,14 @@ class Coordinator:
                 # The worker died (or lost its network): put the job back.
                 self._requeues += 1
                 self._pending.append(lease.key)
+                requeued.append(lease)
+        for lease in requeued:
+            emit_event(
+                "coordinator.lease_expire",
+                worker=lease.worker,
+                key=lease.key,
+                held_s=now - lease.granted,
+            )
 
     def _handle_pull(self, worker: str) -> dict[str, Any]:
         self._sweep_expired_leases()
@@ -366,12 +394,20 @@ class Coordinator:
                 self._attempts[key] = attempts
                 lease_id = self._next_lease
                 self._next_lease += 1
+                now = time.monotonic()
                 self._leases[lease_id] = _Lease(
                     key=key,
                     worker=worker,
-                    deadline=time.monotonic() + self._lease_timeout,
+                    deadline=now + self._lease_timeout,
+                    granted=now,
                 )
                 self._leased_keys[key] = lease_id
+                emit_event(
+                    "coordinator.lease_grant",
+                    worker=worker,
+                    key=key,
+                    attempt=attempts,
+                )
                 return {
                     "type": "job",
                     "lease": lease_id,
@@ -385,31 +421,42 @@ class Coordinator:
             # leased to other workers (one may yet expire and requeue).
             return {"type": "wait", "delay_s": min(1.0, self._lease_timeout / 10.0)}
 
-    def _release(self, message: dict[str, Any]) -> str | None:
-        """Drop the message's lease; returns the key it covered (if known)."""
+    def _release(self, message: dict[str, Any]) -> tuple[str | None, _Lease | None]:
+        """Drop the message's lease; returns the key it covered (if known)
+        and the lease itself (``None`` when it already expired)."""
         lease_id = message.get("lease")
         lease = self._leases.pop(lease_id, None)
         if lease is not None:
             self._leased_keys.pop(lease.key, None)
-            return lease.key
-        return message.get("key")
+            return lease.key, lease
+        return message.get("key"), None
 
     def _handle_result(self, message: dict[str, Any]) -> dict[str, Any]:
         with self._lock:
-            key = self._release(message)
+            key, lease = self._release(message)
             if key is None or key in self._completed or key not in self._payloads:
                 # Duplicate completion after a lease expiry, or garbage.
                 return {"type": "ack", "accepted": False}
             self._completed.add(key)
-            self._events.put(
-                ("result", (key, message["result"], float(message.get("elapsed", 0.0))))
-            )
-            return {"type": "ack", "accepted": True}
+            worker_elapsed = float(message.get("elapsed", 0.0))
+            self._events.put(("result", (key, message["result"], worker_elapsed)))
+        # Both clocks on one event: the worker-reported compute time and the
+        # coordinator-observed lease time (their gap is dispatch overhead).
+        emit_event(
+            "coordinator.result",
+            worker=str(message.get("worker", "?")),
+            key=key,
+            worker_elapsed_s=worker_elapsed,
+            observed_elapsed_s=(
+                time.monotonic() - lease.granted if lease is not None else 0.0
+            ),
+        )
+        return {"type": "ack", "accepted": True}
 
     def _handle_error(self, message: dict[str, Any]) -> dict[str, Any]:
         with self._lock:
             held_lease = message.get("lease") in self._leases
-            key = self._release(message)
+            key, _lease = self._release(message)
             if key is None or key in self._completed or key not in self._payloads:
                 return {"type": "ack", "accepted": False}
             if not held_lease and (key in self._leased_keys or key in self._pending):
@@ -425,7 +472,13 @@ class Coordinator:
                 self._events.put(("failed", (key, str(message.get("message", "?")))))
             else:
                 self._pending.append(key)
-            return {"type": "ack", "accepted": True}
+        emit_event(
+            "coordinator.error",
+            worker=str(message.get("worker", "?")),
+            key=key,
+            message=str(message.get("message", "?")),
+        )
+        return {"type": "ack", "accepted": True}
 
     def _handle_heartbeat(self, message: dict[str, Any]) -> dict[str, Any]:
         with self._lock:
@@ -434,7 +487,10 @@ class Coordinator:
                 # Expired and requeued: tell the worker its work is moot.
                 return {"type": "ack", "known": False}
             lease.deadline = time.monotonic() + self._lease_timeout
-            return {"type": "ack", "known": True}
+        emit_event(
+            "coordinator.lease_renew", worker=lease.worker, key=lease.key
+        )
+        return {"type": "ack", "known": True}
 
 
 # ---------------------------------------------------------------------------
@@ -455,18 +511,24 @@ class _Heartbeat:
         self._lease = lease
         self._interval = max(0.05, interval_s)
         self._stop = threading.Event()
+        # Renewal frames should count against the worker's telemetry
+        # session, so carry it into the heartbeat thread's empty context.
+        self._telemetry = telemetry_current()
         self._thread = threading.Thread(target=self._run, daemon=True)
         self._thread.start()
 
     def _run(self) -> None:
-        while not self._stop.wait(self._interval):
-            try:
-                request(self._address, {"type": "heartbeat", "lease": self._lease})
-            except (OSError, CampaignError):
-                # Transient coordinator trouble: the lease may expire and the
-                # job may be re-run elsewhere — correct either way, because
-                # duplicate completions deduplicate by key.
-                pass
+        with activate(self._telemetry):
+            while not self._stop.wait(self._interval):
+                try:
+                    request(
+                        self._address, {"type": "heartbeat", "lease": self._lease}
+                    )
+                except (OSError, CampaignError):
+                    # Transient coordinator trouble: the lease may expire and
+                    # the job may be re-run elsewhere — correct either way,
+                    # because duplicate completions deduplicate by key.
+                    pass
 
     def stop(self) -> None:
         self._stop.set()
@@ -598,15 +660,28 @@ def run_worker_pool(address: str, processes: int, **worker_kwargs: Any) -> list[
     """
     import multiprocessing
 
+    from ..telemetry import current_spec
+
     if processes < 1:
         raise CampaignError("worker pool needs at least one process")
     if processes == 1:
         return [run_worker(address, **worker_kwargs)]
     methods = multiprocessing.get_all_start_methods()
     context = multiprocessing.get_context("fork" if "fork" in methods else None)
-    with context.Pool(processes=processes) as pool:
+    with context.Pool(
+        processes=processes,
+        initializer=_initialize_worker_process,
+        initargs=(current_spec(),),
+    ) as pool:
         async_results = [
             pool.apply_async(run_worker, (address,), worker_kwargs)
             for _ in range(processes)
         ]
         return [result.get() for result in async_results]
+
+
+def _initialize_worker_process(telemetry_spec: str | None) -> None:
+    """Worker-pool initializer: inherit (or clear) the telemetry session."""
+    from ..telemetry import enable_telemetry_for_process
+
+    enable_telemetry_for_process(telemetry_spec, worker=default_worker_id())

@@ -11,15 +11,20 @@ key.
 
 from __future__ import annotations
 
-import time
 from typing import Any
 
+from ..telemetry import span
 from .spec import JobSpec
 
 
 def payload_for(job: JobSpec, engine: str = "auto", kernel: str = "auto") -> dict[str, Any]:
     """Build the transportable payload for one job."""
     return {"job": job.to_dict(), "engine": engine, "kernel": kernel}
+
+
+def job_accesses(job: JobSpec) -> int:
+    """Simulated accesses one job represents (baseline plus alternatives)."""
+    return job.settings.num_accesses * (1 + len(job.alternatives))
 
 
 def execute_payload(payload: dict[str, Any]) -> tuple[str, dict[str, Any], float]:
@@ -29,19 +34,31 @@ def execute_payload(payload: dict[str, Any]) -> tuple[str, dict[str, Any], float
     backend streams back to the runner.  Shared verbatim by the serial
     backend, the ``multiprocessing`` pool workers and the TCP workers, so
     all backends perform the identical computation.
+
+    The elapsed seconds come from a ``job.execute`` telemetry span, which
+    measures unconditionally: with telemetry enabled the same timing also
+    lands in the event stream (annotated with the workload, sweep point and
+    engine/kernel request), so there is exactly one clock per job.
     """
     from ..sim.experiment import compare_schemes
     from .store import comparison_to_dict
 
     job = JobSpec.from_dict(payload["job"])
-    start = time.perf_counter()
-    comparison = compare_schemes(
-        job.workload,
-        baseline=job.baseline,
-        alternatives=job.alternatives,
-        settings=job.settings,
+    execute_span = span(
+        "job.execute",
+        workload=job.workload,
+        point=job.point_label,
         engine=payload.get("engine", "auto"),
         kernel=payload.get("kernel", "auto"),
+        accesses=job_accesses(job),
     )
-    elapsed = time.perf_counter() - start
-    return job.key, comparison_to_dict(comparison), elapsed
+    with execute_span:
+        comparison = compare_schemes(
+            job.workload,
+            baseline=job.baseline,
+            alternatives=job.alternatives,
+            settings=job.settings,
+            engine=payload.get("engine", "auto"),
+            kernel=payload.get("kernel", "auto"),
+        )
+    return job.key, comparison_to_dict(comparison), execute_span.duration_s

@@ -12,7 +12,6 @@ spec order regardless.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Sequence
@@ -21,8 +20,9 @@ from ..errors import CampaignError
 from ..sim.engine import ENGINE_CHOICES
 from ..sim.fastpath import KERNEL_CHOICES
 from ..sim.results import WorkloadComparison
+from ..telemetry import emit_event, span
 from .backend import ExecutionBackend, resolve_backend
-from .execution import execute_payload, payload_for
+from .execution import execute_payload, job_accesses, payload_for
 from .spec import CampaignSpec, JobSpec
 from .store import BaseResultStore, comparison_from_dict
 
@@ -153,7 +153,14 @@ class CampaignRunner:
                 as it completes (cache hits first, then executed jobs in
                 completion order).
         """
-        start = time.perf_counter()
+        run_span = span(
+            "campaign.run",
+            jobs=len(self._jobs_list),
+            workers=self._backend.workers,
+            backend=self._backend.name,
+            engine=self._engine,
+            kernel=self._kernel,
+        ).start()
         by_key: dict[str, JobOutcome] = {}
         pending: dict[str, JobSpec] = {}
 
@@ -167,6 +174,7 @@ class CampaignRunner:
                     job=job, comparison=cached, elapsed_s=0.0, cached=True
                 )
                 by_key[key] = outcome
+                self._emit_job_event(outcome)
                 if progress is not None:
                     progress(outcome)
             else:
@@ -189,13 +197,32 @@ class CampaignRunner:
 
         outcomes = tuple(by_key[job.key] for job in self._jobs_list)
         executed = sum(1 for o in by_key.values() if not o.cached)
+        cached_count = len(by_key) - executed
+        run_span.add(executed=executed, cached=cached_count)
+        run_span.finish()
         return CampaignResult(
             outcomes=outcomes,
             executed=executed,
-            cached=len(by_key) - executed,
-            elapsed_s=time.perf_counter() - start,
+            cached=cached_count,
+            elapsed_s=run_span.duration_s,
             workers=self._backend.workers,
             backend=self._backend.name,
+        )
+
+    @staticmethod
+    def _emit_job_event(outcome: JobOutcome) -> None:
+        """One ``campaign.job`` telemetry event per finished job.
+
+        Cache hits report zero accesses so throughput aggregations count
+        only simulated work.
+        """
+        emit_event(
+            "campaign.job",
+            workload=outcome.job.workload,
+            point=outcome.job.point_label,
+            cached=outcome.cached,
+            elapsed_s=outcome.elapsed_s,
+            accesses=0 if outcome.cached else job_accesses(outcome.job),
         )
 
     def _record(
@@ -212,6 +239,7 @@ class CampaignRunner:
             job=job, comparison=comparison, elapsed_s=elapsed, cached=False
         )
         by_key[job.key] = outcome
+        self._emit_job_event(outcome)
         if progress is not None:
             progress(outcome)
 

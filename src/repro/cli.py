@@ -19,6 +19,9 @@ also exporting CSV/JSON):
   coordinator (the other half of ``--backend tcp://...``).
 * ``repro-reap store``    — result-store tools: ``merge`` combines
   per-machine stores, ``diff`` compares two stores job by job.
+* ``repro-reap stats``    — aggregate a ``--telemetry`` JSONL file into
+  per-phase/per-scheme time breakdowns, campaign rollups and distributed
+  worker health.
 
 The interface is intentionally thin: it parses arguments, builds
 :class:`repro.sim.ExperimentSettings`, calls the analysis builders and prints
@@ -168,6 +171,29 @@ def _parse_sweep_arguments(specs: Sequence[str]) -> tuple[tuple[str, tuple], ...
     return tuple(sweep)
 
 
+def _campaign_telemetry_scope(args: argparse.Namespace, total_jobs: int, name: str):
+    """Build the campaign's telemetry scope from the CLI flags.
+
+    Composes the durable file sink (``--telemetry PATH``) with the
+    process-local progress renderer (line-per-job by default, a live
+    status line under ``--progress``, nothing under ``--quiet``) so both
+    consume the same event stream.  Returns a context manager; a no-op one
+    when every consumer is disabled.
+    """
+    from contextlib import nullcontext
+
+    from .telemetry import FileSink, MultiSink, ProgressRenderer, telemetry
+
+    sinks = []
+    if args.telemetry:
+        sinks.append(FileSink(args.telemetry))
+    if not args.quiet:
+        sinks.append(ProgressRenderer(total=total_jobs, live=args.progress))
+    if not sinks:
+        return nullcontext()
+    return telemetry(MultiSink(sinks), campaign=name)
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from .campaign import (
         CampaignSpec,
@@ -190,37 +216,37 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         sweep=_parse_sweep_arguments(args.sweep),
     )
     store = open_store(args.store, shard_width=args.shard_width)
-    print(
-        f"campaign {spec.name!r}: {spec.num_jobs} jobs "
-        f"({len(workloads)} workloads x {len(spec.points())} points), "
-        f"{spec.num_jobs - len(missing_jobs(spec, store))} already in {store.path}"
-    )
-
-    backend = args.backend
-    if isinstance(backend, str) and backend.startswith("tcp://"):
-        backend = TCPBackend(
-            backend,
-            lease_timeout_s=args.lease_timeout,
-            idle_timeout_s=args.idle_timeout,
-        )
+    if not args.quiet:
         print(
-            f"coordinator listening on {backend.address}; start workers with:\n"
-            f"  repro-reap worker {backend.address}"
+            f"campaign {spec.name!r}: {spec.num_jobs} jobs "
+            f"({len(workloads)} workloads x {len(spec.points())} points), "
+            f"{spec.num_jobs - len(missing_jobs(spec, store))} already in {store.path}"
         )
 
-    def progress(outcome) -> None:
-        status = "cached" if outcome.cached else f"ran in {outcome.elapsed_s:.2f}s"
-        print(f"  [{outcome.job.workload} @ {outcome.job.point_label}] {status}")
+    # The telemetry scope opens before the backend is built: a TCP
+    # coordinator captures the active session at construction so its
+    # handler threads emit lease/result/frame events into it.
+    with _campaign_telemetry_scope(args, spec.num_jobs, spec.name):
+        backend = args.backend
+        if isinstance(backend, str) and backend.startswith("tcp://"):
+            backend = TCPBackend(
+                backend,
+                lease_timeout_s=args.lease_timeout,
+                idle_timeout_s=args.idle_timeout,
+            )
+            print(
+                f"coordinator listening on {backend.address}; start workers with:\n"
+                f"  repro-reap worker {backend.address}"
+            )
 
-    result = run_campaign(
-        spec,
-        store=store,
-        jobs=args.jobs,
-        progress=progress,
-        engine=args.engine,
-        kernel=args.kernel,
-        backend=backend,
-    )
+        result = run_campaign(
+            spec,
+            store=store,
+            jobs=args.jobs,
+            engine=args.engine,
+            kernel=args.kernel,
+            backend=backend,
+        )
     print()
     print(render_campaign_summary(result))
     if args.csv:
@@ -229,24 +255,49 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
 
 def _cmd_worker(args: argparse.Namespace) -> int:
+    from contextlib import nullcontext
+
     from .campaign import run_worker, run_worker_pool
+    from .campaign.distributed import default_worker_id
 
     if args.jobs > 1:
-        executed = run_worker_pool(
-            args.address,
-            args.jobs,
-            max_jobs=args.max_jobs,
-            connect_retry_s=args.connect_retry,
-        )
+        from .telemetry import telemetry
+
+        # The pool initializer re-opens the sink per worker process with a
+        # per-process worker id; the parent scope carries the file spec.
+        scope = telemetry(args.telemetry) if args.telemetry else nullcontext()
+        with scope:
+            executed = run_worker_pool(
+                args.address,
+                args.jobs,
+                max_jobs=args.max_jobs,
+                connect_retry_s=args.connect_retry,
+            )
         print(f"workers executed {sum(executed)} jobs ({executed})")
     else:
-        executed = run_worker(
-            args.address,
-            worker_id=args.worker_id,
-            max_jobs=args.max_jobs,
-            connect_retry_s=args.connect_retry,
+        from .telemetry import telemetry
+
+        worker_id = args.worker_id or default_worker_id()
+        scope = (
+            telemetry(args.telemetry, worker=worker_id)
+            if args.telemetry
+            else nullcontext()
         )
+        with scope:
+            executed = run_worker(
+                args.address,
+                worker_id=worker_id,
+                max_jobs=args.max_jobs,
+                connect_retry_s=args.connect_retry,
+            )
         print(f"worker executed {executed} jobs")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .telemetry import load_telemetry_stats, render_telemetry_stats
+
+    print(render_telemetry_stats(load_telemetry_stats(args.path)))
     return 0
 
 
@@ -427,6 +478,25 @@ def build_parser() -> argparse.ArgumentParser:
         "reach nested configs, e.g. l2_config.associativity=4,8 or "
         "l2_config.ecc.kind=parity,hamming-sec",
     )
+    campaign.add_argument(
+        "--telemetry",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="append structured telemetry events (kernel-phase spans, "
+        "per-job metrics, coordinator/worker health) to this JSONL file; "
+        "aggregate it afterwards with 'repro-reap stats PATH'",
+    )
+    campaign.add_argument(
+        "--progress",
+        action="store_true",
+        help="live single-line progress on stderr instead of one line per job",
+    )
+    campaign.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-job progress output (summary still prints)",
+    )
     campaign.set_defaults(handler=_cmd_campaign)
 
     worker = subparsers.add_parser(
@@ -462,7 +532,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds to keep retrying the first coordinator contact "
         "(default: 30; lets workers start before the coordinator)",
     )
+    worker.add_argument(
+        "--telemetry",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="append this worker's telemetry events (job spans, kernel "
+        "phases, protocol frames) to this JSONL file",
+    )
     worker.set_defaults(handler=_cmd_worker)
+
+    stats = subparsers.add_parser(
+        "stats",
+        help="aggregate a telemetry JSONL file into per-phase/per-scheme "
+        "time breakdowns, campaign rollups and distributed worker health",
+    )
+    stats.add_argument("path", type=str, help="telemetry JSONL file to aggregate")
+    stats.set_defaults(handler=_cmd_stats)
 
     store = subparsers.add_parser(
         "store", help="result-store tools: merge and diff"

@@ -63,6 +63,15 @@ class AnalysisError(ReproError):
     """An analysis or figure builder received insufficient or bad data."""
 
 
+class TelemetryError(ReproError):
+    """A telemetry sink or event file is misconfigured or unreadable.
+
+    Telemetry is observational by design, so this exception only surfaces
+    from explicit telemetry entry points (opening a sink, reading an event
+    file back) — never from instrumented simulation or campaign code paths.
+    """
+
+
 class CampaignError(ReproError):
     """A campaign specification, result store, or runner is inconsistent.
 

@@ -23,6 +23,7 @@ from ..cache import CacheHierarchy
 from ..config import SimulationConfig
 from ..core.protected import ProtectedCache
 from ..errors import SimulationError
+from ..telemetry import emit_event, span
 from ..workloads.trace import AccessKind, Trace
 from .results import SchemeRunResult
 
@@ -119,6 +120,9 @@ def enable_fallback_warning_dedup() -> None:
 
 def _warn_auto_fallback(reason: str) -> None:
     """One-line warning naming why ``engine="auto"`` took the slow loop."""
+    # Telemetry sees every fallback occurrence (so ``repro-reap stats`` can
+    # count them), even when the stderr warning below is deduplicated.
+    emit_event("engine.fallback", reason=reason)
     seen = _fallback_warned.get()
     if seen is not None:
         if reason in seen:
@@ -173,15 +177,18 @@ def run_l2_trace(
             )
         _warn_auto_fallback(reason)
     config = config or SimulationConfig()
-    for record in trace:
-        if record.kind is AccessKind.L2_READ:
-            cache.read(record.address)
-        elif record.kind is AccessKind.L2_WRITE:
-            cache.write(record.address)
-        else:
-            raise SimulationError(
-                f"run_l2_trace expects L2-level records, got {record.kind}"
-            )
+    scheme = cache.scheme_name()
+    emit_event("sim.engine", engine="reference", path="l2", scheme=scheme)
+    with span("reference.replay", scheme=scheme, path="l2", accesses=len(trace)):
+        for record in trace:
+            if record.kind is AccessKind.L2_READ:
+                cache.read(record.address)
+            elif record.kind is AccessKind.L2_WRITE:
+                cache.write(record.address)
+            else:
+                raise SimulationError(
+                    f"run_l2_trace expects L2-level records, got {record.kind}"
+                )
     simulated_time = simulated_time_for(len(trace), config)
     if add_leakage:
         cache.add_leakage(simulated_time)
@@ -237,17 +244,20 @@ def run_cpu_trace(
         _warn_auto_fallback(reason)
     config = config or SimulationConfig()
     hierarchy = CacheHierarchy(config.hierarchy, l2_cache, seed=seed)
-    for record in trace:
-        if record.kind is AccessKind.IFETCH:
-            hierarchy.fetch_instruction(record.address)
-        elif record.kind is AccessKind.LOAD:
-            hierarchy.load(record.address)
-        elif record.kind is AccessKind.STORE:
-            hierarchy.store(record.address)
-        else:
-            raise SimulationError(
-                f"run_cpu_trace expects CPU-level records, got {record.kind}"
-            )
+    scheme = l2_cache.scheme_name()
+    emit_event("sim.engine", engine="reference", path="cpu", scheme=scheme)
+    with span("reference.replay", scheme=scheme, path="cpu", accesses=len(trace)):
+        for record in trace:
+            if record.kind is AccessKind.IFETCH:
+                hierarchy.fetch_instruction(record.address)
+            elif record.kind is AccessKind.LOAD:
+                hierarchy.load(record.address)
+            elif record.kind is AccessKind.STORE:
+                hierarchy.store(record.address)
+            else:
+                raise SimulationError(
+                    f"run_cpu_trace expects CPU-level records, got {record.kind}"
+                )
     # Time base: one CPU reference per cycle is a serviceable approximation
     # for an in-order front end feeding two levels of cache.
     simulated_time = len(trace) * config.cycle_time_s

@@ -78,6 +78,7 @@ from ..reliability.binomial import (
     block_failure_probabilities,
     reap_failure_probabilities,
 )
+from ..telemetry import emit_event, span
 from ..workloads.trace import Trace
 from .results import SchemeRunResult
 
@@ -177,12 +178,21 @@ def run_l2_trace_fast(
     if not supported:
         raise SimulationError(f"fast path does not support {reason}")
     config = config or SimulationConfig()
-    codes, set_indices, tags = _decode(cache, trace)
+    scheme = cache.scheme_name()
+    with span("kernel.decode", scheme=scheme, path="l2", accesses=len(trace)):
+        codes, set_indices, tags = _decode(cache, trace)
     if kernel == "loop":
-        _replay(cache, codes, set_indices, tags)
+        emit_event(
+            "sim.engine", engine="fast", kernel="loop", path="l2", scheme=scheme
+        )
+        with span("kernel.replay", scheme=scheme, path="l2", accesses=len(trace)):
+            _replay(cache, codes, set_indices, tags)
     else:
         from .soa import replay_l2_soa
 
+        emit_event(
+            "sim.engine", engine="fast", kernel="soa", path="l2", scheme=scheme
+        )
         replay_l2_soa(cache, codes, set_indices, tags, _SCHEME_MODES[type(cache)])
     simulated_time = simulated_time_for(len(trace), config)
     if add_leakage:
@@ -231,22 +241,36 @@ def run_cpu_trace_fast(
         raise SimulationError(f"fast path does not support {reason}")
     config = config or SimulationConfig()
     hierarchy = CacheHierarchy(config.hierarchy, l2_cache, seed=seed)
+    scheme = l2_cache.scheme_name()
+    resolved = "loop" if kernel == "loop" else "soa"
+    emit_event(
+        "sim.engine", engine="fast", kernel=resolved, path="cpu", scheme=scheme
+    )
     if kernel == "loop":
-        l2_codes, l2_addresses = _filter_through_l1(hierarchy, trace)
+        with span(
+            "kernel.l1_filter", scheme=scheme, kernel="loop", accesses=len(trace)
+        ):
+            l2_codes, l2_addresses = _filter_through_l1(hierarchy, trace)
     else:
         from .soa import filter_through_l1_soa
 
-        cpu_codes, cpu_addresses = _decode_cpu(trace)
-        l2_codes, l2_addresses = filter_through_l1_soa(
-            hierarchy, cpu_codes, cpu_addresses
-        )
+        with span("kernel.decode", scheme=scheme, path="cpu", accesses=len(trace)):
+            cpu_codes, cpu_addresses = _decode_cpu(trace)
+        with span(
+            "kernel.l1_filter", scheme=scheme, kernel="soa", accesses=len(trace)
+        ):
+            l2_codes, l2_addresses = filter_through_l1_soa(
+                hierarchy, cpu_codes, cpu_addresses
+            )
 
     l2_count = len(l2_codes)
-    codes = np.fromiter(l2_codes, dtype=np.int8, count=l2_count)
-    addresses = np.fromiter(l2_addresses, dtype=np.int64, count=l2_count)
-    batch = l2_cache.cache.mapper.decompose_batch(addresses)
+    with span("kernel.decode", scheme=scheme, path="l2", accesses=l2_count):
+        codes = np.fromiter(l2_codes, dtype=np.int8, count=l2_count)
+        addresses = np.fromiter(l2_addresses, dtype=np.int64, count=l2_count)
+        batch = l2_cache.cache.mapper.decompose_batch(addresses)
     if kernel == "loop":
-        _replay(l2_cache, codes, batch.indices, batch.tags)
+        with span("kernel.replay", scheme=scheme, path="cpu", accesses=l2_count):
+            _replay(l2_cache, codes, batch.indices, batch.tags)
     else:
         from .soa import replay_l2_soa
 

@@ -69,6 +69,7 @@ from ..reliability.binomial import (
     resolve_unique_keys,
     sequential_float_sum,
 )
+from ..telemetry import span as telemetry_span
 
 #: Delivery-kind codes shared with the loop kernel.
 _CONVENTIONAL, _REAP, _SERIAL, _WRITEBACK = 0, 1, 2, 3
@@ -394,6 +395,12 @@ def replay_l2_soa(
     exp_reads_reset = restore or scheme_mode == _REAP
 
     # -- pass 1: functional replay ------------------------------------------------
+    # Phase spans use the explicit start()/finish() pair: reindenting the
+    # two ~300-line passes under ``with`` blocks would obscure the kernel.
+    scheme_name = cache.scheme_name()
+    pass1_span = telemetry_span(
+        "kernel.pass1", scheme=scheme_name, accesses=count
+    ).start()
     # Per-set state lives in flat, frame-indexed Python lists (frame id =
     # set * associativity + way), materialised lazily per touched set.  All
     # resident lines share one dict keyed by the packed (tag, set) address
@@ -652,8 +659,12 @@ def replay_l2_soa(
         policy.import_set_state(set_index, row)
     if position_mode:
         policy.soa_commit(tick_base, count)
+    pass1_span.finish()
 
     # -- pass 2: vectorised reliability, energy and block state -------------------
+    pass2_span = telemetry_span(
+        "kernel.pass2", scheme=scheme_name, accesses=count
+    ).start()
     frame = np.array(way_arr, dtype=np.int64)
     num_frames = total_frame_count
 
@@ -1169,6 +1180,7 @@ def replay_l2_soa(
         cache.import_scrub_state(scrub_credit, scrub_cursor, scrubbed_lines)
     cache._tick = scheme_tick0 + count  # noqa: SLF001 - engine-internal state sync
     substrate._tick = substrate_tick0 + count  # noqa: SLF001
+    pass2_span.finish()
 
 
 class _L1ReplaySoA:

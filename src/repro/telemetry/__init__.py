@@ -1,0 +1,82 @@
+"""Structured telemetry for every execution tier (:mod:`repro.telemetry`).
+
+Zero-overhead-when-disabled counters, gauges and timed spans, emitted as
+JSONL through pluggable sinks and aggregated offline by ``repro-reap stats``.
+Activate with::
+
+    from repro.telemetry import telemetry
+
+    with telemetry("run.jsonl", campaign="sweep-1"):
+        run_campaign(spec, store=store)   # kernels, jobs, workers all emit
+
+See :mod:`repro.telemetry.core` for the event schema and design invariants
+(telemetry observes — it never influences job identity or store bytes).
+"""
+
+from .core import (
+    RESERVED_KEYS,
+    FileSink,
+    MemorySink,
+    MultiSink,
+    NullSink,
+    Sink,
+    Span,
+    StderrSink,
+    TelemetryError,
+    TelemetrySession,
+    activate,
+    current,
+    current_spec,
+    emit_counter,
+    emit_event,
+    emit_gauge,
+    enable_telemetry_for_process,
+    enabled,
+    read_events,
+    span,
+    telemetry,
+)
+from .progress import ProgressRenderer
+from .stats import (
+    CampaignStats,
+    DistributedStats,
+    SpanStats,
+    TelemetryAggregator,
+    TelemetryStats,
+    aggregate_telemetry,
+    load_telemetry_stats,
+    render_telemetry_stats,
+)
+
+__all__ = [
+    "RESERVED_KEYS",
+    "Sink",
+    "NullSink",
+    "MemorySink",
+    "FileSink",
+    "StderrSink",
+    "MultiSink",
+    "Span",
+    "TelemetryError",
+    "TelemetrySession",
+    "telemetry",
+    "activate",
+    "current",
+    "current_spec",
+    "enabled",
+    "enable_telemetry_for_process",
+    "emit_event",
+    "emit_counter",
+    "emit_gauge",
+    "span",
+    "read_events",
+    "ProgressRenderer",
+    "SpanStats",
+    "CampaignStats",
+    "DistributedStats",
+    "TelemetryAggregator",
+    "TelemetryStats",
+    "aggregate_telemetry",
+    "load_telemetry_stats",
+    "render_telemetry_stats",
+]

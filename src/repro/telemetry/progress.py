@@ -1,0 +1,133 @@
+"""Telemetry-driven campaign progress rendering for the CLI.
+
+:class:`ProgressRenderer` is a process-local :class:`~repro.telemetry.core.Sink`
+that turns the campaign's own event stream (``campaign.job`` events and the
+closing ``campaign.run`` span) into stderr progress output.  The CLI composes
+it with a :class:`~repro.telemetry.core.FileSink` through a ``MultiSink``, so
+"what the operator watches" and "what lands in the telemetry file" are the
+same events — there is no separate progress code path to drift.
+
+Two modes:
+
+* line-per-job (default): one completed-job line per event, matching the old
+  ``print()`` callback's output shape.
+* live (``--progress``): a single carriage-return-refreshed status line with
+  job counts, cache hits, throughput and elapsed time, finalised with a
+  newline when the run span closes.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, TextIO
+
+from .core import Sink
+
+
+def _format_rate(value: float) -> str:
+    if value >= 1e6:
+        return f"{value / 1e6:.2f}M/s"
+    if value >= 1e3:
+        return f"{value / 1e3:.1f}k/s"
+    return f"{value:.0f}/s"
+
+
+class ProgressRenderer(Sink):
+    """Render campaign progress to a terminal from telemetry events.
+
+    Args:
+        total: Total jobs the campaign will report, for ``done/total``
+            counters (``None`` renders counts without a denominator).
+        live: Refresh a single ``\\r`` status line instead of printing one
+            line per job.
+        stream: Output stream (default stderr, keeping stdout clean for the
+            campaign summary tables).
+
+    The renderer is intentionally process-local (``spec`` stays ``None``):
+    worker processes inherit only the durable file sink, so progress is
+    drawn exactly once, by the process driving the campaign.
+    """
+
+    def __init__(
+        self,
+        total: int | None = None,
+        live: bool = False,
+        stream: TextIO | None = None,
+    ) -> None:
+        self.total = total
+        self.live = live
+        self.stream = stream if stream is not None else sys.stderr
+        self.done = 0
+        self.cached = 0
+        self.accesses = 0
+        self.compute_s = 0.0
+        self._started = time.perf_counter()
+        self._line_open = False
+
+    def emit(self, event: dict[str, Any]) -> None:
+        name = event.get("name")
+        if name == "campaign.job":
+            self._on_job(event)
+        elif name == "campaign.run" and event.get("kind") == "span":
+            self._on_run_end(event)
+
+    # -- event handlers ----------------------------------------------------
+
+    def _on_job(self, event: dict[str, Any]) -> None:
+        self.done += 1
+        cached = bool(event.get("cached"))
+        if cached:
+            self.cached += 1
+        self.accesses += int(event.get("accesses", 0) or 0)
+        self.compute_s += float(event.get("elapsed_s", 0.0) or 0.0)
+        if self.live:
+            self._draw_live()
+        else:
+            status = (
+                "cached"
+                if cached
+                else f"ran in {float(event.get('elapsed_s', 0.0) or 0.0):.2f}s"
+            )
+            workload = event.get("workload", "?")
+            point = event.get("point", "")
+            label = f"{workload} @ {point}" if point else str(workload)
+            self.stream.write(f"  [{label}] {status}\n")
+            self.stream.flush()
+
+    def _on_run_end(self, event: dict[str, Any]) -> None:
+        if self.live:
+            self._draw_live()
+            self._end_line()
+        duration = float(event.get("duration_s", 0.0) or 0.0)
+        executed = self.done - self.cached
+        self.stream.write(
+            f"campaign finished: {self.done} jobs "
+            f"({executed} executed, {self.cached} cached) in {duration:.2f}s\n"
+        )
+        self.stream.flush()
+
+    # -- drawing -----------------------------------------------------------
+
+    def _draw_live(self) -> None:
+        elapsed = time.perf_counter() - self._started
+        denominator = f"/{self.total}" if self.total is not None else ""
+        rate = self.accesses / self.compute_s if self.compute_s > 0 else 0.0
+        line = (
+            f"\r  jobs {self.done}{denominator}"
+            f" · {self.cached} cached"
+            f" · {_format_rate(rate)} accesses"
+            f" · {elapsed:.1f}s"
+        )
+        self.stream.write(line.ljust(64))
+        self.stream.flush()
+        self._line_open = True
+
+    def _end_line(self) -> None:
+        if self._line_open:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._line_open = False
+
+    def close(self) -> None:
+        self._end_line()

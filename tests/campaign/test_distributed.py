@@ -34,6 +34,7 @@ from repro.campaign.distributed import (
     send_frame,
 )
 from repro.errors import CampaignError
+from repro.telemetry import activate, current, load_telemetry_stats, telemetry
 
 
 def small_spec(workloads=("gcc", "mcf", "namd", "xalancbmk"), num_accesses=800):
@@ -282,42 +283,55 @@ class TestDistributedEndToEnd:
         """Acceptance: >=2 worker processes, one killed after taking a lease;
         the lease requeues, the campaign completes, and the sharded store
         is byte-identical (file by file, after compaction) to a serial run.
+        The distributed run records its coordinator health through telemetry
+        (and must stay byte-identical while doing so — the serial reference
+        runs uninstrumented).
         """
         spec = small_spec()
         serial_store = ShardedResultStore(tmp_path / "serial", shard_width=1)
         run_campaign(spec, store=serial_store, backend="serial")
 
-        backend = TCPBackend(
-            lease_timeout_s=1.0, idle_timeout_s=120.0, max_attempts=5
-        )
-        context = multiprocessing.get_context("fork")
-        distributed_store = ShardedResultStore(tmp_path / "dist", shard_width=1)
-        result_holder = {}
-
-        def drive():
-            result_holder["result"] = run_campaign(
-                spec, store=distributed_store, backend=backend
+        telemetry_path = tmp_path / "events.jsonl"
+        with telemetry(telemetry_path, campaign=spec.name):
+            # Built inside the scope: the coordinator captures the session
+            # for its handler threads at construction.
+            backend = TCPBackend(
+                lease_timeout_s=1.0, idle_timeout_s=120.0, max_attempts=5
             )
+            context = multiprocessing.get_context("fork")
+            distributed_store = ShardedResultStore(
+                tmp_path / "dist", shard_width=1
+            )
+            result_holder = {}
+            session = current()
 
-        driver = threading.Thread(target=drive)
-        driver.start()
+            def drive():
+                with activate(session):
+                    result_holder["result"] = run_campaign(
+                        spec, store=distributed_store, backend=backend
+                    )
 
-        # First contact: a worker that takes one lease and dies hard.
-        doomed = context.Process(target=_doomed_worker, args=(backend.address,))
-        doomed.start()
-        doomed.join(timeout=60)
-        assert doomed.exitcode == 1  # died holding a lease
+            driver = threading.Thread(target=drive)
+            driver.start()
 
-        workers = [
-            context.Process(target=_healthy_worker, args=(backend.address,))
-            for _ in range(2)
-        ]
-        for worker in workers:
-            worker.start()
-        driver.join(timeout=120)
-        for worker in workers:
-            worker.join(timeout=30)
-        assert not driver.is_alive()
+            # First contact: a worker that takes one lease and dies hard.
+            doomed = context.Process(
+                target=_doomed_worker, args=(backend.address,)
+            )
+            doomed.start()
+            doomed.join(timeout=60)
+            assert doomed.exitcode == 1  # died holding a lease
+
+            workers = [
+                context.Process(target=_healthy_worker, args=(backend.address,))
+                for _ in range(2)
+            ]
+            for worker in workers:
+                worker.start()
+            driver.join(timeout=120)
+            for worker in workers:
+                worker.join(timeout=30)
+            assert not driver.is_alive()
 
         result = result_holder["result"]
         assert result.executed == len(spec.workloads)
@@ -350,6 +364,23 @@ class TestDistributedEndToEnd:
             p.name: p.read_bytes() for p in distributed_store.shard_paths()
         }
         assert serial_files == dist_files
+
+        # Coordinator health made it into the telemetry file: every job was
+        # leased, the doomed worker's lease expired and was requeued, and
+        # each completion carries both clocks (worker compute vs observed).
+        stats = load_telemetry_stats(telemetry_path)
+        distributed = stats.distributed
+        assert distributed.seen
+        assert distributed.lease_grants >= len(spec.workloads) + 1
+        assert distributed.lease_expiries >= 1
+        assert distributed.requeues == backend.coordinator.requeues
+        assert distributed.results == len(spec.workloads)
+        assert any(w.startswith("doomed") for w in distributed.lost_workers)
+        assert any(w.startswith("healthy") for w in distributed.workers)
+        assert distributed.worker_elapsed_s > 0.0
+        assert distributed.observed_elapsed_s >= distributed.worker_elapsed_s
+        assert distributed.frames.get("send", 0) > 0
+        assert distributed.bytes.get("send", 0) > 0
 
     def test_split_campaign_stores_merge_to_serial_bytes(self, tmp_path):
         """Two half-campaigns on 'different machines' (separate stores),

@@ -1,0 +1,14 @@
+"""Make the sim-suite equivalence helpers importable for targeted runs.
+
+A full-repo pytest run puts every test directory on ``sys.path`` (rootdir
+insertion), but ``pytest tests/telemetry`` alone would not see
+``tests/sim/equivalence_utils`` — the zero-interference suite reuses its
+field-by-field result assertions rather than duplicating them.
+"""
+
+import sys
+from pathlib import Path
+
+_SIM_TESTS = Path(__file__).resolve().parent.parent / "sim"
+if str(_SIM_TESTS) not in sys.path:
+    sys.path.insert(0, str(_SIM_TESTS))

@@ -126,14 +126,87 @@ class TestCampaignCommand:
             "--csv", str(tmp_path / "summary.csv"),
         ]
         assert main(argv) == 0
-        out = capsys.readouterr().out
-        assert "1 jobs" in out and "ran in" in out and "1 executed" in out
+        captured = capsys.readouterr()
+        assert "1 jobs" in captured.out and "1 executed" in captured.out
+        # Per-job progress is telemetry-driven and goes to stderr, keeping
+        # stdout clean for the summary tables.
+        assert "ran in" in captured.err
         assert store.exists()
         assert (tmp_path / "summary.csv").exists()
         # Second invocation: everything is served from the store.
         assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "0 executed" in captured.out and "1 cached" in captured.out
+        assert "cached" in captured.err
+
+
+class TestTelemetryCLI:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.telemetry is None
+        assert args.progress is False
+        assert args.quiet is False
+
+    def test_campaign_telemetry_and_stats(self, tmp_path, capsys):
+        events = tmp_path / "events.jsonl"
+        argv = [
+            "campaign", "gcc",
+            "--accesses", "800",
+            "--store", str(tmp_path / "store.jsonl"),
+            "--telemetry", str(events),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert events.exists()
+        assert main(["stats", str(events)]) == 0
         out = capsys.readouterr().out
-        assert "0 executed" in out and "1 cached" in out
+        assert "phase timings" in out
+        assert "campaign" in out and "engine selections" in out
+        assert "accesses/s" in out
+
+    def test_quiet_suppresses_progress_and_header(self, tmp_path, capsys):
+        argv = [
+            "campaign", "gcc",
+            "--accesses", "800",
+            "--store", str(tmp_path / "store.jsonl"),
+            "--quiet",
+        ]
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert captured.err == ""
+        assert "jobs on" not in captured.out  # header line suppressed
+        assert "1 executed" in captured.out  # summary tables still print
+
+    def test_quiet_still_writes_telemetry(self, tmp_path, capsys):
+        events = tmp_path / "events.jsonl"
+        argv = [
+            "campaign", "gcc",
+            "--accesses", "800",
+            "--store", str(tmp_path / "store.jsonl"),
+            "--quiet",
+            "--telemetry", str(events),
+        ]
+        assert main(argv) == 0
+        assert capsys.readouterr().err == ""
+        assert events.exists() and events.stat().st_size > 0
+
+    def test_live_progress_mode(self, tmp_path, capsys):
+        argv = [
+            "campaign", "gcc",
+            "--accesses", "800",
+            "--store", str(tmp_path / "store.jsonl"),
+            "--progress",
+        ]
+        assert main(argv) == 0
+        err = capsys.readouterr().err
+        assert "\r" in err and "jobs 1/1" in err
+        assert "campaign finished: 1 jobs" in err
+
+    def test_stats_on_missing_file_fails_cleanly(self, tmp_path):
+        from repro.errors import TelemetryError
+
+        with pytest.raises(TelemetryError):
+            main(["stats", str(tmp_path / "missing.jsonl")])
 
 
 class TestStoreCommands:
