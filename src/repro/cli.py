@@ -62,6 +62,8 @@ def _settings_from_args(args: argparse.Namespace) -> ExperimentSettings:
         p_cell=args.p_cell,
         ones_count=args.ones,
         seed=args.seed,
+        trace_file=getattr(args, "trace_file", None),
+        segment_accesses=getattr(args, "segment_accesses", None),
     )
 
 
@@ -86,6 +88,28 @@ def _add_simulation_arguments(parser: argparse.ArgumentParser) -> None:
         help="'1' cells per 512-bit block (default: 100, the paper's example)",
     )
     parser.add_argument("--seed", type=int, default=1, help="random seed (default: 1)")
+    parser.add_argument(
+        "--trace-file",
+        type=str,
+        default=None,
+        dest="trace_file",
+        help=(
+            "replay this trace file instead of generating traces (binary, "
+            "native text, din or lackey format, auto-detected); "
+            "--accesses/--seed then no longer shape the access stream"
+        ),
+    )
+    parser.add_argument(
+        "--segment-accesses",
+        type=int,
+        default=None,
+        dest="segment_accesses",
+        help=(
+            "replay in segments of this many accesses (bounded memory, "
+            "bit-identical to whole-trace replay; default: whole trace "
+            "for in-memory traces, 1Mi accesses for --trace-file)"
+        ),
+    )
     parser.add_argument(
         "--csv", type=str, default=None, help="also write the series to this CSV file"
     )

@@ -34,6 +34,7 @@ from .experiment import (
 )
 from .fastpath import (
     KERNEL_CHOICES,
+    replay_l2_segments,
     run_cpu_trace_fast,
     run_l2_trace_fast,
     supports_fast_path,
@@ -43,6 +44,7 @@ from .results import SchemeRunResult, WorkloadComparison, format_table
 __all__ = [
     "run_l2_trace",
     "run_l2_trace_fast",
+    "replay_l2_segments",
     "supports_fast_path",
     "run_cpu_trace",
     "run_cpu_trace_fast",

@@ -24,8 +24,12 @@ from ..config import SimulationConfig
 from ..core.protected import ProtectedCache
 from ..errors import SimulationError
 from ..telemetry import emit_event, span
-from ..workloads.trace import AccessKind, Trace
+from ..workloads.streams import DEFAULT_SEGMENT_ACCESSES, TraceSource
+from ..workloads.trace import _KIND_INDEX, KIND_ORDER, AccessKind, Trace
 from .results import SchemeRunResult
+
+_L2_READ_INDEX = _KIND_INDEX[AccessKind.L2_READ]
+_L2_WRITE_INDEX = _KIND_INDEX[AccessKind.L2_WRITE]
 
 
 def simulated_time_for(
@@ -137,20 +141,91 @@ def _warn_auto_fallback(reason: str) -> None:
     )
 
 
+def _trace_segments(trace: Trace | TraceSource, segment_accesses: int):
+    """Yield decoded ``(kinds, addresses)`` segments from either trace form."""
+    if isinstance(trace, Trace):
+        kinds, addresses = trace.decoded()
+        for start in range(0, len(kinds), segment_accesses):
+            stop = start + segment_accesses
+            yield kinds[start:stop], addresses[start:stop]
+    else:
+        yield from trace.segments(segment_accesses)
+
+
+def _run_l2_segmented(
+    cache: ProtectedCache,
+    trace: Trace | TraceSource,
+    config: SimulationConfig | None,
+    add_leakage: bool,
+    engine: str,
+    kernel: str,
+    segment_accesses: int,
+) -> SchemeRunResult:
+    """Segment-by-segment replay; bit-identical to the whole-trace paths."""
+    config = config or SimulationConfig()
+    scheme = cache.scheme_name()
+    if engine != "reference":
+        from .fastpath import replay_l2_segments, supports_fast_path
+
+        supported, reason = supports_fast_path(cache)
+        if engine == "fast" or supported:
+            total = replay_l2_segments(
+                cache, _trace_segments(trace, segment_accesses), kernel=kernel
+            )
+            simulated_time = simulated_time_for(total, config)
+            if add_leakage:
+                cache.add_leakage(simulated_time)
+            return _snapshot(cache, trace.name, total, simulated_time)
+        _warn_auto_fallback(reason)
+    emit_event(
+        "sim.engine", engine="reference", path="l2", scheme=scheme, streaming=True
+    )
+    total = 0
+    for segment_index, (kinds, addresses) in enumerate(
+        _trace_segments(trace, segment_accesses)
+    ):
+        with span(
+            "kernel.segment",
+            scheme=scheme,
+            path="l2",
+            segment=segment_index,
+            accesses=len(kinds),
+        ):
+            for kind_index, address in zip(kinds.tolist(), addresses.tolist()):
+                if kind_index == _L2_READ_INDEX:
+                    cache.read(address)
+                elif kind_index == _L2_WRITE_INDEX:
+                    cache.write(address)
+                else:
+                    raise SimulationError(
+                        f"run_l2_trace expects L2-level records, got "
+                        f"{KIND_ORDER[kind_index]}"
+                    )
+        total += len(kinds)
+    simulated_time = simulated_time_for(total, config)
+    if add_leakage:
+        cache.add_leakage(simulated_time)
+    return _snapshot(cache, trace.name, total, simulated_time)
+
+
 def run_l2_trace(
     cache: ProtectedCache,
-    trace: Trace,
+    trace: Trace | TraceSource,
     config: SimulationConfig | None = None,
     add_leakage: bool = True,
     engine: str = "reference",
     kernel: str = "auto",
+    segment_accesses: int | None = None,
 ) -> SchemeRunResult:
     """Drive a protected L2 cache with an L2-level trace.
 
     Args:
         cache: The protected cache to drive (mutated in place).
         trace: L2-level trace (``L2_READ`` / ``L2_WRITE`` records; CPU-level
-            records are rejected).
+            records are rejected).  Either an in-memory :class:`Trace` or a
+            streaming :class:`~repro.workloads.streams.TraceSource` (from
+            :func:`repro.workloads.open_trace`); sources are replayed
+            segment by segment in bounded memory.
         config: Simulation configuration used for the time base; the default
             paper configuration is used when omitted.
         add_leakage: Whether to add leakage energy for the simulated time.
@@ -162,11 +237,31 @@ def run_l2_trace(
         kernel: Fast-path kernel tier (``"loop"``, ``"soa"`` or ``"auto"``);
             ignored by the reference engine.  Kernels are bit-identical, so
             the knob only affects throughput.
+        segment_accesses: Replay segment length.  ``None`` (the default)
+            replays an in-memory :class:`Trace` whole and a streaming
+            source in segments of
+            :data:`~repro.workloads.streams.DEFAULT_SEGMENT_ACCESSES`.
+            Any value forces segmented replay — bit-identical to the
+            whole-trace replay by construction, since all cache, policy,
+            accumulator and energy state lives on the cache between
+            segments.
 
     Returns:
         A :class:`SchemeRunResult` snapshot taken after the whole trace ran.
     """
     _check_engine(engine)
+    if segment_accesses is not None and segment_accesses <= 0:
+        raise SimulationError("segment_accesses must be positive")
+    if segment_accesses is not None or not isinstance(trace, Trace):
+        return _run_l2_segmented(
+            cache,
+            trace,
+            config,
+            add_leakage,
+            engine,
+            kernel,
+            segment_accesses or DEFAULT_SEGMENT_ACCESSES,
+        )
     if engine != "reference":
         from .fastpath import run_l2_trace_fast, supports_fast_path
 

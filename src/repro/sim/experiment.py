@@ -38,6 +38,15 @@ class ExperimentSettings:
             sampled from the default data profile.
         seed: Base random seed (workload index is added to it).
         track_accumulation: Record per-delivery samples (needed for Fig. 3).
+        trace_file: When set, replay this trace file (any format accepted by
+            :func:`repro.workloads.open_trace`) instead of generating a
+            trace from the workload profile; ``num_accesses`` and ``seed``
+            then no longer affect the access stream.
+        segment_accesses: Replay segment length for out-of-core replay; see
+            :func:`repro.sim.run_l2_trace`.  ``None`` replays in-memory
+            traces whole (segmented replay is bit-identical, so this is an
+            execution knob — but it is carried in the settings so campaign
+            workers replay files in bounded memory).
     """
 
     l2_config: CacheLevelConfig = field(default_factory=paper_l2_config)
@@ -47,6 +56,8 @@ class ExperimentSettings:
     ones_count: int | None = 100
     seed: int = 1
     track_accumulation: bool = True
+    trace_file: str | None = None
+    segment_accesses: int | None = None
 
     def data_profile(self, seed: int) -> DataValueProfile:
         """Build the ones-count sampler implied by the settings."""
@@ -57,8 +68,13 @@ class ExperimentSettings:
         return DataValueProfile(block_bits=self.l2_config.block_size_bits, seed=seed)
 
     def to_dict(self) -> dict[str, Any]:
-        """Serialise to a plain dictionary (nested configs included)."""
-        return {
+        """Serialise to a plain dictionary (nested configs included).
+
+        The streaming fields are included only when set: campaign job keys
+        hash this dictionary, and defaulted streaming knobs must not change
+        the identity of jobs recorded before the fields existed.
+        """
+        data = {
             "l2_config": self.l2_config.to_dict(),
             "mtj": self.mtj.to_dict(),
             "p_cell": self.p_cell,
@@ -67,6 +83,11 @@ class ExperimentSettings:
             "seed": self.seed,
             "track_accumulation": self.track_accumulation,
         }
+        if self.trace_file is not None:
+            data["trace_file"] = self.trace_file
+        if self.segment_accesses is not None:
+            data["segment_accesses"] = self.segment_accesses
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSettings":
@@ -99,6 +120,17 @@ def _is_registered(profile: SPECWorkloadProfile) -> bool:
         return False
 
 
+def _resolve_trace(settings: ExperimentSettings, profile: SPECWorkloadProfile):
+    """The access stream a settings object asks for: file or generated."""
+    if settings.trace_file is not None:
+        from ..workloads.streams import open_trace
+
+        return open_trace(settings.trace_file)
+    return generate_l2_trace(
+        profile, settings.l2_config, settings.num_accesses, seed=settings.seed
+    )
+
+
 def run_workload(
     workload: SPECWorkloadProfile | str,
     scheme: ProtectionScheme | str,
@@ -114,8 +146,11 @@ def run_workload(
         workload: Profile object or SPEC benchmark name.
         scheme: Protection scheme to evaluate.
         settings: Experiment settings; defaults reproduce the paper setup.
-        trace: Pre-generated trace; when omitted one is generated from the
-            profile (always generate the trace once and pass it in when
+        trace: Pre-generated trace or a streaming
+            :class:`~repro.workloads.streams.TraceSource`; when omitted one
+            is resolved from the settings — opened from
+            ``settings.trace_file`` when set, generated from the profile
+            otherwise (always resolve the trace once and pass it in when
             comparing schemes, so both see the identical access stream).
         sim_config: Simulation configuration for the time base.
         engine: Simulation engine (``"reference"``, ``"fast"`` or
@@ -130,9 +165,7 @@ def run_workload(
     settings = settings or ExperimentSettings()
     profile = get_profile(workload) if isinstance(workload, str) else workload
     if trace is None:
-        trace = generate_l2_trace(
-            profile, settings.l2_config, settings.num_accesses, seed=settings.seed
-        )
+        trace = _resolve_trace(settings, profile)
     cache = build_protected_cache(
         scheme,
         settings.l2_config,
@@ -143,7 +176,12 @@ def run_workload(
         track_accumulation=settings.track_accumulation,
     )
     result = run_l2_trace(
-        cache, trace, config=sim_config, engine=engine, kernel=kernel
+        cache,
+        trace,
+        config=sim_config,
+        engine=engine,
+        kernel=kernel,
+        segment_accesses=settings.segment_accesses,
     )
     return result, cache
 
@@ -159,7 +197,8 @@ def compare_schemes(
 ) -> WorkloadComparison:
     """Run one workload through a baseline and alternative schemes.
 
-    The trace is generated once and replayed identically for every scheme so
+    The trace is resolved once (generated from the profile, or opened from
+    ``settings.trace_file``) and replayed identically for every scheme so
     the comparison isolates the protection mechanism.  ``engine`` and
     ``kernel`` select the simulation engine and fast-path kernel tier per
     :func:`repro.sim.run_l2_trace`; results are numerically identical across
@@ -167,9 +206,7 @@ def compare_schemes(
     """
     settings = settings or ExperimentSettings()
     profile = get_profile(workload) if isinstance(workload, str) else workload
-    trace = generate_l2_trace(
-        profile, settings.l2_config, settings.num_accesses, seed=settings.seed
-    )
+    trace = _resolve_trace(settings, profile)
     baseline_result, _ = run_workload(
         profile,
         baseline,

@@ -79,7 +79,7 @@ from ..reliability.binomial import (
     reap_failure_probabilities,
 )
 from ..telemetry import emit_event, span
-from ..workloads.trace import Trace
+from ..workloads.trace import KIND_ORDER, Trace
 from .results import SchemeRunResult
 
 #: Delivery-kind codes used by the deferred probability records.
@@ -293,20 +293,101 @@ _L2_KIND_MAP = np.array([2, 2, 2, 0, 1], dtype=np.int8)
 _CPU_KIND_MAP = np.array([0, 1, 2, 3, 3], dtype=np.int8)
 
 
-def _decode(
-    cache: ProtectedCache, trace: Trace
+def _decode_arrays(
+    cache: ProtectedCache, kinds: np.ndarray, addresses: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Pre-decode a trace into (kind code, set index, tag) arrays."""
-    kinds, addresses = trace.decoded()
+    """Decode (KIND_ORDER kinds, addresses) into (kind code, set, tag) arrays."""
     codes = _L2_KIND_MAP[kinds]
     bad = np.flatnonzero(codes == 2)
     if bad.size:
         raise SimulationError(
             f"run_l2_trace expects L2-level records, got "
-            f"{trace.records[bad[0]].kind}"
+            f"{KIND_ORDER[int(kinds[bad[0]])]}"
         )
     batch = cache.cache.mapper.decompose_batch(addresses)
     return codes, batch.indices, batch.tags
+
+
+def _decode(
+    cache: ProtectedCache, trace: Trace
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Pre-decode a trace into (kind code, set index, tag) arrays."""
+    kinds, addresses = trace.decoded()
+    return _decode_arrays(cache, kinds, addresses)
+
+
+def replay_l2_segments(
+    cache: ProtectedCache,
+    segments,
+    kernel: str = "auto",
+) -> int:
+    """Replay decoded ``(kinds, addresses)`` segments against a protected cache.
+
+    The out-of-core counterpart of the whole-trace kernels: each segment is
+    decoded and replayed in turn, and because both kernels seed every
+    accumulator from live cache state on entry and fold everything back on
+    exit — block fields and ticks through the compact per-set protocol,
+    policy state through ``export_set_state``/``import_set_state``, energy
+    partial sums from ``cache.energy``, reliability statistics through
+    sequential batch accumulation, tracker samples by append, patrol-scrub
+    credit and cursor through the scrub-state export — the end state after N
+    segments is bit-identical to one whole-trace replay.  Peak memory is
+    bounded by the largest segment.
+
+    Each segment runs inside a ``kernel.segment`` telemetry span carrying
+    the segment ordinal and access count.
+
+    Args:
+        cache: The protected cache to drive (mutated in place).
+        segments: Iterable of ``(kinds, addresses)`` NumPy column pairs in
+            the :data:`~repro.workloads.trace.KIND_ORDER` encoding, e.g.
+            from :meth:`repro.workloads.streams.TraceSource.segments`.
+        kernel: Fast-path kernel tier (``"loop"``, ``"soa"`` or ``"auto"``).
+
+    Returns:
+        The total number of accesses replayed.
+
+    Raises:
+        SimulationError: if the cache is not fast-path capable or a segment
+            contains CPU-level records.  Unlike the whole-trace fast path,
+            validation is necessarily per segment: earlier segments have
+            already mutated the cache when a later segment fails.
+    """
+    _check_kernel(kernel)
+    supported, reason = supports_fast_path(cache)
+    if not supported:
+        raise SimulationError(f"fast path does not support {reason}")
+    scheme = cache.scheme_name()
+    resolved = "loop" if kernel == "loop" else "soa"
+    emit_event(
+        "sim.engine",
+        engine="fast",
+        kernel=resolved,
+        path="l2",
+        scheme=scheme,
+        streaming=True,
+    )
+    if resolved == "soa":
+        from .soa import replay_l2_soa
+
+        mode = _SCHEME_MODES[type(cache)]
+    total = 0
+    for segment_index, (kinds, addresses) in enumerate(segments):
+        accesses = len(kinds)
+        with span(
+            "kernel.segment",
+            scheme=scheme,
+            path="l2",
+            segment=segment_index,
+            accesses=accesses,
+        ):
+            codes, set_indices, tags = _decode_arrays(cache, kinds, addresses)
+            if resolved == "loop":
+                _replay(cache, codes, set_indices, tags)
+            else:
+                replay_l2_soa(cache, codes, set_indices, tags, mode)
+        total += accesses
+    return total
 
 
 def _decode_cpu(trace: Trace) -> tuple[np.ndarray, np.ndarray]:

@@ -716,11 +716,16 @@ def replay_l2_soa(
     # last read of a set is the final entry of its span (-1 when none).
     read_positions = order_by_set[sorted_read]
     read_offsets = np.concatenate(([0], np.cumsum(reads_per_set)))
-    last_read_pos = np.where(
-        reads_per_set > 0,
-        read_positions[np.maximum(read_offsets[1:] - 1, 0)],
-        -1,
-    )
+    if read_positions.size:
+        last_read_pos = np.where(
+            reads_per_set > 0,
+            read_positions[np.maximum(read_offsets[1:] - 1, 0)],
+            -1,
+        )
+    else:
+        # No reads at all (possible for short streaming segments): every
+        # set's last-read position is the "none" sentinel.
+        last_read_pos = np.full(num_sets, -1, dtype=np.int64)
 
     # Scrub-visit read ranks via one packed searchsorted over read positions
     # sorted by (set, position).

@@ -19,6 +19,7 @@ from .core import read_events
 
 #: Span names that are kernel phases, in display (pipeline) order.
 _PHASE_ORDER = (
+    "kernel.segment",
     "kernel.decode",
     "kernel.l1_filter",
     "kernel.replay",

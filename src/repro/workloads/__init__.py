@@ -10,6 +10,10 @@ Public surface:
   :func:`get_profile`, :func:`all_profiles`, :data:`FIGURE3_WORKLOADS` — the
   named workload profiles.
 * :func:`generate_l2_trace` — L2-level trace materialisation.
+* Streaming trace I/O (:mod:`repro.workloads.streams`): :func:`open_trace`,
+  :func:`read_trace`, :class:`TraceSource`, :class:`BinaryTraceWriter`,
+  :class:`BinaryTraceSource`, :class:`TextTraceSource` — out-of-core trace
+  storage, external-format readers and segmented ingestion.
 """
 
 from .generator import generate_l2_trace
@@ -27,12 +31,32 @@ from .synthetic import (
     sequential_trace,
     strided_trace,
 )
+from .streams import (
+    DEFAULT_SEGMENT_ACCESSES,
+    FORMAT_CHOICES,
+    BinaryTraceSource,
+    BinaryTraceWriter,
+    TextTraceSource,
+    TraceSource,
+    detect_format,
+    open_trace,
+    read_trace,
+)
 from .trace import AccessKind, Trace, TraceRecord
 
 __all__ = [
     "Trace",
     "TraceRecord",
     "AccessKind",
+    "TraceSource",
+    "BinaryTraceWriter",
+    "BinaryTraceSource",
+    "TextTraceSource",
+    "open_trace",
+    "read_trace",
+    "detect_format",
+    "DEFAULT_SEGMENT_ACCESSES",
+    "FORMAT_CHOICES",
     "sequential_trace",
     "strided_trace",
     "pointer_chase_trace",

@@ -45,17 +45,44 @@ class _SetStreamBuilder:
         self._profile = profile
         self._rng = rng
         self._next_fresh_tag = 1  # tag 0 is reserved for hot/cold lines' base
+        self._live_tags: set[int] = set()
 
     def _address(self, tag: int) -> int:
         return self._mapper.compose(tag, self._set_index)
 
     def _fresh_tag(self) -> int:
-        tag = self._next_fresh_tag
-        self._next_fresh_tag += 1
+        """Next unused tag, skipping tags that are still live on wraparound.
+
+        Tags 1..max_tag are issued round-robin; a tag registered through
+        :meth:`_claim_tag` (hot/cold lines, churn reuse-window residents)
+        is never re-issued while it is live, so very long streams cannot
+        silently alias two distinct lines onto one address.
+        """
         max_tag = (1 << self._mapper.config.tag_bits) - 1
+        if len(self._live_tags) >= max_tag:
+            raise TraceError(
+                f"tag space exhausted for set {self._set_index}: all {max_tag} "
+                f"usable tags ({self._mapper.config.tag_bits} tag bits, tag 0 "
+                "reserved) are live"
+            )
+        tag = self._next_fresh_tag
+        while tag in self._live_tags:
+            tag += 1
+            if tag > max_tag:
+                tag = 1
+        self._next_fresh_tag = tag + 1
         if self._next_fresh_tag > max_tag:
             self._next_fresh_tag = 1
         return tag
+
+    def _claim_tag(self) -> int:
+        """Draw a fresh tag and keep it live (excluded from reuse)."""
+        tag = self._fresh_tag()
+        self._live_tags.add(tag)
+        return tag
+
+    def _release_tag(self, tag: int) -> None:
+        self._live_tags.discard(tag)
 
     def stable_stream(self, length: int) -> list[TraceRecord]:
         """Stream for a stable set: hot re-reads plus scheduled cold re-reads.
@@ -67,8 +94,8 @@ class _SetStreamBuilder:
         """
         profile = self._profile
         gap_cap = max(length // 2, 1)
-        hot_tags = [self._fresh_tag() for _ in range(profile.hot_lines_per_set)]
-        cold_tags = [self._fresh_tag() for _ in range(profile.cold_lines_per_set)]
+        hot_tags = [self._claim_tag() for _ in range(profile.hot_lines_per_set)]
+        cold_tags = [self._claim_tag() for _ in range(profile.cold_lines_per_set)]
         records: list[TraceRecord] = []
 
         # Install the resident lines up front so later accesses hit.
@@ -107,14 +134,16 @@ class _SetStreamBuilder:
         while len(records) < length:
             is_write = self._rng.random() < profile.write_fraction
             if not recent or self._rng.random() < profile.churn_miss_fraction:
-                tag = self._fresh_tag()
+                tag = self._claim_tag()
             else:
                 tag = int(self._rng.choice(recent))
             kind = AccessKind.L2_WRITE if is_write else AccessKind.L2_READ
             records.append(TraceRecord(kind, self._address(tag)))
             recent.append(tag)
             if len(recent) > profile.churn_reuse_window:
-                recent.pop(0)
+                expired = recent.pop(0)
+                if expired not in recent:
+                    self._release_tag(expired)
         return records
 
     def _sample_gap(self) -> int:

@@ -84,7 +84,8 @@ class Trace:
 
     def __post_init__(self) -> None:
         self._write_count = sum(1 for r in self.records if r.is_write)
-        self._decoded: tuple[int, np.ndarray, np.ndarray] | None = None
+        self._version = 0
+        self._decoded: tuple[tuple[int, int], np.ndarray, np.ndarray] | None = None
 
     def __len__(self) -> int:
         return len(self.records)
@@ -98,6 +99,7 @@ class Trace:
     def append(self, record: TraceRecord) -> None:
         """Append one record."""
         self.records.append(record)
+        self._version += 1
         if record.is_write:
             self._write_count += 1
 
@@ -105,6 +107,7 @@ class Trace:
         """Append many records."""
         added = list(records)
         self.records.extend(added)
+        self._version += 1
         self._write_count += sum(1 for r in added if r.is_write)
 
     def decoded(self) -> tuple[np.ndarray, np.ndarray]:
@@ -112,13 +115,18 @@ class Trace:
 
         The kind column indexes :data:`KIND_ORDER`; callers remap it to
         their own codes with a small lookup table.  The arrays are cached on
-        the trace (and rebuilt if the trace has grown since), so replaying
-        one trace against several schemes or engines decodes it only once.
-        The returned arrays are shared — treat them as read-only.
+        the trace (and rebuilt if the trace has changed since — the memo is
+        keyed on both the record count and a mutation version bumped by
+        :meth:`append`/:meth:`extend`, so equal-length mutation through the
+        documented API cannot replay stale arrays), so replaying one trace
+        against several schemes or engines decodes it only once.  The
+        returned arrays are shared and marked immutable; writing to them
+        raises ``ValueError``.
         """
         count = len(self.records)
+        key = (count, self._version)
         cached = self._decoded
-        if cached is not None and cached[0] == count:
+        if cached is not None and cached[0] == key:
             return cached[1], cached[2]
         kinds = np.fromiter(
             (_KIND_INDEX[record.kind] for record in self.records),
@@ -128,7 +136,9 @@ class Trace:
         addresses = np.fromiter(
             (record.address for record in self.records), dtype=np.int64, count=count
         )
-        self._decoded = (count, kinds, addresses)
+        kinds.setflags(write=False)
+        addresses.setflags(write=False)
+        self._decoded = (key, kinds, addresses)
         return kinds, addresses
 
     # -- summaries ------------------------------------------------------------
@@ -163,12 +173,32 @@ class Trace:
     # -- file I/O --------------------------------------------------------------
 
     def save(self, path: str | Path) -> None:
-        """Write the trace to a text file (one ``<kind> <hex addr>`` per line)."""
+        """Write the trace to a text file (one ``<kind> <hex addr>`` per line).
+
+        Parent directories are created as needed, matching the behaviour of
+        the campaign result stores.
+        """
         path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
         with path.open("w", encoding="utf-8") as handle:
             handle.write(f"# trace {self.name}\n")
             for record in self.records:
                 handle.write(f"{record.kind.value} {record.address:#x}\n")
+
+    def save_binary(self, path: str | Path, chunk_accesses: int = 1 << 20) -> None:
+        """Write the trace in the binary chunked format (see ``streams``).
+
+        The binary format is the on-disk half of out-of-core replay: it can
+        be opened with :func:`repro.workloads.streams.open_trace` and
+        replayed segment-by-segment without ever materialising the whole
+        trace in memory.
+        """
+        from .streams import write_binary_trace
+
+        kinds, addresses = self.decoded()
+        write_binary_trace(
+            path, self.name, kinds, addresses, chunk_accesses=chunk_accesses
+        )
 
     @classmethod
     def load(cls, path: str | Path, name: str | None = None) -> "Trace":
@@ -192,7 +222,8 @@ class Trace:
                 try:
                     kind = AccessKind(parts[0])
                     address = int(parts[1], 16)
-                except ValueError as exc:
+                    record = TraceRecord(kind=kind, address=address)
+                except (TraceError, ValueError) as exc:
                     raise TraceError(f"{path}:{line_number}: {exc}") from exc
-                trace.append(TraceRecord(kind=kind, address=address))
+                trace.append(record)
         return trace

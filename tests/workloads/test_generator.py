@@ -93,3 +93,77 @@ class TestStatisticalShape:
             last_seen[block] = position
             per_set_position[decomposed.index] = position + 1
         assert max_gap > 1_000
+
+
+class TestFreshTagWraparound:
+    """`_fresh_tag` must never re-issue a live tag after wrapping around."""
+
+    @staticmethod
+    def _builder(tag_bits=3, churn_miss_fraction=1.0, churn_reuse_window=3):
+        from repro.workloads.generator import _SetStreamBuilder
+        from repro.workloads.spec_profiles import SPECWorkloadProfile
+
+        # 16 sets x 64 B blocks -> offset 6 + index 4; address_bits 13
+        # leaves 3 tag bits, i.e. tags 1..7 usable (tag 0 reserved).
+        config = CacheLevelConfig(
+            name="L2",
+            size_bytes=4 * 1024,
+            associativity=4,
+            block_size_bytes=64,
+            address_bits=10 + tag_bits,
+        )
+        profile = SPECWorkloadProfile(
+            name="tiny",
+            write_fraction=0.2,
+            stable_traffic_share=0.5,
+            num_stable_sets=1,
+            num_churn_sets=1,
+            hot_lines_per_set=2,
+            cold_lines_per_set=1,
+            cold_gap_median=8.0,
+            cold_gap_sigma=0.0,
+            churn_miss_fraction=churn_miss_fraction,
+            churn_reuse_window=churn_reuse_window,
+        )
+        mapper = AddressMapper(config)
+        rng = np.random.default_rng(7)
+        return _SetStreamBuilder(mapper, 0, profile, rng), mapper
+
+    def test_wraparound_skips_live_tags(self):
+        builder, _ = self._builder()
+        live = {builder._claim_tag() for _ in range(3)}  # tags 1..3 stay live
+        drawn = [builder._fresh_tag() for _ in range(8)]  # forces wraparound
+        assert not live.intersection(drawn)
+        assert all(1 <= tag <= 7 for tag in drawn)
+
+    def test_exhausted_tag_space_raises(self):
+        builder, _ = self._builder()
+        for _ in range(7):
+            builder._claim_tag()
+        with pytest.raises(TraceError, match="tag space exhausted"):
+            builder._fresh_tag()
+
+    def test_churn_stream_releases_expired_tags(self):
+        # Streaming misses only: far more fresh tags than the 7-tag space.
+        # Expired tags leave the reuse window and become reusable, so the
+        # stream keeps going instead of exhausting the space.
+        builder, mapper = self._builder(churn_miss_fraction=1.0, churn_reuse_window=3)
+        records = builder.churn_stream(100)
+        assert len(records) == 100
+        # No record may alias a line that is still in the reuse window: each
+        # window of 4 consecutive records (one new + window of 3) holds
+        # distinct tags.
+        tags = [mapper.decompose(r.address).tag for r in records]
+        for i in range(3, len(tags)):
+            assert tags[i] not in tags[i - 3 : i]
+
+    def test_churn_stream_exhaustion_is_a_clear_error(self):
+        builder, _ = self._builder(churn_miss_fraction=1.0, churn_reuse_window=64)
+        with pytest.raises(TraceError, match="tag space exhausted"):
+            builder.churn_stream(100)
+
+    def test_stable_stream_hot_cold_tags_stay_distinct(self):
+        builder, mapper = self._builder()
+        records = builder.stable_stream(50)
+        resident = {mapper.decompose(r.address).tag for r in records}
+        assert len(resident) == 3  # 2 hot + 1 cold, no aliasing

@@ -1,5 +1,6 @@
 """Tests for trace containers and file I/O."""
 
+import numpy as np
 import pytest
 
 from repro.errors import TraceError
@@ -88,6 +89,58 @@ class TestTraceContainer:
         assert trace.write_count == 2
 
 
+class TestDecodedMemo:
+    def test_decoded_arrays_are_read_only(self):
+        trace = Trace(name="ro", records=[TraceRecord(AccessKind.L2_READ, 0x40)])
+        kinds, addresses = trace.decoded()
+        with pytest.raises(ValueError):
+            kinds[0] = 0
+        with pytest.raises(ValueError):
+            addresses[0] = 0
+
+    def test_decoded_is_memoised(self):
+        trace = Trace(name="memo", records=[TraceRecord(AccessKind.L2_READ, 0x40)])
+        first = trace.decoded()
+        second = trace.decoded()
+        assert first[0] is second[0]
+        assert first[1] is second[1]
+
+    def test_append_invalidates_memo(self):
+        trace = Trace(name="grow", records=[TraceRecord(AccessKind.L2_READ, 0x40)])
+        trace.decoded()
+        trace.append(TraceRecord(AccessKind.L2_WRITE, 0x80))
+        kinds, addresses = trace.decoded()
+        assert len(kinds) == 2
+        assert addresses[1] == 0x80
+
+    def test_equal_length_mutation_invalidates_memo(self):
+        """Pop-then-append through the API must not replay stale arrays."""
+        trace = Trace(name="swap")
+        trace.extend(
+            [
+                TraceRecord(AccessKind.L2_READ, 0x40),
+                TraceRecord(AccessKind.L2_READ, 0x80),
+            ]
+        )
+        stale_kinds, stale_addresses = trace.decoded()
+        trace.records.pop()
+        trace.append(TraceRecord(AccessKind.L2_WRITE, 0xC0))
+        kinds, addresses = trace.decoded()
+        assert len(kinds) == len(stale_kinds)  # same length, new content
+        assert addresses[1] == 0xC0
+        assert kinds[1] != stale_kinds[1]
+
+    def test_extend_bumps_version_even_after_external_pop(self):
+        trace = Trace(name="swap2")
+        trace.extend([TraceRecord(AccessKind.L2_READ, 0x40)])
+        trace.decoded()
+        trace.records.pop(0)
+        trace.extend([TraceRecord(AccessKind.L2_WRITE, 0x100)])
+        kinds, addresses = trace.decoded()
+        assert np.array_equal(addresses, [0x100])
+        assert kinds[0] == 4  # KIND_ORDER index of L2_WRITE
+
+
 class TestTraceIO:
     def test_save_and_load_roundtrip(self, tmp_path):
         trace = Trace(name="io")
@@ -161,3 +214,15 @@ class TestTraceIO:
         path.write_text("L\n")
         with pytest.raises(TraceError, match="expected '<kind> <address>'"):
             Trace.load(path)
+
+    def test_load_negative_address_names_path_and_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("L 0x10\nL -0x10\n")
+        with pytest.raises(TraceError, match="bad.txt:2.*non-negative"):
+            Trace.load(path)
+
+    def test_save_creates_parent_directories(self, tmp_path):
+        trace = Trace(name="deep", records=[TraceRecord(AccessKind.L2_READ, 0x40)])
+        path = tmp_path / "results" / "traces" / "deep.txt"
+        trace.save(path)
+        assert Trace.load(path).records == trace.records
