@@ -4,22 +4,47 @@ A payload is a plain dictionary — ``{"job": <JobSpec dict>, "engine": ...,
 "kernel": ...}`` — that serialises identically under pickling (process
 pools) and JSON framing (the TCP protocol), so the same job produces the
 same bytes no matter which backend carries it.  The engine/kernel choices
-ride along *outside* the job spec: they select how the job is simulated,
-never what it computes, so they are not part of the job identity or store
-key.
+(and the optional ``artifact_cache`` directory) ride along *outside* the
+job spec: they select how the job is simulated, never what it computes, so
+they are not part of the job identity or store key.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Any
 
 from ..telemetry import span
+from ..workloads.artifacts import ARTIFACT_CACHE_ENV, ArtifactCache
 from .spec import JobSpec
 
 
-def payload_for(job: JobSpec, engine: str = "auto", kernel: str = "auto") -> dict[str, Any]:
+def payload_for(
+    job: JobSpec,
+    engine: str = "auto",
+    kernel: str = "auto",
+    artifact_cache: str | None = None,
+) -> dict[str, Any]:
     """Build the transportable payload for one job."""
-    return {"job": job.to_dict(), "engine": engine, "kernel": kernel}
+    payload: dict[str, Any] = {"job": job.to_dict(), "engine": engine, "kernel": kernel}
+    if artifact_cache is not None:
+        payload["artifact_cache"] = str(artifact_cache)
+    return payload
+
+
+def _payload_artifact_cache(payload: dict[str, Any]) -> ArtifactCache | None:
+    """Resolve the artifact cache a payload should use on this machine.
+
+    The worker's own environment wins when set (``REPRO_ARTIFACT_CACHE``,
+    including the disabling spellings): a remote worker knows its local
+    disk better than the coordinator that built the payload.  Otherwise the
+    payload's ``artifact_cache`` field — the coordinator's CLI knob — is
+    used, and absent both, caching is off.
+    """
+    spec = os.environ.get(ARTIFACT_CACHE_ENV)
+    if spec is None:
+        spec = payload.get("artifact_cache")
+    return ArtifactCache.resolve(spec)
 
 
 def job_accesses(job: JobSpec) -> int:
@@ -60,5 +85,6 @@ def execute_payload(payload: dict[str, Any]) -> tuple[str, dict[str, Any], float
             settings=job.settings,
             engine=payload.get("engine", "auto"),
             kernel=payload.get("kernel", "auto"),
+            artifact_cache=_payload_artifact_cache(payload),
         )
     return job.key, comparison_to_dict(comparison), execute_span.duration_s

@@ -99,6 +99,12 @@ class CampaignRunner:
             selects *where* jobs run, never *what* they compute, so it is
             not part of job identity and all backends fill stores with
             byte-identical entries.
+        artifact_cache: Optional artifact-cache directory rode along with
+            every payload (see :mod:`repro.workloads.artifacts`): workers
+            serve decoded traces from it so a sweep decodes each workload
+            once per machine.  Purely operational — results and store
+            entries are byte-identical with the cache cold, warm or
+            disabled, and the knob never enters job identity.
     """
 
     def __init__(
@@ -109,6 +115,7 @@ class CampaignRunner:
         engine: str = "auto",
         kernel: str = "auto",
         backend: str | ExecutionBackend | None = None,
+        artifact_cache: str | Path | None = None,
     ) -> None:
         if isinstance(spec, CampaignSpec):
             self._jobs_list = spec.jobs()
@@ -132,6 +139,9 @@ class CampaignRunner:
         self._backend = resolve_backend(backend, jobs)
         self._engine = engine
         self._kernel = kernel
+        self._artifact_cache = (
+            str(artifact_cache) if artifact_cache is not None else None
+        )
 
     @property
     def jobs_list(self) -> list[JobSpec]:
@@ -183,7 +193,12 @@ class CampaignRunner:
         try:
             if pending:
                 payloads = [
-                    payload_for(job, engine=self._engine, kernel=self._kernel)
+                    payload_for(
+                        job,
+                        engine=self._engine,
+                        kernel=self._kernel,
+                        artifact_cache=self._artifact_cache,
+                    )
                     for job in pending.values()
                 ]
                 for key, result, elapsed in self._backend.execute(payloads):
@@ -252,6 +267,7 @@ def run_campaign(
     engine: str = "auto",
     kernel: str = "auto",
     backend: str | ExecutionBackend | None = None,
+    artifact_cache: str | Path | None = None,
 ) -> CampaignResult:
     """One-shot convenience wrapper around :class:`CampaignRunner`.
 
@@ -269,11 +285,20 @@ def run_campaign(
             kernels; not part of any job key).
         backend: Execution backend instance or spelling (``"serial"``,
             ``"local"``, ``"tcp://HOST:PORT"``); never part of job identity.
+        artifact_cache: Optional artifact-cache directory shared across
+            jobs (see :class:`CampaignRunner`); operational only, results
+            stay byte-identical.
     """
     if isinstance(store, (str, Path)):
         from .tools import open_store
 
         store = open_store(store)
     return CampaignRunner(
-        spec, store=store, jobs=jobs, engine=engine, kernel=kernel, backend=backend
+        spec,
+        store=store,
+        jobs=jobs,
+        engine=engine,
+        kernel=kernel,
+        backend=backend,
+        artifact_cache=artifact_cache,
     ).run(progress=progress)

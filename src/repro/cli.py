@@ -270,6 +270,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             engine=args.engine,
             kernel=args.kernel,
             backend=backend,
+            artifact_cache=args.artifact_cache,
         )
     print()
     print(render_campaign_summary(result))
@@ -279,10 +280,18 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
 
 def _cmd_worker(args: argparse.Namespace) -> int:
+    import os
     from contextlib import nullcontext
 
     from .campaign import run_worker, run_worker_pool
     from .campaign.distributed import default_worker_id
+    from .workloads.artifacts import ARTIFACT_CACHE_ENV
+
+    if args.artifact_cache is not None:
+        # Workers resolve the environment ahead of the payload field, so
+        # the flag overrides whatever directory the coordinator chose
+        # (pool worker processes inherit the environment).
+        os.environ[ARTIFACT_CACHE_ENV] = args.artifact_cache
 
     if args.jobs > 1:
         from .telemetry import telemetry
@@ -503,6 +512,17 @@ def build_parser() -> argparse.ArgumentParser:
         "l2_config.ecc.kind=parity,hamming-sec",
     )
     campaign.add_argument(
+        "--artifact-cache",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="cache decoded workload traces in this directory so every "
+        "sweep point reuses them (created on demand; also settable via "
+        "REPRO_ARTIFACT_CACHE, 'off' disables); purely operational — "
+        "results are byte-identical with the cache cold, warm or disabled, "
+        "and the knob never enters job identity",
+    )
+    campaign.add_argument(
         "--telemetry",
         type=str,
         default=None,
@@ -563,6 +583,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="append this worker's telemetry events (job spans, kernel "
         "phases, protocol frames) to this JSONL file",
+    )
+    worker.add_argument(
+        "--artifact-cache",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="cache decoded workload traces in this local directory "
+        "(overrides any cache directory the coordinator put in the "
+        "payloads; 'off' disables caching on this machine)",
     )
     worker.set_defaults(handler=_cmd_worker)
 

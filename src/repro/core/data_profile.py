@@ -62,16 +62,42 @@ class DataValueProfile:
         if self._std == 0.0:
             fraction = self._mean
         else:
-            fraction = float(
-                np.clip(self._rng.normal(self._mean, self._std), 0.0, 1.0)
-            )
+            fraction = self._rng.normal(self._mean, self._std)
+            if fraction < 0.0:
+                fraction = 0.0
+            elif fraction > 1.0:
+                fraction = 1.0
         return int(self._rng.binomial(self._block_bits, fraction))
 
     def sample_many(self, count: int) -> np.ndarray:
-        """Sample ``count`` ones counts at once."""
+        """Sample ``count`` ones counts at once.
+
+        Draws stay interleaved exactly as ``count`` :meth:`sample` calls
+        (normal, binomial, normal, binomial, ...) so batched and per-fill
+        sampling consume the generator identically — this is what keeps the
+        batched engines bit-identical to the reference loop.  The loop is
+        hand-localised because fills call this on the hot path.
+        """
         if count < 0:
             raise ConfigurationError("count must be non-negative")
-        return np.array([self.sample() for _ in range(count)], dtype=np.int64)
+        out = np.empty(count, dtype=np.int64)
+        normal = self._rng.normal
+        binomial = self._rng.binomial
+        mean = self._mean
+        std = self._std
+        bits = self._block_bits
+        if std == 0.0:
+            for index in range(count):
+                out[index] = binomial(bits, mean)
+        else:
+            for index in range(count):
+                fraction = normal(mean, std)
+                if fraction < 0.0:
+                    fraction = 0.0
+                elif fraction > 1.0:
+                    fraction = 1.0
+                out[index] = binomial(bits, fraction)
+        return out
 
     @classmethod
     def constant(cls, ones_count: int, block_bits: int = 512) -> "DataValueProfile":

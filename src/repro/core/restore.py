@@ -116,6 +116,44 @@ class RestoreCache(ProtectedCache):
         )
         self._restore_count += len(failure_probabilities)
 
+    def record_restore_runs(
+        self, failure_probabilities, counts, _chunk: int = 1 << 16
+    ) -> None:
+        """Record run-length-encoded line restores.
+
+        Equivalent to :meth:`record_restore_array` over
+        ``np.repeat(failure_probabilities, counts)`` — the identical
+        left-to-right float additions, since a chunked sequential sum
+        composes exactly — without ever materialising the expanded array.
+        This is what lets the structure-of-arrays kernel collapse the
+        restore scheme's per-(read, way) rewrite stream, whose expansion
+        dominated its pass-2 allocations, into runs of equal probability.
+
+        Args:
+            failure_probabilities: Per-run write-failure probabilities.
+            counts: Per-run repeat counts, aligned with the probabilities.
+        """
+        import numpy as np
+
+        from ..reliability.binomial import sequential_float_sum
+
+        acc = self._restore_expected_failures
+        total = 0
+        for probability, count in zip(
+            np.asarray(failure_probabilities, dtype=float).tolist(),
+            np.asarray(counts, dtype=np.int64).tolist(),
+        ):
+            if count <= 0:
+                continue
+            total += count
+            remaining = count
+            while remaining > 0:
+                take = remaining if remaining < _chunk else _chunk
+                acc = sequential_float_sum(acc, np.full(take, probability))
+                remaining -= take
+        self._restore_expected_failures = acc
+        self._restore_count += total
+
     @property
     def expected_failures(self) -> float:
         """Read-path failures plus restore write-failure exposure."""

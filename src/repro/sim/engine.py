@@ -298,6 +298,7 @@ def run_cpu_trace(
     add_leakage: bool = True,
     engine: str = "reference",
     kernel: str = "auto",
+    artifact_cache=None,
 ) -> tuple[SchemeRunResult, CacheHierarchy]:
     """Drive the full two-level hierarchy with a CPU-level trace.
 
@@ -317,6 +318,10 @@ def run_cpu_trace(
             contents and hierarchy statistics.
         kernel: Fast-path kernel tier (``"loop"``, ``"soa"`` or ``"auto"``);
             ignored by the reference engine.
+        artifact_cache: Optional :class:`~repro.workloads.ArtifactCache`
+            (or directory spec) the fast SoA path consults for pre-filtered
+            L2 streams; ignored by the reference engine and the loop
+            kernel.  Results are bit-identical either way.
 
     Returns:
         A (result, hierarchy) pair; the hierarchy gives access to L1
@@ -335,6 +340,7 @@ def run_cpu_trace(
                 seed=seed,
                 add_leakage=add_leakage,
                 kernel=kernel,
+                artifact_cache=artifact_cache,
             )
         _warn_auto_fallback(reason)
     config = config or SimulationConfig()

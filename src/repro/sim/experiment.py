@@ -120,12 +120,34 @@ def _is_registered(profile: SPECWorkloadProfile) -> bool:
         return False
 
 
-def _resolve_trace(settings: ExperimentSettings, profile: SPECWorkloadProfile):
-    """The access stream a settings object asks for: file or generated."""
-    if settings.trace_file is not None:
-        from ..workloads.streams import open_trace
+def _resolve_trace(
+    settings: ExperimentSettings,
+    profile: SPECWorkloadProfile,
+    artifact_cache=None,
+):
+    """The access stream a settings object asks for: file, cache or generated.
 
-        return open_trace(settings.trace_file)
+    ``artifact_cache`` accepts an :class:`~repro.workloads.ArtifactCache`,
+    a directory spec, or ``None`` (consult ``REPRO_ARTIFACT_CACHE``).  With
+    a cache resolved, generated traces are served from (and persisted to)
+    the cache — a hit replays through the bit-identical segmented path —
+    and text trace files are mirrored to the binary format once.  The knob
+    is purely operational: it never enters settings or job identity.
+    """
+    from ..workloads.artifacts import ArtifactCache
+
+    cache = ArtifactCache.resolve(artifact_cache)
+    if settings.trace_file is not None:
+        from ..workloads.streams import TextTraceSource, open_trace
+
+        source = open_trace(settings.trace_file)
+        if cache is not None and isinstance(source, TextTraceSource):
+            return cache.binary_text_trace(settings.trace_file, source)
+        return source
+    if cache is not None:
+        return cache.l2_trace(
+            profile, settings.l2_config, settings.num_accesses, settings.seed
+        )
     return generate_l2_trace(
         profile, settings.l2_config, settings.num_accesses, seed=settings.seed
     )
@@ -139,6 +161,7 @@ def run_workload(
     sim_config: SimulationConfig | None = None,
     engine: str = "auto",
     kernel: str = "auto",
+    artifact_cache=None,
 ):
     """Run one (workload, scheme) pair and return (result, protected cache).
 
@@ -161,11 +184,14 @@ def run_workload(
         kernel: Fast-path kernel tier (``"loop"``, ``"soa"`` or ``"auto"``,
             the default); kernels are bit-identical, so this only affects
             throughput.
+        artifact_cache: Optional artifact-cache spec consulted when the
+            trace is resolved here (see :func:`_resolve_trace`); results
+            are byte-identical with the cache cold, warm or disabled.
     """
     settings = settings or ExperimentSettings()
     profile = get_profile(workload) if isinstance(workload, str) else workload
     if trace is None:
-        trace = _resolve_trace(settings, profile)
+        trace = _resolve_trace(settings, profile, artifact_cache=artifact_cache)
     cache = build_protected_cache(
         scheme,
         settings.l2_config,
@@ -194,19 +220,22 @@ def compare_schemes(
     sim_config: SimulationConfig | None = None,
     engine: str = "auto",
     kernel: str = "auto",
+    artifact_cache=None,
 ) -> WorkloadComparison:
     """Run one workload through a baseline and alternative schemes.
 
-    The trace is resolved once (generated from the profile, or opened from
-    ``settings.trace_file``) and replayed identically for every scheme so
-    the comparison isolates the protection mechanism.  ``engine`` and
-    ``kernel`` select the simulation engine and fast-path kernel tier per
-    :func:`repro.sim.run_l2_trace`; results are numerically identical across
-    all combinations.
+    The trace is resolved once (generated from the profile, served from the
+    artifact cache, or opened from ``settings.trace_file``) and replayed
+    identically for every scheme so the comparison isolates the protection
+    mechanism.  ``engine`` and ``kernel`` select the simulation engine and
+    fast-path kernel tier per :func:`repro.sim.run_l2_trace`; results are
+    numerically identical across all combinations, and ``artifact_cache``
+    (like engine and kernel) is an operational knob that never changes
+    results or identities.
     """
     settings = settings or ExperimentSettings()
     profile = get_profile(workload) if isinstance(workload, str) else workload
-    trace = _resolve_trace(settings, profile)
+    trace = _resolve_trace(settings, profile, artifact_cache=artifact_cache)
     baseline_result, _ = run_workload(
         profile,
         baseline,

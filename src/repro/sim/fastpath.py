@@ -200,6 +200,58 @@ def run_l2_trace_fast(
     return _snapshot(cache, trace.name, len(trace), simulated_time)
 
 
+def _export_l1_state(hierarchy: CacheHierarchy) -> dict:
+    """Snapshot everything the L1 filter mutated, for the artifact cache.
+
+    Captures, per L1 side, the materialised sets' full block state, the
+    replacement policy's per-set rows and global state, the cache tick and
+    statistics counters, plus the hierarchy-level reference counts — the
+    complete observable end state of :func:`filter_through_l1_soa` on a
+    fresh hierarchy.
+    """
+    state: dict = {}
+    for side in ("l1i", "l1d"):
+        cache = getattr(hierarchy, side)
+        policy = cache.replacement
+        sets: dict[int, list] = {}
+        rows: dict[int, list] = {}
+        for set_index in range(cache.num_sets):
+            cache_set = cache.peek_set(set_index)
+            if cache_set is None:
+                continue
+            sets[set_index] = [dict(vars(block)) for block in cache_set.blocks]
+            rows[set_index] = policy.export_set_state(set_index)
+        state[side] = {
+            "sets": sets,
+            "rows": rows,
+            "globals": policy.export_global_state(),
+            "tick": cache._tick,  # noqa: SLF001 - engine-internal state sync
+            "stats": dict(vars(cache.stats)),
+        }
+    state["hierarchy"] = dict(vars(hierarchy.stats))
+    return state
+
+
+def _apply_l1_state(hierarchy: CacheHierarchy, state: dict) -> None:
+    """Restore an :func:`_export_l1_state` snapshot into a fresh hierarchy."""
+    for side in ("l1i", "l1d"):
+        cache = getattr(hierarchy, side)
+        policy = cache.replacement
+        saved = state[side]
+        for set_index, blocks_saved in saved["sets"].items():
+            blocks = cache.cache_set(set_index).blocks
+            for block, fields in zip(blocks, blocks_saved):
+                block.__dict__.update(fields)
+        for set_index, row in saved["rows"].items():
+            policy.import_set_state(set_index, row)
+        policy.import_global_state(saved["globals"])
+        cache._tick = saved["tick"]  # noqa: SLF001 - engine-internal state sync
+        for name, value in saved["stats"].items():
+            setattr(cache.stats, name, value)
+    for name, value in state["hierarchy"].items():
+        setattr(hierarchy.stats, name, value)
+
+
 def run_cpu_trace_fast(
     l2_cache: ProtectedCache,
     trace: Trace,
@@ -207,6 +259,7 @@ def run_cpu_trace_fast(
     seed: int = 1,
     add_leakage: bool = True,
     kernel: str = "auto",
+    artifact_cache=None,
 ) -> tuple[SchemeRunResult, CacheHierarchy]:
     """Batched equivalent of the reference :func:`repro.sim.run_cpu_trace`.
 
@@ -225,6 +278,10 @@ def run_cpu_trace_fast(
         add_leakage: Whether to add L2 leakage energy for the simulated time.
         kernel: Fast-path kernel tier (``"loop"``, ``"soa"`` or ``"auto"``);
             bit-identical results either way.
+        artifact_cache: Optional :class:`~repro.workloads.ArtifactCache`
+            (or directory spec) serving pre-filtered L2 streams keyed by
+            trace content and L1 geometry; purely operational — results
+            are bit-identical with the cache cold, warm or disabled.
 
     Returns:
         A (result, hierarchy) pair, as from :func:`repro.sim.run_cpu_trace`.
@@ -246,11 +303,26 @@ def run_cpu_trace_fast(
     emit_event(
         "sim.engine", engine="fast", kernel=resolved, path="cpu", scheme=scheme
     )
+
+    stream_cache = stream_key = cached_stream = None
+    if kernel != "loop" and isinstance(trace, Trace):
+        from ..workloads.artifacts import ArtifactCache
+
+        stream_cache = ArtifactCache.resolve(artifact_cache)
+        if stream_cache is not None:
+            stream_key = stream_cache.l1_stream_key(
+                trace.content_hash(), config.hierarchy, seed
+            )
+            cached_stream = stream_cache.load_l1_stream(stream_key)
+
     if kernel == "loop":
         with span(
             "kernel.l1_filter", scheme=scheme, kernel="loop", accesses=len(trace)
         ):
             l2_codes, l2_addresses = _filter_through_l1(hierarchy, trace)
+    elif cached_stream is not None:
+        l2_codes, l2_addresses, l1_state = cached_stream
+        _apply_l1_state(hierarchy, l1_state)
     else:
         from .soa import filter_through_l1_soa
 
@@ -262,11 +334,19 @@ def run_cpu_trace_fast(
             l2_codes, l2_addresses = filter_through_l1_soa(
                 hierarchy, cpu_codes, cpu_addresses
             )
+        if stream_cache is not None:
+            stream_cache.store_l1_stream(
+                stream_key,
+                trace.name,
+                np.asarray(l2_codes, dtype=np.int8),
+                np.asarray(l2_addresses, dtype=np.int64),
+                _export_l1_state(hierarchy),
+            )
 
     l2_count = len(l2_codes)
     with span("kernel.decode", scheme=scheme, path="l2", accesses=l2_count):
-        codes = np.fromiter(l2_codes, dtype=np.int8, count=l2_count)
-        addresses = np.fromiter(l2_addresses, dtype=np.int64, count=l2_count)
+        codes = np.asarray(l2_codes, dtype=np.int8)
+        addresses = np.asarray(l2_addresses, dtype=np.int64)
         batch = l2_cache.cache.mapper.decompose_batch(addresses)
     if kernel == "loop":
         with span("kernel.replay", scheme=scheme, path="cpu", accesses=l2_count):

@@ -1189,19 +1189,36 @@ def replay_l2_soa(
 
 
 class _L1ReplaySoA:
-    """Run-length-aware compact replay of one functional (SRAM) L1 cache.
+    """Two-pass, run-length-aware replay of one functional (SRAM) L1 cache.
 
     Equivalent to the loop kernel's per-record ``_L1Replay`` — same counters,
-    same block fields, same replacement transitions — but consumes whole
-    *runs* of consecutive same-block references in O(1): after the first
-    reference of a run the block is resident, so the tail is all hits and
-    collapses to counter arithmetic plus one (deferred or batched)
-    replacement transition.
+    same block fields, same replacement transitions — but mirrors the L2
+    kernel's pass split:
+
+    * **Pass 1** (:meth:`replay`, sequential) extracts runs of consecutive
+      same-block references vectorised, then walks them with a lean loop
+      that resolves only the genuinely order-dependent work — residency (one
+      shared dict keyed by the packed (tag, set) address), victim choice and
+      eviction bookkeeping — while deferring replacement transitions through
+      the policy's SoA protocol.  A hit run costs one dict probe plus one
+      flat store.
+    * **Pass 2** (:meth:`finalize`, vectorised) reconstructs every counter
+      and per-block field closed-form from the run columns: hit/miss
+      counters are mask sums, per-frame fill counts a ``bincount``, and the
+      final recency tick of each frame the last tick-updating run that
+      touched it.
+
+    Bit-identical to the old per-run loop: pass 1 performs the identical
+    policy calls at the identical points in the stream, and every pass-2
+    quantity is an integer reconstruction of the same arithmetic.
     """
 
     __slots__ = (
         "cache",
         "assoc",
+        "num_sets",
+        "index_bits",
+        "num_frames",
         "policy",
         "pol_globals",
         "pol_access",
@@ -1211,25 +1228,27 @@ class _L1ReplaySoA:
         "ordered_mode",
         "fill_only_mode",
         "tick_base",
-        "states",
         "zeros",
         "tick0",
         "acc",
-        "demand_reads",
-        "demand_writes",
-        "read_hits",
-        "read_misses",
-        "write_hits",
-        "write_misses",
-        "fills",
+        "tags_f",
+        "valid_f",
+        "dirty_f",
+        "pend_f",
+        "rows",
+        "queues",
+        "touched_sets",
         "evictions",
         "dirty_evictions",
-        "data_way_writes",
+        "_runs",
     )
 
     def __init__(self, cache: SetAssociativeCache) -> None:
         self.cache = cache
         self.assoc = cache.associativity
+        self.num_sets = cache.num_sets
+        self.index_bits = self.num_sets.bit_length() - 1
+        self.num_frames = self.num_sets * self.assoc
         self.policy = cache.replacement
         self.pol_globals = self.policy.compact_globals()
         self.pol_access = self.policy.compact_on_access
@@ -1240,212 +1259,67 @@ class _L1ReplaySoA:
         self.ordered_mode = soa_mode == "ordered"
         self.fill_only_mode = soa_mode == "fill-only"
         self.tick_base = self.policy.soa_tick_base() if self.position_mode else 0
-        self.states: dict[int, list] = {}
         # The L1s never record reads on their blocks, so the per-way
         # unchecked-read exposure seen by victim selection is always zero.
         self.zeros = [0] * self.assoc
         self.tick0 = cache._tick  # noqa: SLF001 - engine-internal state sync
         self.acc = 0
-        self.demand_reads = self.demand_writes = 0
-        self.read_hits = self.read_misses = 0
-        self.write_hits = self.write_misses = 0
-        self.fills = self.evictions = self.dirty_evictions = 0
-        self.data_way_writes = 0
+        # Flat frame-indexed state (frame id = set * associativity + way),
+        # filled lazily per touched set, exactly like the L2 kernel.
+        self.tags_f = [0] * self.num_frames
+        self.valid_f = [False] * self.num_frames
+        self.dirty_f = [False] * self.num_frames
+        self.pend_f = [-1] * self.num_frames if self.position_mode else None
+        self.rows: list = [None] * self.num_sets
+        self.queues: list = [None] * self.num_sets if self.ordered_mode else None
+        self.touched_sets: list[int] = []
+        self.evictions = self.dirty_evictions = 0
+        self._runs: tuple | None = None
 
-    def _materialise(self, set_index: int) -> list:
+    def _materialise(self, set_index: int, resident: dict[int, int]) -> None:
         blocks = self.cache.cache_set(set_index).blocks
-        tag_map = {}
+        base = set_index * self.assoc
         for way, block in enumerate(blocks):
+            f = base + way
+            self.tags_f[f] = block.tag
             if block.valid:
-                tag_map[block.tag] = way
-        if self.position_mode:
-            pend: list | None = [-1] * self.assoc
-        elif self.ordered_mode:
-            pend = []
-        else:
-            pend = None
-        state = [
-            [b.tag for b in blocks],
-            [b.valid for b in blocks],
-            [b.dirty for b in blocks],
-            [b.fills for b in blocks],
-            [b.last_access_tick for b in blocks],
-            tag_map,
-            self.policy.export_set_state(set_index),
-            pend,
-        ]
-        self.states[set_index] = state
-        return state
+                self.valid_f[f] = True
+                resident[(block.tag << self.index_bits) | set_index] = f
+            self.dirty_f[f] = block.dirty
+        self.rows[set_index] = self.policy.export_set_state(set_index)
+        if self.ordered_mode:
+            self.queues[set_index] = []
+        self.touched_sets.append(set_index)
 
-    def run(
+    def replay(
         self,
-        set_index: int,
-        tag: int,
-        run_len: int,
-        n_stores: int,
-        last_store_offset: int,
-        first_is_write: bool,
-    ) -> int | None:
-        """Process ``run_len`` consecutive references to one block.
+        sub_positions: np.ndarray,
+        sets: np.ndarray,
+        tags: np.ndarray,
+        stores: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Pass 1: replay the cache's whole substream.
 
-        Returns ``None`` when the first reference hits, ``-1`` on a miss
-        that evicted nothing dirty, else the dirty victim's tag (the run's
-        tail is always hits, so only the first reference can miss).
+        Args:
+            sub_positions: Global trace positions of this cache's records.
+            sets: Per-record set indices.
+            tags: Per-record tags.
+            stores: Per-record store flags.
+
+        Returns:
+            ``(miss_positions, miss_sets, miss_wb_tags)`` — the global
+            position and set of every missing run's first reference, and
+            the evicted dirty victim's tag (-1 when nothing dirty was
+            evicted), in stream order.
         """
-        state = self.states.get(set_index)
-        if state is None:
-            state = self._materialise(set_index)
-        blk_tag, blk_valid, blk_dirty, blk_fills, blk_tick, tag_map, row, pend = state
-        acc = self.acc
-        self.acc = acc + run_len
-        n_loads = run_len - n_stores
-        self.demand_reads += n_loads
-        self.demand_writes += n_stores
-
-        hit_way = tag_map.get(tag)
-        evicted_dirty_tag: int | None = None
-        if hit_way is not None:
-            way = hit_way
-            self.read_hits += n_loads
-            self.write_hits += n_stores
-        else:
-            way = -1
-            if first_is_write:
-                self.write_misses += 1
-                self.write_hits += n_stores - 1
-                self.read_hits += n_loads
-            else:
-                self.read_misses += 1
-                self.read_hits += n_loads - 1
-                self.write_hits += n_stores
-            for candidate in range(self.assoc):
-                if not blk_valid[candidate]:
-                    way = candidate
-                    break
-            evicted_dirty_tag = -1
-            if way < 0:
-                way = self._victim(row, pend)
-                self.evictions += 1
-                if blk_dirty[way]:
-                    self.dirty_evictions += 1
-                    evicted_dirty_tag = blk_tag[way]
-                del tag_map[blk_tag[way]]
-            else:
-                blk_valid[way] = True
-            blk_tag[way] = tag
-            blk_fills[way] += 1
-            blk_tick[way] = self.tick0 + acc + 1
-            tag_map[tag] = way
-            self.fills += 1
-            self.data_way_writes += 1
-            # Write-allocate: an incoming store dirties the fresh line.
-            blk_dirty[way] = first_is_write
-
-        # Tail and store bookkeeping (all tail references hit this way).
-        if n_stores:
-            blk_dirty[way] = True
-            blk_tick[way] = self.tick0 + acc + last_store_offset + 1
-            self.data_way_writes += n_stores - (1 if first_is_write else 0)
-            if hit_way is not None and first_is_write:
-                self.data_way_writes += 1
-
-        # Replacement transitions for the whole run.
-        if self.position_mode:
-            pend[way] = acc + run_len - 1
-        elif self.ordered_mode:
-            if not pend or pend[-1] != way:
-                pend.append(way)
-        elif self.fill_only_mode:
-            if hit_way is None:
-                self.pol_fill(self.pol_globals, row, way)
-        else:
-            if hit_way is None:
-                self.pol_fill(self.pol_globals, row, way)
-                tail = run_len - 1
-            else:
-                self.pol_access(self.pol_globals, row, way)
-                tail = run_len - 1
-            if tail:
-                self.policy.compact_on_access_batch(
-                    self.pol_globals, row, [way] * tail
-                )
-        return evicted_dirty_tag
-
-    def _victim(self, row, pend) -> int:
-        """Ask the policy for a victim over the deferred transition state."""
-        if self.position_mode:
-            return self.policy.soa_victim_positions(
-                self.pol_globals, row, pend, self.tick_base, self.zeros
-            )
-        if self.ordered_mode and pend:
-            self.policy.compact_on_access_batch(self.pol_globals, row, pend)
-            pend.clear()
-        return self.pol_victim(self.pol_globals, row, self.zeros)
-
-    def finalize(self) -> None:
-        """Fold counters and state back into the substrate cache."""
-        policy = self.policy
-        for set_index, state in self.states.items():
-            row = state[6]
-            pend = state[7]
-            if self.position_mode:
-                policy.soa_apply_last_positions(row, pend, self.tick_base)
-            elif self.ordered_mode and pend:
-                policy.compact_on_access_batch(self.pol_globals, row, pend)
-            policy.import_set_state(set_index, row)
-            blocks = self.cache.cache_set(set_index).blocks
-            for way, block in enumerate(blocks):
-                block.tag = state[0][way]
-                block.valid = state[1][way]
-                block.dirty = state[2][way]
-                block.fills = state[3][way]
-                block.last_access_tick = state[4][way]
-        if self.position_mode:
-            policy.soa_commit(self.tick_base, self.acc)
-        stats = self.cache.stats
-        stats.demand_reads += self.demand_reads
-        stats.demand_writes += self.demand_writes
-        stats.read_hits += self.read_hits
-        stats.read_misses += self.read_misses
-        stats.write_hits += self.write_hits
-        stats.write_misses += self.write_misses
-        stats.fills += self.fills
-        stats.evictions += self.evictions
-        stats.dirty_evictions += self.dirty_evictions
-        stats.data_way_writes += self.data_way_writes
-        stats.tag_comparisons += self.acc * self.assoc
-        self.cache._tick = self.tick0 + self.acc  # noqa: SLF001
-
-
-def filter_through_l1_soa(
-    hierarchy: CacheHierarchy, codes: np.ndarray, addresses: np.ndarray
-) -> tuple[list[int], list[int]]:
-    """Run the CPU stream through run-length-encoded L1 models.
-
-    Args:
-        hierarchy: The cache hierarchy whose L1s are replayed (mutated).
-        codes: Per-record CPU kind codes (0 ifetch, 1 load, 2 store).
-        addresses: Per-record addresses.
-
-    Returns:
-        ``(l2_codes, l2_addresses)`` — code 0 demand read, 1 write-back, in
-        the exact order the reference hierarchy would issue them to the L2.
-    """
-    l1i, l1d = hierarchy.l1i, hierarchy.l1d
-    is_ifetch = codes == 0
-    i_batch = l1i.mapper.decompose_batch(addresses[is_ifetch])
-    d_batch = l1d.mapper.decompose_batch(addresses[~is_ifetch])
-    d_config = l1d.config
-    d_offset_bits = d_config.offset_bits
-    d_tag_shift = d_offset_bits + d_config.index_bits
-
-    miss_pos: list[int] = []
-    miss_wb: list[int] = []
-
-    def replay_runs(replay, sub_positions, sets, tags, stores, data_side) -> None:
-        n = len(sub_positions)
+        n = int(len(sub_positions))
+        self.acc = n
+        empty = np.zeros(0, dtype=np.int64)
         if n == 0:
-            return
+            return empty, empty, empty
+
+        # Run extraction: maximal runs of consecutive same-(set, tag)
+        # references collapse to one pass-1 iteration each.
         change = np.empty(n, dtype=bool)
         change[0] = True
         change[1:] = (sets[1:] != sets[:-1]) | (tags[1:] != tags[:-1])
@@ -1455,37 +1329,261 @@ def filter_through_l1_soa(
         last_store = np.maximum.accumulate(
             np.where(stores, np.arange(n, dtype=np.int64), -1)
         )
-        starts_l = run_starts.tolist()
+        run_sets = sets[run_starts]
+        n_stores_r = store_cum[run_ends] - store_cum[run_starts]
+        last_off_r = last_store[run_ends - 1] - run_starts
+        first_store_r = stores[run_starts]
+        keys = (tags[run_starts].astype(np.int64) << self.index_bits) | run_sets
+
+        resident: dict[int, int] = {}
+        for set_index in np.unique(run_sets).tolist():
+            self._materialise(set_index, resident)
+
+        key_list = keys.tolist()
         ends_l = run_ends.tolist()
-        sets_l = sets[run_starts].tolist()
-        tags_l = tags[run_starts].tolist()
-        n_stores_l = (store_cum[run_ends] - store_cum[run_starts]).tolist()
-        last_off_l = (last_store[run_ends - 1] - run_starts).tolist()
-        first_store_l = stores[run_starts].tolist()
-        pos_l = sub_positions.tolist()
-        run = replay.run
-        for r in range(len(starts_l)):
-            start = starts_l[r]
+        nst_l = n_stores_r.tolist()
+        sets_l = run_sets.tolist()
+
+        num_runs = len(key_list)
+        way_l = [0] * num_runs
+        miss_runs: list[int] = []
+        miss_wb: list[int] = []
+
+        assoc = self.assoc
+        index_bits = self.index_bits
+        tags_f = self.tags_f
+        valid_f = self.valid_f
+        dirty_f = self.dirty_f
+        pend_f = self.pend_f
+        rows = self.rows
+        queues = self.queues
+        resident_get = resident.get
+        way_range = range(assoc)
+
+        def handle_miss(r: int, key: int, end: int) -> int:
+            """Shared miss path: victim choice, eviction bookkeeping, fill."""
             set_index = sets_l[r]
-            writeback = run(
-                set_index,
-                tags_l[r],
-                ends_l[r] - start,
-                n_stores_l[r],
-                last_off_l[r],
-                first_store_l[r],
-            )
-            if writeback is not None:
-                # The write-back address is composed with the L1D geometry:
-                # only the data side can evict dirty lines (the instruction
-                # stream never stores), which the assert pins down.
-                assert data_side or writeback < 0, "L1I emitted a write-back"
-                miss_pos.append(pos_l[start])
-                miss_wb.append(
-                    (writeback << d_tag_shift) | (set_index << d_offset_bits)
-                    if writeback >= 0
-                    else -1
+            base = set_index * assoc
+            frame = -1
+            for candidate in way_range:
+                if not valid_f[base + candidate]:
+                    frame = base + candidate
+                    break
+            wb_tag = -1
+            if frame < 0:
+                row = rows[set_index]
+                if self.position_mode:
+                    frame = base + self.policy.soa_victim_positions(
+                        self.pol_globals,
+                        row,
+                        pend_f[base : base + assoc],
+                        self.tick_base,
+                        self.zeros,
+                    )
+                else:
+                    if self.ordered_mode:
+                        queue = queues[set_index]
+                        if queue:
+                            self.policy.compact_on_access_batch(
+                                self.pol_globals, row, queue
+                            )
+                            queue.clear()
+                    frame = base + self.pol_victim(self.pol_globals, row, self.zeros)
+                self.evictions += 1
+                if dirty_f[frame]:
+                    self.dirty_evictions += 1
+                    wb_tag = tags_f[frame]
+                del resident[(tags_f[frame] << index_bits) | set_index]
+            else:
+                valid_f[frame] = True
+            tags_f[frame] = key >> index_bits
+            # Write-allocate: an incoming store dirties the fresh line.
+            dirty_f[frame] = bool(first_store_l[r])
+            resident[key] = frame
+            way_l[r] = frame
+            miss_runs.append(r)
+            miss_wb.append(wb_tag)
+            return frame
+
+        first_store_l = first_store_r.tolist()
+        if self.position_mode:
+            # The common case (LRU-family policy): a hit run is one dict
+            # probe plus one deferred last-touch position store.
+            for r, (key, end, nst) in enumerate(zip(key_list, ends_l, nst_l)):
+                frame = resident_get(key)
+                if frame is None:
+                    frame = handle_miss(r, key, end)
+                else:
+                    way_l[r] = frame
+                pend_f[frame] = end - 1
+                if nst:
+                    dirty_f[frame] = True
+        else:
+            starts_l = run_starts.tolist()
+            for r, (key, end, nst) in enumerate(zip(key_list, ends_l, nst_l)):
+                frame = resident_get(key)
+                hit = frame is not None
+                if not hit:
+                    frame = handle_miss(r, key, end)
+                else:
+                    way_l[r] = frame
+                if nst:
+                    dirty_f[frame] = True
+                set_index = sets_l[r]
+                way = frame - set_index * assoc
+                if self.ordered_mode:
+                    queue = queues[set_index]
+                    if not queue or queue[-1] != way:
+                        queue.append(way)
+                elif self.fill_only_mode:
+                    if not hit:
+                        self.pol_fill(self.pol_globals, rows[set_index], way)
+                else:
+                    row = rows[set_index]
+                    if hit:
+                        self.pol_access(self.pol_globals, row, way)
+                    else:
+                        self.pol_fill(self.pol_globals, row, way)
+                    tail = end - starts_l[r] - 1
+                    if tail:
+                        self.policy.compact_on_access_batch(
+                            self.pol_globals, row, [way] * tail
+                        )
+
+        miss_idx = np.array(miss_runs, dtype=np.int64)
+        self._runs = (
+            np.array(way_l, dtype=np.int64),
+            run_starts,
+            run_ends,
+            n_stores_r,
+            last_off_r,
+            first_store_r,
+            miss_idx,
+        )
+        miss_starts = run_starts[miss_idx]
+        return (
+            sub_positions[miss_starts],
+            run_sets[miss_idx],
+            np.array(miss_wb, dtype=np.int64),
+        )
+
+    def finalize(self) -> None:
+        """Pass 2: vectorised counters/fields, folded back into the cache."""
+        policy = self.policy
+        assoc = self.assoc
+        tick_map: dict[int, int] = {}
+        fills_l: list[int] | None = None
+        stats = self.cache.stats
+
+        if self._runs is not None:
+            (
+                run_frame,
+                run_starts,
+                run_ends,
+                n_stores_r,
+                last_off_r,
+                first_store_r,
+                miss_idx,
+            ) = self._runs
+            num_runs = len(run_frame)
+            miss_mask = np.zeros(num_runs, dtype=bool)
+            miss_mask[miss_idx] = True
+            run_len = run_ends - run_starts
+            n_loads_r = run_len - n_stores_r
+
+            demand_reads = int(n_loads_r.sum())
+            demand_writes = int(n_stores_r.sum())
+            n_miss = int(miss_idx.size)
+            write_misses = int(np.count_nonzero(first_store_r[miss_idx]))
+            read_misses = n_miss - write_misses
+            stats.demand_reads += demand_reads
+            stats.demand_writes += demand_writes
+            stats.read_hits += demand_reads - read_misses
+            stats.read_misses += read_misses
+            stats.write_hits += demand_writes - write_misses
+            stats.write_misses += write_misses
+            stats.fills += n_miss
+            # One data-array write per fill plus one per store, minus the
+            # store folded into a write-allocate fill (same arithmetic as
+            # the loop kernel, summed instead of accumulated).
+            stats.data_way_writes += demand_writes + n_miss - write_misses
+
+            fills_l = np.bincount(
+                run_frame[miss_mask], minlength=self.num_frames
+            ).tolist()
+
+            # Final recency tick per frame: the last run that updated it —
+            # a fill stamps start+1, a store run stamps the last store's
+            # position+1, a store run over a fill overwrites the fill stamp.
+            has_store_r = n_stores_r > 0
+            upd = miss_mask | has_store_r
+            if upd.any():
+                frames_u = run_frame[upd]
+                tick_vals = (
+                    self.tick0
+                    + run_starts[upd]
+                    + np.where(has_store_r[upd], last_off_r[upd] + 1, 1)
                 )
+                rev = frames_u[::-1]
+                uniq_f, first_idx = np.unique(rev, return_index=True)
+                tick_map = dict(
+                    zip(uniq_f.tolist(), tick_vals[::-1][first_idx].tolist())
+                )
+
+        for set_index in self.touched_sets:
+            row = self.rows[set_index]
+            if self.position_mode:
+                base = set_index * assoc
+                policy.soa_apply_last_positions(
+                    row, self.pend_f[base : base + assoc], self.tick_base
+                )
+            elif self.ordered_mode and self.queues[set_index]:
+                policy.compact_on_access_batch(
+                    self.pol_globals, row, self.queues[set_index]
+                )
+            policy.import_set_state(set_index, row)
+            blocks = self.cache.cache_set(set_index).blocks
+            base = set_index * assoc
+            for way, block in enumerate(blocks):
+                f = base + way
+                block.tag = self.tags_f[f]
+                block.valid = self.valid_f[f]
+                block.dirty = self.dirty_f[f]
+                if fills_l is not None:
+                    block.fills += fills_l[f]
+                tick = tick_map.get(f)
+                if tick is not None:
+                    block.last_access_tick = tick
+        if self.position_mode:
+            policy.soa_commit(self.tick_base, self.acc)
+        stats.evictions += self.evictions
+        stats.dirty_evictions += self.dirty_evictions
+        stats.tag_comparisons += self.acc * self.assoc
+        self.cache._tick = self.tick0 + self.acc  # noqa: SLF001
+
+
+def filter_through_l1_soa(
+    hierarchy: CacheHierarchy, codes: np.ndarray, addresses: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Run the CPU stream through run-length-encoded two-pass L1 models.
+
+    Args:
+        hierarchy: The cache hierarchy whose L1s are replayed (mutated).
+        codes: Per-record CPU kind codes (0 ifetch, 1 load, 2 store).
+        addresses: Per-record addresses.
+
+    Returns:
+        ``(l2_codes, l2_addresses)`` arrays — code 0 demand read, 1
+        write-back, in the exact order the reference hierarchy would issue
+        them to the L2.
+    """
+    l1i, l1d = hierarchy.l1i, hierarchy.l1d
+    is_ifetch = codes == 0
+    i_batch = l1i.mapper.decompose_batch(addresses[is_ifetch])
+    d_batch = l1d.mapper.decompose_batch(addresses[~is_ifetch])
+    d_config = l1d.config
+    d_offset_bits = d_config.offset_bits
+    d_tag_shift = d_offset_bits + d_config.index_bits
 
     i_positions = np.flatnonzero(is_ifetch)
     d_positions = np.flatnonzero(~is_ifetch)
@@ -1497,35 +1595,42 @@ def filter_through_l1_soa(
 
     i_replay = _L1ReplaySoA(l1i)
     d_replay = _L1ReplaySoA(l1d)
-    replay_runs(
-        i_replay,
-        i_positions,
-        i_batch.indices,
-        i_batch.tags,
-        np.zeros(i_positions.size, dtype=bool),
-        data_side=False,
+    i_pos, _, i_wb_tag = i_replay.replay(
+        i_positions, i_batch.indices, i_batch.tags, np.zeros(i_positions.size, dtype=bool)
     )
-    replay_runs(
-        d_replay, d_positions, d_batch.indices, d_batch.tags, d_stores, data_side=True
+    d_pos, d_sets, d_wb_tag = d_replay.replay(
+        d_positions, d_batch.indices, d_batch.tags, d_stores
     )
     i_replay.finalize()
     d_replay.finalize()
+    # Only the data side can evict dirty lines (the instruction stream
+    # never stores), which the assert pins down.
+    assert not i_wb_tag.size or int(i_wb_tag.max()) < 0, "L1I emitted a write-back"
 
-    # Merge the two miss streams back into global order (each is ascending).
-    address_list = addresses.tolist()
-    order = np.argsort(np.array(miss_pos, dtype=np.int64), kind="stable")
-    l2_codes: list[int] = []
-    l2_addresses: list[int] = []
-    l2_reads = l2_writebacks = 0
-    for index in order.tolist():
-        l2_reads += 1
-        l2_codes.append(0)
-        l2_addresses.append(address_list[miss_pos[index]])
-        wb = miss_wb[index]
-        if wb >= 0:
-            l2_writebacks += 1
-            l2_codes.append(1)
-            l2_addresses.append(wb)
+    # Compose write-back addresses with the L1D geometry, then merge the
+    # two miss streams back into global order (each is already ascending).
+    d_wb = np.where(
+        d_wb_tag >= 0,
+        (d_wb_tag << d_tag_shift) | (d_sets.astype(np.int64) << d_offset_bits),
+        -1,
+    )
+    miss_pos = np.concatenate((i_pos, d_pos))
+    miss_wb = np.concatenate((np.full(i_pos.size, -1, dtype=np.int64), d_wb))
+    order = np.argsort(miss_pos, kind="stable")
+    pos_o = miss_pos[order]
+    wb_o = miss_wb[order]
+    has_wb = wb_o >= 0
+    l2_reads = int(pos_o.size)
+    l2_writebacks = int(np.count_nonzero(has_wb))
+    # Each miss emits its demand read, immediately followed by its
+    # write-back when one exists: slot = rank + write-backs seen so far.
+    out_idx = np.arange(l2_reads, dtype=np.int64) + (np.cumsum(has_wb) - has_wb)
+    l2_codes = np.zeros(l2_reads + l2_writebacks, dtype=np.int8)
+    l2_addresses = np.empty(l2_reads + l2_writebacks, dtype=np.int64)
+    l2_addresses[out_idx] = addresses[pos_o]
+    wb_slots = out_idx[has_wb] + 1
+    l2_codes[wb_slots] = 1
+    l2_addresses[wb_slots] = wb_o[has_wb]
 
     stats = hierarchy.stats
     stats.instruction_fetches += instruction_fetches
@@ -1602,6 +1707,40 @@ def _record_restores(
     frames_idx = np.flatnonzero(pair_counts > 0)
     counts_nz = pair_counts[frames_idx]
     starts_flat = read_offsets[set_of_frame[frames_idx]] + start_rank[frames_idx]
+    setter_sel = np.flatnonzero(setter)
+    setter_keys = (
+        f_s[setter_sel] * (2 * count + 2) + pos_s[setter_sel] * 2
+        if setter_sel.size
+        else None
+    )
+
+    # Single-value fast path: when every ones count a restore could observe
+    # — a frame's initial value (only reachable before its first setter
+    # event) or any setter event's value — is one and the same, the whole
+    # rewrite stream collapses to a single (probability, total_pairs) run
+    # and none of the per-pair arrays are needed.  This is the common case:
+    # the default data profile installs a constant ones count everywhere.
+    first_pos = read_positions[starts_flat]
+    if setter_keys is not None:
+        query0 = frames_idx * (2 * count + 2) + first_pos * 2
+        found0 = np.searchsorted(setter_keys, query0, side="left") - 1
+        found0_frame = np.where(
+            found0 >= 0, f_s[setter_sel[np.maximum(found0, 0)]], -1
+        )
+        fallback0 = found0_frame != frames_idx
+        candidates = np.concatenate(
+            (init_ones[frames_idx[fallback0]], setter_ones[setter_sel])
+        )
+    else:
+        candidates = init_ones[frames_idx]
+    unique_candidates = np.unique(candidates)
+    if unique_candidates.size == 1:
+        probability = restore_model.block_write_failure_probability(
+            int(unique_candidates[0])
+        )
+        cache.record_restore_runs([probability], [total_pairs])
+        return
+
     excl = np.concatenate(([0], np.cumsum(counts_nz)[:-1]))
     ragged = np.arange(total_pairs, dtype=np.int64) - np.repeat(excl, counts_nz)
     pair_read_idx = np.repeat(starts_flat, counts_nz) + ragged
@@ -1612,9 +1751,7 @@ def _record_restores(
     # Ones value of the frame at the read position: the last setter event
     # strictly before the read (the miss-path fill happens after the
     # restore pass of the same access).
-    setter_sel = np.flatnonzero(setter)
-    if setter_sel.size:
-        setter_keys = f_s[setter_sel] * (2 * count + 2) + pos_s[setter_sel] * 2
+    if setter_keys is not None:
         query = pair_frame * (2 * count + 2) + pair_pos * 2
         found = np.searchsorted(setter_keys, query, side="left") - 1
         found_frame = np.where(found >= 0, f_s[setter_sel[np.maximum(found, 0)]], -1)
@@ -1639,4 +1776,19 @@ def _record_restores(
         ],
         dtype=float,
     )
-    cache.record_restore_array(unique_probs[inverse.reshape(-1)])
+    flat_inverse = inverse.reshape(-1)
+
+    # Run-length encode the ordered stream: consecutive equal probabilities
+    # fold through the bit-identical chunked accumulator, so long stretches
+    # of one data value cost O(runs) instead of O(pairs).  Short mean runs
+    # would make the per-run folding slower than the flat array, so fall
+    # back when the encoding does not compress.
+    change = np.empty(total_pairs, dtype=bool)
+    change[0] = True
+    change[1:] = flat_inverse[1:] != flat_inverse[:-1]
+    run_starts = np.flatnonzero(change)
+    if run_starts.size * 4 <= total_pairs:
+        run_counts = np.diff(np.concatenate((run_starts, [total_pairs])))
+        cache.record_restore_runs(unique_probs[flat_inverse[run_starts]], run_counts)
+    else:
+        cache.record_restore_array(unique_probs[flat_inverse])

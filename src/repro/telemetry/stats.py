@@ -103,6 +103,46 @@ class DistributedStats:
 
 
 @dataclass
+class ArtifactCacheStats:
+    """Rollup of artifact-cache counters (``cache.artifact`` emits)."""
+
+    #: (artifact kind, outcome) -> emit count.
+    counts: dict[tuple[str, str], int] = field(default_factory=dict)
+    #: (artifact kind, outcome) -> summed payload bytes.
+    bytes: dict[tuple[str, str], int] = field(default_factory=dict)
+
+    @property
+    def seen(self) -> bool:
+        return bool(self.counts)
+
+    def _outcome_total(self, outcome: str) -> int:
+        return sum(
+            count for (_, out), count in self.counts.items() if out == outcome
+        )
+
+    @property
+    def hits(self) -> int:
+        return self._outcome_total("hit")
+
+    @property
+    def misses(self) -> int:
+        """Lookups that found nothing (unreadable artifacts count too)."""
+        return self._outcome_total("miss") + self._outcome_total("error")
+
+    @property
+    def hit_ratio(self) -> float:
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    @property
+    def bytes_saved(self) -> int:
+        """Artifact bytes served from the cache instead of being recomputed."""
+        return sum(
+            total for (_, out), total in self.bytes.items() if out == "hit"
+        )
+
+
+@dataclass
 class TelemetryStats:
     """Everything :func:`aggregate_telemetry` extracts from an event stream."""
 
@@ -119,6 +159,7 @@ class TelemetryStats:
     fallbacks: dict[str, int] = field(default_factory=dict)
     campaign: CampaignStats = field(default_factory=CampaignStats)
     distributed: DistributedStats = field(default_factory=DistributedStats)
+    artifact_cache: ArtifactCacheStats = field(default_factory=ArtifactCacheStats)
 
 
 class TelemetryAggregator:
@@ -184,6 +225,16 @@ class TelemetryAggregator:
             distributed.bytes[direction] = distributed.bytes.get(
                 direction, 0
             ) + int(value)
+        elif name == "cache.artifact":
+            artifact = self.stats.artifact_cache
+            key = (
+                str(event.get("artifact", "?")),
+                str(event.get("outcome", "?")),
+            )
+            artifact.counts[key] = artifact.counts.get(key, 0) + 1
+            artifact.bytes[key] = artifact.bytes.get(key, 0) + int(
+                event.get("bytes", 0) or 0
+            )
 
     def _fold_event(self, name: str, event: Mapping[str, Any]) -> None:
         stats = self.stats
@@ -337,10 +388,29 @@ def render_telemetry_stats(stats: TelemetryStats) -> str:
             "distributed health\n" + format_table(["metric", "value"], rows)
         )
 
+    artifact = stats.artifact_cache
+    if artifact.seen:
+        rows = [
+            ["hits", artifact.hits],
+            ["misses", artifact.misses],
+            ["hit ratio", artifact.hit_ratio],
+            ["bytes saved", artifact.bytes_saved],
+        ]
+        for (kind, outcome), count in sorted(artifact.counts.items()):
+            rows.append(
+                [
+                    f"{kind} {outcome}",
+                    f"{count} ({artifact.bytes.get((kind, outcome), 0)} bytes)",
+                ]
+            )
+        sections.append(
+            "artifact cache\n" + format_table(["metric", "value"], rows)
+        )
+
     other_counters = {
         name: (count, total)
         for name, (count, total) in stats.counters.items()
-        if name != "net.frame"
+        if name not in ("net.frame", "cache.artifact")
     }
     if other_counters:
         rows = [

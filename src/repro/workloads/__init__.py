@@ -14,8 +14,11 @@ Public surface:
   :func:`read_trace`, :class:`TraceSource`, :class:`BinaryTraceWriter`,
   :class:`BinaryTraceSource`, :class:`TextTraceSource` — out-of-core trace
   storage, external-format readers and segmented ingestion.
+* :class:`ArtifactCache` (:mod:`repro.workloads.artifacts`) — cross-job
+  amortisation of decoded traces and L1-filtered streams.
 """
 
+from .artifacts import ARTIFACT_CACHE_ENV, ArtifactCache
 from .generator import generate_l2_trace
 from .spec_profiles import (
     FIGURE3_WORKLOADS,
@@ -45,6 +48,8 @@ from .streams import (
 from .trace import AccessKind, Trace, TraceRecord
 
 __all__ = [
+    "ArtifactCache",
+    "ARTIFACT_CACHE_ENV",
     "Trace",
     "TraceRecord",
     "AccessKind",

@@ -18,6 +18,7 @@ shareable without rerunning the generators.
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator
@@ -86,6 +87,7 @@ class Trace:
         self._write_count = sum(1 for r in self.records if r.is_write)
         self._version = 0
         self._decoded: tuple[tuple[int, int], np.ndarray, np.ndarray] | None = None
+        self._content_hash: tuple[tuple[int, int], str] | None = None
 
     def __len__(self) -> int:
         return len(self.records)
@@ -140,6 +142,30 @@ class Trace:
         addresses.setflags(write=False)
         self._decoded = (key, kinds, addresses)
         return kinds, addresses
+
+    def content_hash(self) -> str:
+        """Content identity of the trace: SHA-256 over the decoded columns.
+
+        This is the single trace identity used everywhere content matters —
+        the artifact cache keys (:mod:`repro.workloads.artifacts`) and any
+        campaign-side hashing of trace content — so there is exactly one
+        definition of "the same trace".  The digest spans both the kind and
+        the address columns and is memoised under the same
+        ``(count, mutation version)`` key as :meth:`decoded`, so mutation
+        through :meth:`append`/:meth:`extend` invalidates both together.
+        """
+        count = len(self.records)
+        key = (count, self._version)
+        cached = self._content_hash
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        kinds, addresses = self.decoded()
+        digest = hashlib.sha256()
+        digest.update(kinds.tobytes())
+        digest.update(addresses.tobytes())
+        value = digest.hexdigest()
+        self._content_hash = (key, value)
+        return value
 
     # -- summaries ------------------------------------------------------------
 

@@ -1,0 +1,89 @@
+"""Campaign-level artifact-cache gates: byte-identity and amortisation.
+
+The cache is an operational knob, so the acceptance bar is strict: result
+stores must be byte-for-byte identical with the cache cold, warm, and
+disabled, and the warm run must actually serve artifacts from disk.
+"""
+
+from __future__ import annotations
+
+from campaign_test_utils import fast_settings
+from repro.campaign import CampaignSpec, ResultStore, run_campaign
+from repro.telemetry import MemorySink, telemetry
+
+
+def small_spec(**kwargs):
+    params = dict(
+        name="artifact-cache-test",
+        workloads=("gcc", "mcf"),
+        base_settings=fast_settings(num_accesses=800),
+    )
+    params.update(kwargs)
+    return CampaignSpec(**params)
+
+
+def artifact_outcomes(sink: MemorySink) -> list[tuple[str, str]]:
+    return [
+        (event["artifact"], event["outcome"])
+        for event in sink.events
+        if event.get("name") == "cache.artifact"
+    ]
+
+
+class TestCampaignByteIdentity:
+    def test_store_bytes_identical_cold_warm_disabled(self, tmp_path):
+        """The store is byte-identical whether the cache is off, cold or warm."""
+        cache_dir = tmp_path / "artifacts"
+        stores = {
+            "uncached": ResultStore(tmp_path / "uncached.jsonl"),
+            "cold": ResultStore(tmp_path / "cold.jsonl"),
+            "warm": ResultStore(tmp_path / "warm.jsonl"),
+        }
+        run_campaign(small_spec(), store=stores["uncached"], backend="serial")
+        run_campaign(
+            small_spec(),
+            store=stores["cold"],
+            backend="serial",
+            artifact_cache=cache_dir,
+        )
+        run_campaign(
+            small_spec(),
+            store=stores["warm"],
+            backend="serial",
+            artifact_cache=cache_dir,
+        )
+        blobs = {
+            label: (tmp_path / f"{label}.jsonl").read_bytes() for label in stores
+        }
+        assert blobs["uncached"] == blobs["cold"] == blobs["warm"]
+        # The cold run actually populated the cache on disk.
+        assert any((cache_dir / "traces").iterdir())
+
+    def test_warm_run_serves_hits(self, tmp_path):
+        cache_dir = tmp_path / "artifacts"
+        run_campaign(small_spec(), backend="serial", artifact_cache=cache_dir)
+        sink = MemorySink()
+        with telemetry(sink):
+            run_campaign(small_spec(), backend="serial", artifact_cache=cache_dir)
+        outcomes = artifact_outcomes(sink)
+        assert ("trace", "hit") in outcomes
+        assert ("trace", "miss") not in outcomes
+
+    def test_disabled_spelling_runs_uncached(self, tmp_path):
+        sink = MemorySink()
+        with telemetry(sink):
+            run_campaign(small_spec(), backend="serial", artifact_cache="off")
+        assert artifact_outcomes(sink) == []
+
+    def test_cache_knob_not_in_job_identity(self, tmp_path):
+        jobs = small_spec().jobs()
+        # The payload carries the knob; the job dict (and thus the store
+        # key) does not change with it.
+        from repro.campaign.execution import payload_for
+
+        with_cache = payload_for(jobs[0], artifact_cache=str(tmp_path / "artifacts"))
+        without = payload_for(jobs[0])
+        assert with_cache["artifact_cache"] == str(tmp_path / "artifacts")
+        assert "artifact_cache" not in without
+        assert with_cache["job"] == without["job"]
+        assert jobs[0].key == small_spec().jobs()[0].key

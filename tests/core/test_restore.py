@@ -121,3 +121,65 @@ class TestRecordRestoreBatch:
         cache.record_restore_batch([])
         assert cache.restore_count == 0
         assert cache.restore_expected_failures == 0.0
+
+
+class TestRecordRestoreRuns:
+    """Run-length-encoded restore recording must match the expanded array."""
+
+    def make_cache(self):
+        return build_protected_cache(
+            ProtectionScheme.RESTORE,
+            small_l2(),
+            p_cell=1e-8,
+            data_profile=DataValueProfile.constant(100),
+        )
+
+    def test_matches_record_restore_array_over_repeat(self):
+        import numpy as np
+
+        probabilities = np.array([1e-9, 3e-9, 1e-9, 7e-10])
+        counts = np.array([5, 1, 12, 3], dtype=np.int64)
+        by_runs = self.make_cache()
+        by_array = self.make_cache()
+        by_runs.record_restore_runs(probabilities, counts)
+        by_array.record_restore_array(np.repeat(probabilities, counts))
+        assert by_runs.restore_count == by_array.restore_count == int(counts.sum())
+        # Bit-identical, not approximately equal: the chunked sequential sum
+        # must reproduce the identical left-to-right additions.
+        assert by_runs.restore_expected_failures == by_array.restore_expected_failures
+
+    def test_chunk_boundaries_do_not_change_the_sum(self):
+        import numpy as np
+
+        probabilities = np.array([2e-9, 5e-9])
+        counts = np.array([10, 7], dtype=np.int64)
+        reference = self.make_cache()
+        reference.record_restore_runs(probabilities, counts)
+        for chunk in (1, 3, 10, 16, 17, 1 << 16):
+            cache = self.make_cache()
+            cache.record_restore_runs(probabilities, counts, _chunk=chunk)
+            assert cache.restore_count == reference.restore_count
+            assert (
+                cache.restore_expected_failures
+                == reference.restore_expected_failures
+            )
+
+    def test_zero_and_negative_counts_are_skipped(self):
+        import numpy as np
+
+        cache = self.make_cache()
+        cache.record_restore_runs(
+            np.array([1e-9, 2e-9, 3e-9]), np.array([0, 4, -2], dtype=np.int64)
+        )
+        assert cache.restore_count == 4
+        expected = self.make_cache()
+        expected.record_restore_array(np.full(4, 2e-9))
+        assert cache.restore_expected_failures == expected.restore_expected_failures
+
+    def test_empty_runs_are_a_no_op(self):
+        import numpy as np
+
+        cache = self.make_cache()
+        cache.record_restore_runs(np.zeros(0), np.zeros(0, dtype=np.int64))
+        assert cache.restore_count == 0
+        assert cache.restore_expected_failures == 0.0

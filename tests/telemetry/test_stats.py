@@ -252,3 +252,45 @@ class TestRendering:
             emit_event("sim.engine", engine="fast", kernel="loop")
         stats = aggregate_telemetry(sink.events)
         assert stats.engine_selections == {"fast/loop": 1}
+
+
+class TestArtifactCacheAggregation:
+    def events(self):
+        return [
+            counter("cache.artifact", 1, artifact="trace", outcome="miss", bytes=0),
+            counter("cache.artifact", 1, artifact="trace", outcome="store", bytes=900),
+            counter("cache.artifact", 1, artifact="trace", outcome="hit", bytes=900),
+            counter("cache.artifact", 1, artifact="trace", outcome="hit", bytes=900),
+            counter("cache.artifact", 1, artifact="l1-stream", outcome="error", bytes=0),
+            counter("cache.artifact", 1, artifact="l1-stream", outcome="hit", bytes=300),
+        ]
+
+    def test_hit_ratio_and_bytes_saved(self):
+        artifact = aggregate_telemetry(self.events()).artifact_cache
+        assert artifact.seen
+        assert artifact.hits == 3
+        # Unreadable artifacts are recomputed, so errors count as misses.
+        assert artifact.misses == 2
+        assert artifact.hit_ratio == 3 / 5
+        assert artifact.bytes_saved == 2100
+        assert artifact.counts[("trace", "hit")] == 2
+        assert artifact.bytes[("trace", "store")] == 900
+
+    def test_empty_stream_reports_not_seen(self):
+        artifact = aggregate_telemetry([]).artifact_cache
+        assert not artifact.seen
+        assert artifact.hit_ratio == 0.0 and artifact.bytes_saved == 0
+
+    def test_rendered_section(self):
+        report = render_telemetry_stats(aggregate_telemetry(self.events()))
+        assert "artifact cache" in report
+        assert "hit ratio" in report
+        assert "bytes saved" in report
+        assert "l1-stream hit" in report
+
+    def test_excluded_from_generic_counter_section(self):
+        report = render_telemetry_stats(
+            aggregate_telemetry([*self.events(), counter("retries", 1)])
+        )
+        counter_section = report.split("counters\n")[1]
+        assert "cache.artifact" not in counter_section

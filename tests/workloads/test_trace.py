@@ -226,3 +226,60 @@ class TestTraceIO:
         path = tmp_path / "results" / "traces" / "deep.txt"
         trace.save(path)
         assert Trace.load(path).records == trace.records
+
+
+class TestContentHash:
+    def records(self):
+        return [
+            TraceRecord(AccessKind.LOAD, 0x0),
+            TraceRecord(AccessKind.STORE, 0x40),
+            TraceRecord(AccessKind.LOAD, 0x80),
+        ]
+
+    def test_equal_content_equal_hash(self):
+        a = Trace(name="a", records=self.records())
+        b = Trace(name="completely-different-name")
+        b.extend(self.records())
+        # Identity is the content (kinds + addresses), not the name or the
+        # construction path.
+        assert a.content_hash() == b.content_hash()
+
+    def test_hash_spans_kinds_and_addresses(self):
+        base = Trace(name="t", records=self.records())
+        kind_flip = Trace(
+            name="t",
+            records=[
+                TraceRecord(AccessKind.STORE, 0x0),
+                TraceRecord(AccessKind.STORE, 0x40),
+                TraceRecord(AccessKind.LOAD, 0x80),
+            ],
+        )
+        address_flip = Trace(
+            name="t",
+            records=[
+                TraceRecord(AccessKind.LOAD, 0x40),
+                TraceRecord(AccessKind.STORE, 0x40),
+                TraceRecord(AccessKind.LOAD, 0x80),
+            ],
+        )
+        assert base.content_hash() != kind_flip.content_hash()
+        assert base.content_hash() != address_flip.content_hash()
+
+    def test_append_invalidates_memo(self):
+        trace = Trace(name="t", records=self.records())
+        before = trace.content_hash()
+        trace.append(TraceRecord(AccessKind.L2_WRITE, 0xC0))
+        after = trace.content_hash()
+        assert before != after
+        fresh = Trace(name="t", records=list(trace.records))
+        assert after == fresh.content_hash()
+
+    def test_agrees_with_decoded_memo_key(self):
+        """content_hash and decoded() share one identity (mutation version)."""
+        trace = Trace(name="t", records=self.records())
+        kinds_before, _ = trace.decoded()
+        hash_before = trace.content_hash()
+        trace.extend(self.records())
+        kinds_after, _ = trace.decoded()
+        assert len(kinds_after) == 2 * len(kinds_before)
+        assert trace.content_hash() != hash_before
