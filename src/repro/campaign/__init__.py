@@ -13,8 +13,13 @@ this package turns those one-off runs into managed *campaigns*:
   local ``multiprocessing`` pool, or a TCP coordinator feeding remote
   workers.  Backends never affect job identity or store bytes.
 * :mod:`~repro.campaign.distributed` — the coordinator/worker protocol:
-  length-prefixed JSON frames, work-stealing pulls, heartbeat leases with
-  requeue on worker death.
+  length-prefixed JSON frames (optionally HMAC-signed, ``REPRO_AUTH_KEY``),
+  work-stealing pulls, heartbeat leases with requeue on worker death,
+  worker reconnect backoff, poison-job quarantine, and coordinator
+  checkpoint/resume for crash recovery.
+* :mod:`~repro.campaign.faults` — deterministic, seeded fault injection
+  (dropped/corrupted frames, heartbeat stalls, worker kills, torn store
+  writes) scoped like telemetry; drives the chaos suite.
 * :mod:`~repro.campaign.store` / :mod:`~repro.campaign.shards` —
   :class:`ResultStore` (one JSONL file) and :class:`ShardedResultStore`
   (one JSONL shard per key prefix, concurrent-writer safe), both keyed by
@@ -59,8 +64,23 @@ from .backend import (
     TCPBackend,
     resolve_backend,
 )
-from .distributed import Coordinator, run_worker, run_worker_pool
+from .distributed import (
+    Coordinator,
+    FrameAuth,
+    load_checkpoint,
+    recover_pending_payloads,
+    run_worker,
+    run_worker_pool,
+)
 from .execution import execute_payload, payload_for
+from .faults import (
+    FaultInjected,
+    FaultInjector,
+    FaultPlan,
+    enable_faults_for_process,
+    fault_point,
+    inject_faults,
+)
 from .hashing import canonical_json, content_hash
 from .provenance import ProvenanceWarning, provenance_dict
 from .report import (
@@ -114,8 +134,17 @@ __all__ = [
     "TCPBackend",
     "resolve_backend",
     "Coordinator",
+    "FrameAuth",
+    "load_checkpoint",
+    "recover_pending_payloads",
     "run_worker",
     "run_worker_pool",
+    "FaultPlan",
+    "FaultInjector",
+    "FaultInjected",
+    "inject_faults",
+    "enable_faults_for_process",
+    "fault_point",
     "payload_for",
     "execute_payload",
     "BaseResultStore",

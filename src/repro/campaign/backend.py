@@ -151,6 +151,14 @@ class TCPBackend(ExecutionBackend):
         max_attempts: Hand-outs per job before the campaign fails.
         idle_timeout_s: Fail the run when no job completes for this long
             (``None`` = wait forever for workers).
+        auth_key: Shared HMAC frame key (default: the ``REPRO_AUTH_KEY``
+            environment variable; auth off when neither is set).  Purely
+            operational — never part of job identity or store bytes.
+        quarantine: Park jobs that exhaust ``max_attempts`` on a poison
+            list instead of failing the whole campaign.
+        checkpoint: Path the coordinator checkpoints its queue/lease state
+            to (see :meth:`resume_from_checkpoint`); ``None`` disables.
+        frame_timeout_s: Per-connection send/recv timeout.
 
     The coordinator binds at construction so its address can be given to
     workers before :meth:`execute` starts serving jobs.
@@ -164,13 +172,32 @@ class TCPBackend(ExecutionBackend):
         lease_timeout_s: float = 30.0,
         max_attempts: int = 3,
         idle_timeout_s: float | None = None,
+        auth_key: Any = None,
+        quarantine: bool = False,
+        checkpoint: Any = None,
+        frame_timeout_s: float = 10.0,
     ) -> None:
         from .distributed import Coordinator
 
         self._coordinator = Coordinator(
-            address, lease_timeout_s=lease_timeout_s, max_attempts=max_attempts
+            address,
+            lease_timeout_s=lease_timeout_s,
+            max_attempts=max_attempts,
+            auth_key=auth_key,
+            quarantine=quarantine,
+            checkpoint=checkpoint,
+            frame_timeout_s=frame_timeout_s,
         )
         self._idle_timeout = idle_timeout_s
+
+    def resume_from_checkpoint(self, store: Any | None = None) -> int:
+        """Resubmit unfinished work from the coordinator's checkpoint file.
+
+        Diffs the checkpoint against ``store`` (refreshed first when it
+        supports ``refresh()``) so only jobs without a durable store entry
+        are requeued; returns how many were resubmitted.
+        """
+        return self._coordinator.resume_from_checkpoint(store)
 
     @property
     def address(self) -> str:
@@ -196,7 +223,14 @@ class TCPBackend(ExecutionBackend):
         }
         self._coordinator.submit(keyed)
         try:
-            yield from self._coordinator.results(timeout_s=self._idle_timeout)
+            for key, result, elapsed in self._coordinator.results(
+                timeout_s=self._idle_timeout
+            ):
+                # A resumed checkpoint may carry jobs outside this run's
+                # payload set; let workers finish them, but only stream
+                # what this run asked for back to its runner.
+                if key in keyed:
+                    yield key, result, elapsed
         finally:
             self._coordinator.close()
 

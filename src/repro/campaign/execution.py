@@ -66,8 +66,10 @@ def execute_payload(payload: dict[str, Any]) -> tuple[str, dict[str, Any], float
     engine/kernel request), so there is exactly one clock per job.
     """
     from ..sim.experiment import compare_schemes
+    from .faults import fault_point
     from .store import comparison_to_dict
 
+    fault_point("worker.execute")
     job = JobSpec.from_dict(payload["job"])
     execute_span = span(
         "job.execute",

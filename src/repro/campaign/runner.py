@@ -210,6 +210,20 @@ class CampaignRunner:
             # its port is freed.
             self._backend.close()
 
+        missing = [job for job in self._jobs_list if job.key not in by_key]
+        if missing:
+            # A backend that under-delivers (quarantined jobs, a resumed
+            # coordinator serving a different job set) must fail with the
+            # campaign's vocabulary, not a KeyError.
+            labels = ", ".join(
+                f"{job.workload}@{job.point_label}" for job in missing[:5]
+            )
+            raise CampaignError(
+                f"backend {self._backend.describe()} completed without "
+                f"delivering {len(missing)} of {len(self._jobs_list)} jobs "
+                f"({labels}{', ...' if len(missing) > 5 else ''}); "
+                "check quarantine reports and re-run to retry"
+            )
         outcomes = tuple(by_key[job.key] for job in self._jobs_list)
         executed = sum(1 for o in by_key.values() if not o.cached)
         cached_count = len(by_key) - executed

@@ -38,6 +38,10 @@ from .store import BaseResultStore, load_jsonl_records
 #: Manifest file marking a directory as a sharded store.
 MANIFEST_NAME = "store.json"
 
+#: Coordinator checkpoint file kept beside the shards (not a shard itself:
+#: the shard glob only matches ``shard-*.jsonl``).
+CHECKPOINT_NAME = "coordinator-checkpoint.json"
+
 #: Default number of leading key hex digits used as the shard name.
 DEFAULT_SHARD_WIDTH = 2
 
@@ -131,6 +135,11 @@ class ShardedResultStore(BaseResultStore):
     def path(self) -> Path:
         """Store directory."""
         return self._path
+
+    @property
+    def checkpoint_path(self) -> Path:
+        """Where a coordinator serving this store checkpoints its queue."""
+        return self._path / CHECKPOINT_NAME
 
     @property
     def shard_width(self) -> int:

@@ -47,6 +47,7 @@ except ImportError:  # pragma: no cover - non-POSIX platforms
 
 from ..errors import CampaignError
 from ..sim.results import SchemeRunResult, WorkloadComparison
+from .faults import FaultInjected, _maybe_torn_length
 from .hashing import canonical_json
 from .provenance import provenance_dict, warn_on_mixed_provenance
 from .spec import SCHEMA_VERSION, JobSpec
@@ -133,6 +134,17 @@ def _append_line(path: Path, line: str) -> None:
     fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
     try:
         with _file_lock(fd):
+            torn = _maybe_torn_length(len(data))
+            if torn is not None:
+                # Injected torn write: persist a prefix of the record and
+                # crash out of the append, exactly the disk state a writer
+                # killed mid-write(2) leaves behind.  The loader's tail
+                # repair must recover it.
+                os.write(fd, data[:torn])
+                os.fsync(fd)
+                raise FaultInjected(
+                    f"injected torn append to {path} ({torn}/{len(data)} bytes)"
+                )
             os.write(fd, data)
             os.fsync(fd)
     finally:
@@ -391,6 +403,11 @@ class ResultStore(BaseResultStore):
     def path(self) -> Path:
         """Location of the backing JSONL file."""
         return self._path
+
+    @property
+    def checkpoint_path(self) -> Path:
+        """Where a coordinator serving this store checkpoints its queue."""
+        return self._path.with_name(self._path.name + ".checkpoint.json")
 
     def _shard_path(self, key: str) -> Path:
         return self._path

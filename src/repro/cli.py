@@ -253,14 +253,33 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     with _campaign_telemetry_scope(args, spec.num_jobs, spec.name):
         backend = args.backend
         if isinstance(backend, str) and backend.startswith("tcp://"):
+            checkpoint = args.checkpoint
+            if checkpoint is None:
+                # Default: checkpoint beside the store, so --resume can
+                # find it without extra flags.
+                checkpoint = getattr(store, "checkpoint_path", None)
+            elif checkpoint.lower() in ("off", "none"):
+                checkpoint = None
             backend = TCPBackend(
                 backend,
                 lease_timeout_s=args.lease_timeout,
+                max_attempts=args.max_attempts,
                 idle_timeout_s=args.idle_timeout,
+                auth_key=args.auth_key,
+                quarantine=args.quarantine,
+                checkpoint=checkpoint,
             )
+            if args.resume:
+                resumed = backend.resume_from_checkpoint(store)
+                print(f"resumed {resumed} unfinished job(s) from {checkpoint}")
             print(
                 f"coordinator listening on {backend.address}; start workers with:\n"
                 f"  repro-reap worker {backend.address}"
+            )
+        elif args.resume:
+            raise CampaignError(
+                "--resume requires a tcp:// backend (checkpoints are a "
+                "coordinator feature)"
             )
 
         result = run_campaign(
@@ -305,6 +324,8 @@ def _cmd_worker(args: argparse.Namespace) -> int:
                 args.jobs,
                 max_jobs=args.max_jobs,
                 connect_retry_s=args.connect_retry,
+                reconnect_timeout_s=args.reconnect_timeout,
+                auth_key=args.auth_key,
             )
         print(f"workers executed {sum(executed)} jobs ({executed})")
     else:
@@ -322,6 +343,8 @@ def _cmd_worker(args: argparse.Namespace) -> int:
                 worker_id=worker_id,
                 max_jobs=args.max_jobs,
                 connect_retry_s=args.connect_retry,
+                reconnect_timeout_s=args.reconnect_timeout,
+                auth_key=args.auth_key,
             )
         print(f"worker executed {executed} jobs")
     return 0
@@ -470,6 +493,45 @@ def build_parser() -> argparse.ArgumentParser:
         "seconds (default: wait for workers forever)",
     )
     campaign.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="tcp backend: hand-outs per job before it is declared failed "
+        "(default: 3)",
+    )
+    campaign.add_argument(
+        "--quarantine",
+        action="store_true",
+        help="tcp backend: park jobs that exhaust --max-attempts on a "
+        "poison list (reported at the end and via 'repro-reap stats') "
+        "instead of failing the whole campaign",
+    )
+    campaign.add_argument(
+        "--auth-key",
+        type=str,
+        default=None,
+        metavar="KEY",
+        help="tcp backend: shared secret HMAC-signing every protocol frame "
+        "(also settable via REPRO_AUTH_KEY); unsigned or forged frames are "
+        "rejected, so the coordinator may listen on shared networks",
+    )
+    campaign.add_argument(
+        "--checkpoint",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="tcp backend: periodically snapshot the coordinator's job "
+        "queue and lease table to this file (default: beside the store; "
+        "'off' disables); --resume restarts a killed campaign from it",
+    )
+    campaign.add_argument(
+        "--resume",
+        action="store_true",
+        help="tcp backend: before serving, resubmit the checkpointed jobs "
+        "that have no entry in the result store (crash recovery for a "
+        "killed coordinator)",
+    )
+    campaign.add_argument(
         "--baseline",
         type=str,
         default="conventional",
@@ -575,6 +637,23 @@ def build_parser() -> argparse.ArgumentParser:
         default=30.0,
         help="seconds to keep retrying the first coordinator contact "
         "(default: 30; lets workers start before the coordinator)",
+    )
+    worker.add_argument(
+        "--reconnect-timeout",
+        type=float,
+        default=5.0,
+        help="seconds one continuous coordinator outage may last (after "
+        "first contact) before this worker gives up; outages inside the "
+        "budget are ridden out with exponential backoff (default: 5; "
+        "raise it to survive coordinator restarts)",
+    )
+    worker.add_argument(
+        "--auth-key",
+        type=str,
+        default=None,
+        metavar="KEY",
+        help="shared secret HMAC-signing every protocol frame; must match "
+        "the coordinator's --auth-key (also settable via REPRO_AUTH_KEY)",
     )
     worker.add_argument(
         "--telemetry",

@@ -79,3 +79,14 @@ class CampaignError(ReproError):
     files that fail to parse, and conflicting store entries (two different
     results recorded under the same content key).
     """
+
+
+class FrameAuthError(CampaignError):
+    """A protocol frame failed HMAC verification.
+
+    Raised by :func:`repro.campaign.distributed.recv_frame` when frame
+    authentication is enabled and a frame arrives unsigned, truncated below
+    the MAC length, or signed with a different key.  The coordinator treats
+    it as a hostile/misconfigured peer: the connection is dropped without a
+    reply and the campaign continues undisturbed.
+    """

@@ -80,6 +80,11 @@ class DistributedStats:
     requeues: int = 0
     results: int = 0
     errors: int = 0
+    checkpoints: int = 0
+    reconnects: int = 0
+    poisoned: int = 0
+    auth_rejects: int = 0
+    frame_rejects: int = 0
     workers: set[str] = field(default_factory=set)
     lost_workers: set[str] = field(default_factory=set)
     frames: dict[str, int] = field(default_factory=dict)
@@ -252,6 +257,13 @@ class TelemetryAggregator:
                 stats.campaign.cached += 1
             else:
                 stats.campaign.executed += 1
+        elif name == "worker.reconnect":
+            stats.distributed.reconnects += 1
+            worker = event.get("worker")
+            if worker:
+                stats.distributed.workers.add(str(worker))
+        elif name == "job.poisoned":
+            stats.distributed.poisoned += 1
         elif name.startswith("coordinator."):
             self._fold_coordinator(name, event)
 
@@ -279,6 +291,12 @@ class TelemetryAggregator:
             )
         elif name == "coordinator.error":
             distributed.errors += 1
+        elif name == "coordinator.checkpoint":
+            distributed.checkpoints += 1
+        elif name == "coordinator.auth_reject":
+            distributed.auth_rejects += 1
+        elif name == "coordinator.frame_reject":
+            distributed.frame_rejects += 1
 
 
 def aggregate_telemetry(events: Iterable[Mapping[str, Any]]) -> TelemetryStats:
@@ -376,6 +394,18 @@ def render_telemetry_stats(stats: TelemetryStats) -> str:
             ["coordinator-observed s", distributed.observed_elapsed_s],
             ["dispatch overhead s", distributed.dispatch_overhead_s],
         ]
+        # Robustness counters only appear when the feature fired, so a
+        # healthy trusted-network run renders exactly as before.
+        if distributed.checkpoints:
+            rows.append(["checkpoints written", distributed.checkpoints])
+        if distributed.reconnects:
+            rows.append(["worker reconnect attempts", distributed.reconnects])
+        if distributed.poisoned:
+            rows.append(["jobs quarantined (poisoned)", distributed.poisoned])
+        if distributed.auth_rejects:
+            rows.append(["frames rejected (auth)", distributed.auth_rejects])
+        if distributed.frame_rejects:
+            rows.append(["frames rejected (malformed)", distributed.frame_rejects])
         for direction in sorted(distributed.frames):
             rows.append(
                 [

@@ -1,0 +1,233 @@
+"""Chaos acceptance: a faulted distributed campaign converges to the exact
+bytes of an unfaulted serial run.
+
+The scenario stacks every robustness mechanism at once:
+
+* the coordinator process is killed mid-campaign by a torn shard write
+  (its checkpoint survives — and lies, claiming the torn job completed);
+* two workers are killed by ``fault_point`` right after taking a lease;
+* the surviving workers run under a fault plan dropping/corrupting/
+  duplicating/delaying >=5% of their frames and stalling heartbeats;
+* every frame is HMAC-signed, so injected corruption is rejected at the
+  coordinator instead of reaching the JSON decoder.
+
+A fresh coordinator on the same port then resumes from the checkpoint,
+diffs it against the (repaired) store, re-runs what is genuinely missing,
+and the compacted store must be byte-identical to the serial reference.
+"""
+
+import multiprocessing
+import os
+import socket
+import warnings
+
+import pytest
+
+from campaign_test_utils import fast_settings
+from repro.campaign import (
+    CampaignSpec,
+    FaultPlan,
+    ShardedResultStore,
+    TCPBackend,
+    run_campaign,
+    run_worker,
+)
+from repro.campaign.faults import FAULT_PLAN_ENV, KILL_EXIT_CODE, inject_faults
+from repro.errors import CampaignError
+
+AUTH_KEY = "chaos-suite-secret"
+
+#: >=5% of frames dropped or corrupted, plus duplication, delay and
+#: heartbeat stalls — the acceptance bar from the issue.
+CHAOS_PLAN = FaultPlan(
+    seed=1234,
+    drop_request_p=0.03,
+    drop_reply_p=0.03,
+    corrupt_p=0.04,
+    duplicate_p=0.05,
+    delay_p=0.05,
+    delay_s=0.01,
+    heartbeat_stall_p=0.2,
+)
+
+#: Die at the first job pull — the most dangerous moment to lose a worker.
+KILLER_PLAN = FaultPlan(kill_at={"worker.after_pull": (1,)})
+
+
+def chaos_spec():
+    return CampaignSpec(
+        name="chaos-test",
+        workloads=("gcc", "mcf", "namd", "xalancbmk"),
+        base_settings=fast_settings(num_accesses=800),
+    )
+
+
+def reserve_port() -> int:
+    """A port the coordinator can bind now and again after its 'crash'."""
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _worker_under_plan(address: str, plan_json: str, worker_id: str) -> None:
+    """Forked worker process: arm its fault plan through the environment
+    (the production hop chaos deployments use), then run the normal loop."""
+    os.environ[FAULT_PLAN_ENV] = plan_json
+    try:
+        run_worker(
+            address,
+            worker_id=worker_id,
+            connect_retry_s=60.0,
+            reconnect_timeout_s=15.0,
+            backoff_base_s=0.05,
+            backoff_max_s=0.5,
+            frame_timeout_s=5.0,
+            auth_key=AUTH_KEY,
+        )
+    except CampaignError:
+        os._exit(9)  # could not (re)connect at all: test setup problem
+    os._exit(0)
+
+
+def _doomed_coordinator(port: int, store_path: str, checkpoint: str) -> None:
+    """Forked phase-1 driver: runs the campaign until an injected torn
+    shard append kills it.  Its checkpoint survives the 'crash' — and
+    wrongly lists the torn job as completed, which the resume must catch
+    by trusting the store instead."""
+    store = ShardedResultStore(store_path, shard_width=1)
+    backend = TCPBackend(
+        f"tcp://127.0.0.1:{port}",
+        lease_timeout_s=1.0,
+        max_attempts=20,
+        idle_timeout_s=120.0,
+        auth_key=AUTH_KEY,
+        checkpoint=checkpoint,
+    )
+    try:
+        with inject_faults(FaultPlan(torn_write_at=(2,))):
+            run_campaign(chaos_spec(), store=store, backend=backend)
+    except CampaignError:
+        os._exit(7)  # the torn write surfaced: "crash" on schedule
+    os._exit(8)  # campaign finished without crashing: fault never fired
+
+
+class TestChaosConvergence:
+    def test_faulted_campaign_converges_to_serial_bytes(self, tmp_path):
+        spec = chaos_spec()
+        serial_store = ShardedResultStore(tmp_path / "serial", shard_width=1)
+        run_campaign(spec, store=serial_store, backend="serial")
+
+        port = reserve_port()
+        address = f"tcp://127.0.0.1:{port}"
+        store_path = tmp_path / "chaos"
+        checkpoint = str(store_path / "coordinator-checkpoint.json")
+        context = multiprocessing.get_context("fork")
+
+        # Phase 1: coordinator that will die on its second store append.
+        driver = context.Process(
+            target=_doomed_coordinator, args=(port, str(store_path), checkpoint)
+        )
+        driver.start()
+
+        # Two workers are killed by fault_point at their first job pull.
+        killers = [
+            context.Process(
+                target=_worker_under_plan,
+                args=(address, KILLER_PLAN.to_json(), f"killer-{i}"),
+            )
+            for i in range(2)
+        ]
+        for killer in killers:
+            killer.start()
+        for killer in killers:
+            killer.join(timeout=120)
+            assert killer.exitcode == KILL_EXIT_CODE  # died holding a lease
+
+        # Two survivors with lossy frames carry the campaign from here on.
+        survivors = [
+            context.Process(
+                target=_worker_under_plan,
+                args=(address, CHAOS_PLAN.to_json(), f"survivor-{i}"),
+            )
+            for i in range(2)
+        ]
+        for survivor in survivors:
+            survivor.start()
+
+        driver.join(timeout=300)
+        assert driver.exitcode == 7  # torn write killed the coordinator
+        assert os.path.exists(checkpoint)
+
+        # Phase 2 (in this process): reopen the store — repairing the torn
+        # shard tail — and resume from the checkpoint on the same port.
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)  # torn-tail repair
+            chaos_store = ShardedResultStore(store_path, shard_width=1)
+            durable = set(chaos_store.keys())
+        # The torn append lost its entry: fewer durable results than serial.
+        assert len(durable) < len(set(serial_store.keys()))
+        backend = TCPBackend(
+            address,
+            lease_timeout_s=1.0,
+            max_attempts=20,
+            idle_timeout_s=120.0,
+            auth_key=AUTH_KEY,
+            checkpoint=checkpoint,
+        )
+        resumed = backend.resume_from_checkpoint(chaos_store)
+        assert resumed >= 1  # the torn job (at least) was genuinely missing
+        result = run_campaign(spec, store=chaos_store, backend=backend)
+        assert result.executed + result.cached == len(spec.workloads)
+        assert result.executed >= 1
+
+        for survivor in survivors:
+            survivor.join(timeout=120)
+            assert survivor.exitcode == 0
+
+        # Convergence: per-entry and whole-file byte identity after
+        # compaction, despite kills, drops, corruption and the torn write.
+        assert sorted(serial_store.keys()) == sorted(chaos_store.keys())
+        for key in serial_store.keys():
+            assert serial_store.entry_line(key) == chaos_store.entry_line(key)
+        serial_store.compact()
+        chaos_store.compact()
+        serial_files = {p.name: p.read_bytes() for p in serial_store.shard_paths()}
+        chaos_files = {p.name: p.read_bytes() for p in chaos_store.shard_paths()}
+        assert serial_files == chaos_files
+
+    def test_unauthenticated_worker_cannot_join_authed_campaign(self, tmp_path):
+        """An unsigned worker is rejected without crashing the coordinator,
+        and the campaign still completes via an authed worker."""
+        spec = chaos_spec()
+        backend = TCPBackend(
+            lease_timeout_s=5.0,
+            idle_timeout_s=120.0,
+            auth_key=AUTH_KEY,
+        )
+        context = multiprocessing.get_context("fork")
+
+        def naive_worker(address: str) -> None:
+            # No auth key: every pull sees the connection dropped.
+            try:
+                run_worker(address, worker_id="naive", connect_retry_s=3.0)
+            except CampaignError:
+                os._exit(5)  # gave up: never authenticated
+            os._exit(6)
+
+        def authed_worker(address: str) -> None:
+            run_worker(address, worker_id="authed", auth_key=AUTH_KEY)
+            os._exit(0)
+
+        naive = context.Process(target=naive_worker, args=(backend.address,))
+        naive.start()
+        naive.join(timeout=60)
+        assert naive.exitcode == 5
+
+        authed = context.Process(target=authed_worker, args=(backend.address,))
+        authed.start()
+        store = ShardedResultStore(tmp_path / "store", shard_width=1)
+        result = run_campaign(spec, store=store, backend=backend)
+        authed.join(timeout=60)
+        assert result.executed == len(spec.workloads)
+        assert authed.exitcode == 0

@@ -201,6 +201,58 @@ class TestCoordinator:
             with pytest.raises(CampaignError, match="failed on every attempt"):
                 list(coordinator.results(timeout_s=10))
 
+    def test_late_result_from_slow_worker_rejected_exactly_once(self):
+        """Lease expiry vs a slow-but-alive worker: its late result arrives
+        while the requeued lease is live and must be rejected (exactly
+        once), the requeued attempt's result kept, and exactly one
+        completion delivered — so the store is written once."""
+        with Coordinator(lease_timeout_s=0.2) as coordinator:
+            coordinator.submit(tiny_payloads(1))
+            slow = request(coordinator.address, {"type": "pull", "worker": "slow"})
+            time.sleep(0.3)  # slow worker exceeds its lease but stays alive
+            healthy = request(coordinator.address, {"type": "pull", "worker": "fast"})
+            assert healthy["type"] == "job" and healthy["key"] == slow["key"]
+            # The slow worker finishes anyway and reports with its expired
+            # lease while the healthy worker still owns the requeued one.
+            late = request(
+                coordinator.address,
+                {
+                    "type": "result",
+                    "lease": slow["lease"],
+                    "key": slow["key"],
+                    "result": {"from": "slow"},
+                    "elapsed": 9.9,
+                },
+            )
+            assert late == {"type": "ack", "accepted": False}
+            good = request(
+                coordinator.address,
+                {
+                    "type": "result",
+                    "lease": healthy["lease"],
+                    "key": healthy["key"],
+                    "result": {"from": "fast"},
+                    "elapsed": 0.1,
+                },
+            )
+            assert good == {"type": "ack", "accepted": True}
+            # A duplicate of the late report after completion: still False.
+            again = request(
+                coordinator.address,
+                {
+                    "type": "result",
+                    "lease": slow["lease"],
+                    "key": slow["key"],
+                    "result": {"from": "slow"},
+                    "elapsed": 9.9,
+                },
+            )
+            assert again == {"type": "ack", "accepted": False}
+            results = list(coordinator.results(timeout_s=10))
+            assert len(results) == 1
+            key, result, elapsed = results[0]
+            assert result == {"from": "fast"} and elapsed == 0.1
+
     def test_stale_error_after_requeue_is_ignored(self):
         """A dead worker's late error report must not fail or double-queue a
         job that has already been handed to a live worker."""

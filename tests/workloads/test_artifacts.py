@@ -151,6 +151,62 @@ class TestL2TraceCache:
         assert isinstance(trace, Trace)
 
 
+class TestTruncationFuzz:
+    def test_trace_truncated_at_every_byte_reads_as_miss_and_heals(self, tmp_path):
+        """Fuzz: a cached trace cut at *every* byte boundary must never
+        parse — each prefix reads as a miss/error, recomputes, and heals
+        the entry back to its original bytes (never a crash, never a
+        silently-wrong shorter trace)."""
+        cache = ArtifactCache(tmp_path)
+        profile = get_profile("gcc")
+        config = small_l2()
+        cache.l2_trace(profile, config, 60, seed=11)
+        key = cache.trace_key(profile, config, 60, seed=11)
+        path = cache._trace_path(key)
+        original = path.read_bytes()
+        reference = generate_l2_trace(profile, config, 60, seed=11)
+
+        for cut in range(len(original)):
+            path.write_bytes(original[:cut])
+            recovered = cache.l2_trace(profile, config, 60, seed=11)
+            # A prefix never parses as a (shorter) valid trace: the entry
+            # is recomputed fresh, not served from the corrupt file.
+            assert isinstance(recovered, Trace), f"cut at {cut} bytes"
+            np.testing.assert_array_equal(
+                recovered.decoded()[1], reference.decoded()[1]
+            )
+            assert path.read_bytes() == original, f"cut at {cut} bytes"
+
+    def test_l1_stream_truncated_at_every_byte_reads_as_miss_and_heals(
+        self, tmp_path
+    ):
+        """Same property for both l1-stream files: any truncation of the
+        stream or its pickled sidecar loads as ``None``, and re-storing
+        restores the original bytes."""
+        cache = ArtifactCache(tmp_path)
+        key = cache.l1_stream_key("a" * 64, small_hierarchy(), seed=4)
+        codes = np.array([0, 0, 1, 0, 1], dtype=np.int8)
+        addresses = np.array([0, 64, 4096, 128, 8192], dtype=np.int64)
+        state = {"l1d": {"tick": 17}, "globals": [1, 2]}
+        assert cache.store_l1_stream(key, "unit", codes, addresses, state)
+        stream_path, state_path = cache._stream_paths(key)
+
+        for target in (stream_path, state_path):
+            original = target.read_bytes()
+            for cut in range(len(original)):
+                target.write_bytes(original[:cut])
+                assert cache.load_l1_stream(key) is None, (
+                    f"{target.name} cut at {cut} bytes"
+                )
+                # Heal on rewrite: the store path republishes atomically.
+                assert cache.store_l1_stream(key, "unit", codes, addresses, state)
+                assert target.read_bytes() == original, (
+                    f"{target.name} cut at {cut} bytes"
+                )
+            loaded = cache.load_l1_stream(key)
+            assert loaded is not None and loaded[2] == state
+
+
 class TestConcurrentWriters:
     def test_racing_writers_leave_one_valid_file(self, tmp_path):
         """Interleaved publishes of one key leave a complete, valid artifact.
